@@ -1,0 +1,193 @@
+(* Benchmark harness: one section per measured table/figure of the
+   paper. For each figure the harness prints the same rows/series the
+   paper reports (via the Harness.Figures drivers, using the cache
+   model), and additionally runs Bechamel wall-clock benchmarks of the
+   executors and inspectors, one Test.make per composition.
+
+   Everything runs at a laptop scale by default (RTRT_SCALE env var
+   overrides; 1 = the paper's dataset sizes). *)
+
+open Bechamel
+open Toolkit
+
+let scale =
+  match Sys.getenv_opt "RTRT_SCALE" with
+  | Some s -> (try int_of_string s with _ -> 24)
+  | None -> 24
+
+let config = { Harness.Figures.scale; trace_steps = 2; wall_steps = 3 }
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+
+let benchmark_tests tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> est
+        | _ -> nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let print_results header results =
+  Fmt.pr "@.== %s (wall clock, Bechamel) ==@." header;
+  List.iter (fun (name, ns) -> Fmt.pr "  %-36s %12.0f ns/run@." name ns) results
+
+(* ------------------------------------------------------------------ *)
+(* Executor benchmarks: one Test per composition (Figures 6/7 wall
+   clock); the modeled-cycle versions of the same figures print below. *)
+
+let executor_tests ~machine (kernel : Kernels.Kernel.t) =
+  let plans = Harness.Figures.suite_for ~machine kernel in
+  List.map
+    (fun plan ->
+      let result = Harness.Experiment.inspect plan kernel in
+      let k = result.Compose.Inspector.kernel in
+      let run () =
+        match result.Compose.Inspector.schedule with
+        | None -> k.Kernels.Kernel.run ~steps:1
+        | Some sched -> k.Kernels.Kernel.run_tiled sched ~steps:1
+      in
+      Test.make ~name:(Compose.Plan.name plan) (Staged.stage run))
+    plans
+
+let bench_executors ~machine ~bench_name ~dataset_name =
+  let dataset = Option.get (Datagen.Generators.by_name ~scale dataset_name) in
+  let kernel = (Option.get (Kernels.by_name bench_name)) dataset in
+  let tests =
+    Test.make_grouped ~name:bench_name (executor_tests ~machine kernel)
+  in
+  let results = benchmark_tests tests in
+  print_results
+    (Fmt.str "executor %s/%s (one time step)" bench_name dataset_name)
+    results
+
+(* Inspector benchmarks: remap-each vs remap-once (Figure 16 wall
+   clock). *)
+let bench_inspectors ~bench_name ~dataset_name =
+  let dataset = Option.get (Datagen.Generators.by_name ~scale dataset_name) in
+  let kernel = (Option.get (Kernels.by_name bench_name)) dataset in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:64 Compose.Plan.cpack_lexgroup_twice
+  in
+  let make_test strategy label =
+    Test.make
+      ~name:(Fmt.str "%s-%s" (Compose.Plan.name plan) label)
+      (Staged.stage (fun () ->
+           ignore (Compose.Inspector.run ~strategy plan kernel)))
+  in
+  let tests =
+    Test.make_grouped ~name:bench_name
+      [
+        make_test Compose.Inspector.Remap_each "remap-each";
+        make_test Compose.Inspector.Remap_once "remap-once";
+      ]
+  in
+  print_results
+    (Fmt.str "inspector %s/%s (Figure 16)" bench_name dataset_name)
+    (benchmark_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* Figure tables via the cache model                                   *)
+
+let section fmt = Fmt.pr ("@.==== " ^^ fmt ^^ " ====@.")
+
+let () =
+  Fmt.pr "rtrt bench harness; dataset scale %d (RTRT_SCALE overrides)@." scale;
+
+  section "Section 2.4: datasets";
+  Fmt.pr "%a" Harness.Figures.pp_dataset_table
+    (Harness.Figures.dataset_table ~config ());
+
+  section "Figure 6: normalized executor time, Power3 model";
+  Fmt.pr "%a" Harness.Figures.pp_exec_rows
+    (Harness.Figures.executor_time ~machine:Cachesim.Machine.power3 ~config ());
+
+  section "Figure 7: normalized executor time, Pentium 4 model";
+  Fmt.pr "%a" Harness.Figures.pp_exec_rows
+    (Harness.Figures.executor_time ~machine:Cachesim.Machine.pentium4 ~config ());
+
+  section "Figure 8: amortization (outer iterations), Power3 model";
+  Fmt.pr "%a" Harness.Figures.pp_amort_rows
+    (Harness.Figures.amortization ~machine:Cachesim.Machine.power3 ~config ());
+
+  section "Figure 9: amortization (outer iterations), Pentium 4 model";
+  Fmt.pr "%a" Harness.Figures.pp_amort_rows
+    (Harness.Figures.amortization ~machine:Cachesim.Machine.pentium4 ~config ());
+
+  section "Figure 16: remap-once inspector overhead reduction";
+  Fmt.pr "%a" Harness.Figures.pp_remap_rows
+    (Harness.Figures.remap_overhead ~machine:Cachesim.Machine.pentium4 ~config
+       ());
+
+  section "Figure 17: cache-size-target sweep, Pentium 4 model";
+  Fmt.pr "%a" Harness.Figures.pp_sweep_rows
+    (Harness.Figures.cache_target_sweep ~machine:Cachesim.Machine.pentium4
+       ~config ());
+
+  section "Ablations A1-A6 (DESIGN.md section 5)";
+  List.iter
+    (Fmt.pr "%a" Harness.Ablations.pp_rows)
+    (Harness.Ablations.all ~machine:Cachesim.Machine.pentium4
+       ~config:{ config with Harness.Figures.scale = max config.Harness.Figures.scale 32 }
+       ());
+
+  section "Gauss-Seidel sparse tiling (E-GS)";
+  (let dataset = Datagen.Generators.foil ~scale:(max scale 32) () in
+   let graph = Datagen.Dataset.to_graph dataset in
+   let n = Irgraph.Csr.num_nodes graph in
+   let f = Array.init n (fun i -> 1.0 +. float_of_int (i mod 13)) in
+   let slab = 3 and slabs = 8 in
+   let partition = Irgraph.Partition.gpart graph ~part_size:32 in
+   let graph', f', _sigma, seed =
+     Kernels.Gauss_seidel.renumber_by_partition graph ~f ~partition
+   in
+   let tiling =
+     Kernels.Gauss_seidel.grow graph' ~seed ~seed_sweep:(slab / 2) ~sweeps:slab
+   in
+   let machine = Cachesim.Machine.pentium4 in
+   let misses run =
+     let t = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+     let layout = Kernels.Gauss_seidel.layout t in
+     let hierarchy = Cachesim.Machine.hierarchy machine in
+     run t ~layout ~access:(Cachesim.Hierarchy.access hierarchy);
+     Cachesim.Hierarchy.l1_misses hierarchy
+   in
+   let plain =
+     misses (fun t ~layout ~access ->
+         Kernels.Gauss_seidel.run_traced t ~sweeps:(slab * slabs) ~layout ~access)
+   in
+   let tiled =
+     misses (fun t ~layout ~access ->
+         Kernels.Gauss_seidel.run_tiled_traced ~slabs t tiling ~layout ~access)
+   in
+   Fmt.pr "plain %d misses, sparse tiled %d misses (%.0f%% fewer), %d tiles, \
+           constraints ok: %b@."
+     plain tiled
+     (100.0 *. (1.0 -. (float_of_int tiled /. float_of_int plain)))
+     tiling.Kernels.Gauss_seidel.n_tiles
+     (Kernels.Gauss_seidel.check_constraints graph' tiling = []));
+
+  section "Wall-clock executor benchmarks (Figures 6/7 cross-check)";
+  List.iter
+    (fun (b, d) ->
+      bench_executors ~machine:Cachesim.Machine.pentium4 ~bench_name:b
+        ~dataset_name:d)
+    [ ("irreg", "foil"); ("nbf", "foil"); ("moldyn", "mol1") ];
+
+  section "Wall-clock inspector benchmarks (Figure 16 cross-check)";
+  List.iter
+    (fun (b, d) -> bench_inspectors ~bench_name:b ~dataset_name:d)
+    [ ("irreg", "foil"); ("moldyn", "mol1") ]

@@ -1,0 +1,326 @@
+(* Command-line driver regenerating every measured figure/table of the
+   paper (see DESIGN.md for the experiment index):
+
+     rtrt datasets            Section 2.4 dataset table
+     rtrt figure6 / figure7   normalized executor time (Power3 / P4)
+     rtrt figure8 / figure9   inspector amortization
+     rtrt figure16            remap-once overhead reduction
+     rtrt figure17            cache-size-target parameter sweep
+     rtrt symbolic            Section 5 symbolic composition report
+     rtrt codegen             Figures 10-15 generated pseudo-code
+     rtrt gs                  Gauss-Seidel sparse tiling (E-GS)
+     rtrt guide               Section 7 runtime composition selection
+     rtrt ablations           design-choice ablations A1-A9
+     rtrt raw                 absolute counts for one configuration
+     rtrt all                 the figure suite end to end *)
+
+open Cmdliner
+
+let config_of ~scale ~steps =
+  {
+    Harness.Figures.scale;
+    trace_steps = steps;
+    wall_steps = max steps 3;
+  }
+
+let scale_arg =
+  let doc =
+    "Dataset scale divisor: node counts are the paper's divided by this \
+     (1 = full size)."
+  in
+  Arg.(value & opt int 16 & info [ "scale" ] ~docv:"N" ~doc)
+
+let steps_arg =
+  let doc = "Time steps measured by the cache model." in
+  Arg.(value & opt int 2 & info [ "steps" ] ~docv:"S" ~doc)
+
+let run_datasets scale steps =
+  let config = config_of ~scale ~steps in
+  let rows = Harness.Figures.dataset_table ~config () in
+  Fmt.pr "Section 2.4 dataset table (generated at scale %d):@." scale;
+  Fmt.pr "%a@." Harness.Figures.pp_dataset_table rows
+
+let run_exec ~machine ~label scale steps =
+  let config = config_of ~scale ~steps in
+  Fmt.pr "%s: normalized executor time without overhead on %a@." label
+    Cachesim.Machine.pp machine;
+  let rows = Harness.Figures.executor_time ~machine ~config () in
+  Fmt.pr "%a@." Harness.Figures.pp_exec_rows rows
+
+let run_amort ~machine ~label scale steps =
+  let config = config_of ~scale ~steps in
+  Fmt.pr "%s: inspector amortization on %a@." label Cachesim.Machine.pp machine;
+  let rows = Harness.Figures.amortization ~machine ~config () in
+  Fmt.pr "%a@." Harness.Figures.pp_amort_rows rows
+
+let run_remap scale steps =
+  let config = config_of ~scale ~steps in
+  Fmt.pr "Figure 16: inspector overhead reduction from remapping once@.";
+  let rows =
+    Harness.Figures.remap_overhead ~machine:Cachesim.Machine.pentium4 ~config ()
+  in
+  Fmt.pr "%a@." Harness.Figures.pp_remap_rows rows
+
+let run_sweep scale steps =
+  let config = config_of ~scale ~steps in
+  let machine = Cachesim.Machine.pentium4 in
+  Fmt.pr "Figure 17: executor time vs cache-size target on %a@."
+    Cachesim.Machine.pp machine;
+  let rows = Harness.Figures.cache_target_sweep ~machine ~config () in
+  Fmt.pr "%a@." Harness.Figures.pp_sweep_rows rows
+
+let run_raw bench ds machine_name scale steps =
+  let config = config_of ~scale ~steps in
+  let machine =
+    match Cachesim.Machine.by_name machine_name with
+    | Some m -> m
+    | None -> Fmt.invalid_arg "unknown machine %s" machine_name
+  in
+  let dataset =
+    match Datagen.Generators.by_name ~scale ds with
+    | Some d -> d
+    | None -> Fmt.invalid_arg "unknown dataset %s" ds
+  in
+  let kernel =
+    match Kernels.by_name bench with
+    | Some f -> f dataset
+    | None -> Fmt.invalid_arg "unknown kernel %s" bench
+  in
+  Fmt.pr "%a; kernel %s (%d B/node)@." Datagen.Dataset.pp dataset bench
+    (Kernels.Kernel.bytes_per_node kernel);
+  let ms = Harness.Figures.run_suite ~machine ~config kernel in
+  List.iter (fun m -> Fmt.pr "%a@." Harness.Experiment.pp_measurement m) ms
+
+let run_ablations scale steps =
+  let config = config_of ~scale ~steps in
+  Fmt.pr "Ablations (see DESIGN.md section 5):@.";
+  List.iter
+    (Fmt.pr "%a" Harness.Ablations.pp_rows)
+    (Harness.Ablations.all ~machine:Cachesim.Machine.pentium4 ~config ())
+
+let run_symbolic () =
+  Fmt.pr "Section 5: symbolic composition for simplified moldyn@.@.";
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:64 Compose.Plan.cpack_lexgroup_twice
+  in
+  Fmt.pr "plan: %a@.@." Compose.Plan.pp plan;
+  let st =
+    Compose.Symbolic.apply
+      (Compose.Symbolic.create Compose.Symbolic.moldyn_program)
+      plan
+  in
+  Fmt.pr "%a@." Compose.Symbolic.pp_report st
+
+let run_gs scale steps =
+  ignore steps;
+  let dataset = Datagen.Generators.foil ~scale () in
+  let graph = Datagen.Dataset.to_graph dataset in
+  let n = Irgraph.Csr.num_nodes graph in
+  let f = Array.init n (fun i -> 1.0 +. float_of_int (i mod 13)) in
+  let slab = 3 and slabs = 8 in
+  let partition = Irgraph.Partition.gpart graph ~part_size:32 in
+  let graph', f', _sigma, seed =
+    Kernels.Gauss_seidel.renumber_by_partition graph ~f ~partition
+  in
+  let tiling =
+    Kernels.Gauss_seidel.grow graph' ~seed ~seed_sweep:(slab / 2) ~sweeps:slab
+  in
+  let machine = Cachesim.Machine.pentium4 in
+  let misses run =
+    let t = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+    let layout = Kernels.Gauss_seidel.layout t in
+    let hierarchy = Cachesim.Machine.hierarchy machine in
+    run t ~layout ~access:(Cachesim.Hierarchy.access hierarchy);
+    Cachesim.Hierarchy.l1_misses hierarchy
+  in
+  let plain =
+    misses (fun t ~layout ~access ->
+        Kernels.Gauss_seidel.run_traced t ~sweeps:(slab * slabs) ~layout ~access)
+  in
+  let tiled =
+    misses (fun t ~layout ~access ->
+        Kernels.Gauss_seidel.run_tiled_traced ~slabs t tiling ~layout ~access)
+  in
+  Fmt.pr
+    "Gauss-Seidel sparse tiling (E-GS) on %a, %d sweeps in %d-sweep slabs:@."
+    Cachesim.Machine.pp machine (slab * slabs) slab;
+  Fmt.pr "  plain %d misses, tiled %d misses (%.0f%% fewer), %d tiles, \
+          constraints ok: %b@."
+    plain tiled
+    (100.0 *. (1.0 -. (float_of_int tiled /. float_of_int plain)))
+    tiling.Kernels.Gauss_seidel.n_tiles
+    (Kernels.Gauss_seidel.check_constraints graph' tiling = [])
+
+let run_guide bench ds budget scale steps =
+  let machine = Cachesim.Machine.pentium4 in
+  let dataset =
+    match Datagen.Generators.by_name ~scale ds with
+    | Some d -> d
+    | None -> Fmt.invalid_arg "unknown dataset %s" ds
+  in
+  let kernel =
+    match Kernels.by_name bench with
+    | Some f -> f dataset
+    | None -> Fmt.invalid_arg "unknown kernel %s" bench
+  in
+  let plans =
+    Harness.Figures.suite_for ~machine kernel
+  in
+  Fmt.pr
+    "Guidance (Section 7): ranking compositions for %s/%s over %d outer      iterations on %a@.@."
+    bench ds budget Cachesim.Machine.pp machine;
+  let ranking =
+    Harness.Guidance.select ~trace_steps:steps ~machine ~steps_budget:budget
+      ~plans kernel
+  in
+  Fmt.pr "%a" Harness.Guidance.pp_ranking ranking
+
+let run_export dir scale steps =
+  let config = config_of ~scale ~steps in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+  in
+  List.iter
+    (fun machine ->
+      let tag = machine.Cachesim.Machine.name in
+      write
+        (Fmt.str "executor_time_%s.csv" tag)
+        (Harness.Figures.csv_exec_rows
+           (Harness.Figures.executor_time ~machine ~config ()));
+      write
+        (Fmt.str "amortization_%s.csv" tag)
+        (Harness.Figures.csv_amort_rows
+           (Harness.Figures.amortization ~machine ~config ())))
+    [ Cachesim.Machine.power3; Cachesim.Machine.pentium4 ];
+  write "cache_target_sweep_pentium4.csv"
+    (Harness.Figures.csv_sweep_rows
+       (Harness.Figures.cache_target_sweep ~machine:Cachesim.Machine.pentium4
+          ~config ()))
+
+let run_codegen bench =
+  let program =
+    match Compose.Symbolic.program_by_name bench with
+    | Some p -> p
+    | None -> Fmt.invalid_arg "unknown program %s" bench
+  in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:64 Compose.Plan.cpack_lexgroup_twice
+  in
+  Fmt.pr
+    "Figures 10-15: generated specialized inspectors and executor for %s,@.\
+     plan %a@.@."
+    bench Compose.Plan.pp plan;
+  let st = Compose.Symbolic.apply (Compose.Symbolic.create program) plan in
+  print_string (Compose.Codegen.full_report st ~program)
+
+let run_all scale steps =
+  run_datasets scale steps;
+  run_symbolic ();
+  run_exec ~machine:Cachesim.Machine.power3 ~label:"Figure 6" scale steps;
+  run_exec ~machine:Cachesim.Machine.pentium4 ~label:"Figure 7" scale steps;
+  run_amort ~machine:Cachesim.Machine.power3 ~label:"Figure 8" scale steps;
+  run_amort ~machine:Cachesim.Machine.pentium4 ~label:"Figure 9" scale steps;
+  run_remap scale steps;
+  run_sweep scale steps
+
+let cmd_of ~name ~doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ steps_arg)
+
+let datasets_cmd = cmd_of ~name:"datasets" ~doc:"Section 2.4 table" run_datasets
+
+let figure6_cmd =
+  cmd_of ~name:"figure6" ~doc:"Normalized executor time, Power3 model"
+    (run_exec ~machine:Cachesim.Machine.power3 ~label:"Figure 6")
+
+let figure7_cmd =
+  cmd_of ~name:"figure7" ~doc:"Normalized executor time, Pentium 4 model"
+    (run_exec ~machine:Cachesim.Machine.pentium4 ~label:"Figure 7")
+
+let figure8_cmd =
+  cmd_of ~name:"figure8" ~doc:"Inspector amortization, Power3 model"
+    (run_amort ~machine:Cachesim.Machine.power3 ~label:"Figure 8")
+
+let figure9_cmd =
+  cmd_of ~name:"figure9" ~doc:"Inspector amortization, Pentium 4 model"
+    (run_amort ~machine:Cachesim.Machine.pentium4 ~label:"Figure 9")
+
+let figure16_cmd =
+  cmd_of ~name:"figure16" ~doc:"Remap-once overhead reduction" run_remap
+
+let figure17_cmd =
+  cmd_of ~name:"figure17" ~doc:"Cache-size-target sweep" run_sweep
+
+let raw_cmd =
+  let bench =
+    Arg.(value & opt string "moldyn" & info [ "bench" ] ~docv:"KERNEL")
+  in
+  let ds = Arg.(value & opt string "mol1" & info [ "dataset" ] ~docv:"DATA") in
+  let machine =
+    Arg.(value & opt string "pentium4" & info [ "machine" ] ~docv:"M")
+  in
+  Cmd.v
+    (Cmd.info "raw" ~doc:"Raw measurements for one kernel/dataset/machine")
+    Term.(const run_raw $ bench $ ds $ machine $ scale_arg $ steps_arg)
+
+let ablations_cmd =
+  cmd_of ~name:"ablations" ~doc:"Design-choice ablations" run_ablations
+
+let gs_cmd = cmd_of ~name:"gs" ~doc:"Gauss-Seidel sparse tiling (E-GS)" run_gs
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory for the CSV files.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write plot-ready CSVs for Figures 6-9 and 17")
+    Term.(const run_export $ dir $ scale_arg $ steps_arg)
+
+let guide_cmd =
+  let bench =
+    Arg.(value & opt string "moldyn" & info [ "bench" ] ~docv:"KERNEL")
+  in
+  let ds = Arg.(value & opt string "mol1" & info [ "dataset" ] ~docv:"DATA") in
+  let budget =
+    Arg.(value & opt int 100 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Outer-loop iterations the application will run.")
+  in
+  Cmd.v
+    (Cmd.info "guide" ~doc:"Section 7 guidance: pick a composition at runtime")
+    Term.(const run_guide $ bench $ ds $ budget $ scale_arg $ steps_arg)
+
+let codegen_cmd =
+  let bench =
+    Arg.(value & opt string "moldyn" & info [ "bench" ] ~docv:"KERNEL")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Generated specialized inspector/executor pseudo-code")
+    Term.(const run_codegen $ bench)
+
+let symbolic_cmd =
+  Cmd.v
+    (Cmd.info "symbolic" ~doc:"Section 5 symbolic composition report")
+    Term.(const run_symbolic $ const ())
+
+let all_cmd = cmd_of ~name:"all" ~doc:"Run every experiment" run_all
+
+let () =
+  let info =
+    Cmd.info "rtrt" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Compile-time Composition of Run-time Data and \
+         Iteration Reorderings' (PLDI 2003)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            datasets_cmd; figure6_cmd; figure7_cmd; figure8_cmd; figure9_cmd;
+            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/composition_dsl.ml: Array Compose Fmt List Parser Presburger Rel Reorder Set Ufs_env

@@ -1,0 +1,1 @@
+examples/gauss_seidel.ml: Array Cachesim Datagen Fmt Irgraph Kernels List

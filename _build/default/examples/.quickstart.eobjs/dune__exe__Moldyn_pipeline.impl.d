@@ -1,0 +1,1 @@
+examples/moldyn_pipeline.ml: Cachesim Compose Datagen Fmt Harness Kernels List

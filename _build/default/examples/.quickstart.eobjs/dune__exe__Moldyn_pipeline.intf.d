@@ -1,0 +1,1 @@
+examples/moldyn_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/parallel_tiles.ml: Array Compose Datagen Fmt Irgraph Kernels List Option Reorder

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cachesim Compose Datagen Fmt Kernels

@@ -1,0 +1,1 @@
+examples/spmv.ml: Array Cachesim Datagen Fmt Irgraph Reorder

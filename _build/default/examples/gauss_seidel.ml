@@ -1,0 +1,73 @@
+(* Sparse tiling the computation it was invented for: a Gauss-Seidel
+   smoother over an unstructured mesh, tiled across convergence sweeps
+   (Section 2.3). The tiled execution is bitwise identical to the
+   plain smoother and cuts L1 misses by reusing each tile's data
+   across sweeps.
+
+   Run with: dune exec examples/gauss_seidel.exe *)
+
+let () =
+  let dataset = Datagen.Generators.foil ~scale:64 () in
+  let graph = Datagen.Dataset.to_graph dataset in
+  let n = Irgraph.Csr.num_nodes graph in
+  Fmt.pr "mesh: %a@." Irgraph.Csr.pp graph;
+  let f = Array.init n (fun i -> 1.0 +. float_of_int (i mod 13)) in
+  (* Tile [slab] sweeps at a time: growth smears tiles by one mesh
+     layer per sweep away from the seed, so shallow slabs keep tiles
+     compact (a slab's tile spans roughly slab+1 parts). *)
+  let slab = 3 in
+  let slabs = 8 in
+  let sweeps = slab * slabs in
+
+  (* 1. Partition the mesh into small parts (a tile's slab working set
+        is several parts plus halo, and must fit the L1) and renumber
+        so each part is consecutive (the seed must be monotone). *)
+  let machine = Cachesim.Machine.pentium4 in
+  let part_size = machine.Cachesim.Machine.l1_size / 16 / 16 in
+  let partition = Irgraph.Partition.gpart graph ~part_size in
+  Fmt.pr "partition: %a (edge cut %d)@." Irgraph.Partition.pp partition
+    (Irgraph.Partition.edge_cut graph partition);
+  let graph', f', _sigma, seed =
+    Kernels.Gauss_seidel.renumber_by_partition graph ~f ~partition
+  in
+
+  (* 2. Grow tiles across one slab of sweeps from a mid-point seed. *)
+  let tiling =
+    Kernels.Gauss_seidel.grow graph' ~seed ~seed_sweep:(slab / 2) ~sweeps:slab
+  in
+  let violations = Kernels.Gauss_seidel.check_constraints graph' tiling in
+  Fmt.pr "tiles: %d per %d-sweep slab; constraint violations: %d@."
+    tiling.Kernels.Gauss_seidel.n_tiles slab (List.length violations);
+
+  (* 3. The tiled smoother computes exactly the plain smoother. *)
+  let plain = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+  Kernels.Gauss_seidel.run_plain plain ~sweeps;
+  let tiled = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+  Kernels.Gauss_seidel.run_tiled_slabbed tiled tiling ~total_sweeps:sweeps;
+  let equal =
+    Array.for_all2 ( = ) plain.Kernels.Gauss_seidel.u
+      tiled.Kernels.Gauss_seidel.u
+  in
+  Fmt.pr "tiled result bitwise equal to plain: %b@." equal;
+
+  (* 4. Cache behavior: plain sweeps stream the whole mesh each sweep;
+        tiles keep their nodes resident across sweeps. *)
+  let misses run =
+    let t = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+    let layout = Kernels.Gauss_seidel.layout t in
+    let hierarchy = Cachesim.Machine.hierarchy machine in
+    run t ~layout ~access:(Cachesim.Hierarchy.access hierarchy);
+    Cachesim.Hierarchy.l1_misses hierarchy
+  in
+  let plain_misses =
+    misses (fun t ~layout ~access ->
+        Kernels.Gauss_seidel.run_traced t ~sweeps ~layout ~access)
+  in
+  let tiled_misses =
+    misses (fun t ~layout ~access ->
+        Kernels.Gauss_seidel.run_tiled_traced ~slabs t tiling ~layout ~access)
+  in
+  Fmt.pr "L1 misses on %a over %d sweeps:@." Cachesim.Machine.pp machine sweeps;
+  Fmt.pr "  plain smoother : %d@." plain_misses;
+  Fmt.pr "  sparse tiled   : %d (%.0f%% fewer)@." tiled_misses
+    (100.0 *. (1.0 -. (float_of_int tiled_misses /. float_of_int plain_misses)))

@@ -1,0 +1,64 @@
+(* Quickstart: compose two run-time reordering transformations on an
+   irregular kernel and watch the cache behavior improve.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A synthetic unstructured mesh with scrambled numbering (the
+        state real irregular applications arrive in). *)
+  let dataset = Datagen.Generators.foil ~scale:64 () in
+  Fmt.pr "dataset: %a@." Datagen.Dataset.pp dataset;
+
+  (* 2. The irreg benchmark over that mesh. *)
+  let kernel = Kernels.Irreg.of_dataset dataset in
+
+  (* 3. A composition: consecutive packing (data reordering), then
+        lexicographical grouping (iteration reordering). *)
+  let plan = Compose.Plan.cpack_lexgroup in
+  Fmt.pr "plan: %a@." Compose.Plan.pp plan;
+
+  (* 4. Run the composed inspector: it traverses the index arrays,
+        generates the reordering functions, and remaps the data once. *)
+  let result = Compose.Inspector.run plan kernel in
+  (match Compose.Legality.check result with
+  | Ok () -> Fmt.pr "legality: ok@."
+  | Error msg -> failwith msg);
+  Fmt.pr "inspector took %.1f ms, %d data remap pass(es)@."
+    (1000.0 *. result.Compose.Inspector.inspector_seconds)
+    result.Compose.Inspector.n_data_remaps;
+
+  (* 5. Compare cache behavior of the original and transformed
+        executors on the Pentium 4 model (8KB L1, 64B lines). *)
+  let machine = Cachesim.Machine.pentium4 in
+  let misses (k : Kernels.Kernel.t) =
+    let hierarchy = Cachesim.Machine.hierarchy machine in
+    let access = Cachesim.Hierarchy.access hierarchy in
+    let layout = Kernels.Kernel.layout k in
+    k.Kernels.Kernel.run_traced ~steps:1 ~layout ~access;
+    Cachesim.Hierarchy.reset_counters hierarchy;
+    k.Kernels.Kernel.run_traced ~steps:2 ~layout ~access;
+    Cachesim.Hierarchy.l1_misses hierarchy / 2
+  in
+  let before = misses kernel in
+  let after = misses result.Compose.Inspector.kernel in
+  Fmt.pr "L1 misses per time step on %a:@." Cachesim.Machine.pp machine;
+  Fmt.pr "  original   : %d@." before;
+  Fmt.pr "  %-10s : %d (%.0f%% fewer)@."
+    (Compose.Plan.name plan) after
+    (100.0 *. (1.0 -. (float_of_int after /. float_of_int before)));
+
+  (* 6. The executors compute the same thing: run both and compare
+        (after un-permuting the transformed data). *)
+  let reference =
+    let k = kernel.Kernels.Kernel.copy () in
+    k.Kernels.Kernel.run ~steps:3;
+    k.Kernels.Kernel.snapshot ()
+  in
+  let transformed =
+    let k = result.Compose.Inspector.kernel in
+    k.Kernels.Kernel.run ~steps:3;
+    Kernels.Kernel.unpermute_snapshot result.Compose.Inspector.sigma_total
+      (k.Kernels.Kernel.snapshot ())
+  in
+  Fmt.pr "results match: %b@."
+    (Kernels.Kernel.snapshots_close reference transformed)

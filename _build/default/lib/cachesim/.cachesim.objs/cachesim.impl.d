@@ -1,0 +1,1 @@
+lib/cachesim/cachesim.ml: Cache Hierarchy Layout Machine

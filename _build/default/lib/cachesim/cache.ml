@@ -1,0 +1,95 @@
+(* Set-associative LRU cache simulator.
+
+   The paper's experiments ran on real Power3 / Pentium 4 hardware; we
+   substitute a trace-driven L1 model (see DESIGN.md). Executors emit
+   their memory references to {!access}; the counters then yield miss
+   ratios and a modeled execution time. LRU is tracked by keeping each
+   set's tags in most-recently-used-first order. *)
+
+type t = {
+  line_bytes : int;
+  n_sets : int;
+  assoc : int;
+  line_shift : int;
+  tags : int array; (* n_sets * assoc, MRU first; -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let create ~size_bytes ~line_bytes ~assoc =
+  if not (is_pow2 line_bytes) then invalid "Cache.create: line_bytes";
+  if size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid "Cache.create: size %d not divisible by line*assoc" size_bytes;
+  let n_sets = size_bytes / (line_bytes * assoc) in
+  if not (is_pow2 n_sets) then invalid "Cache.create: set count not a power of 2";
+  {
+    line_bytes;
+    n_sets;
+    assoc;
+    line_shift = log2 line_bytes;
+    tags = Array.make (n_sets * assoc) (-1);
+    hits = 0;
+    misses = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hits <- 0;
+  t.misses <- 0
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0
+
+(* One memory reference at byte address [addr]. Returns [true] on hit.
+   On miss, the line is filled and becomes MRU; LRU is evicted. *)
+let access t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.n_sets - 1) in
+  let base = set * t.assoc in
+  let tags = t.tags in
+  (* Find the tag; shift everything in front of it down one slot so the
+     found (or inserted) tag lands at MRU position. *)
+  let rec find i =
+    if i >= t.assoc then -1
+    else if tags.(base + i) = line then i
+    else find (i + 1)
+  in
+  match find 0 with
+  | 0 ->
+    t.hits <- t.hits + 1;
+    true
+  | -1 ->
+    t.misses <- t.misses + 1;
+    for j = t.assoc - 1 downto 1 do
+      tags.(base + j) <- tags.(base + j - 1)
+    done;
+    tags.(base) <- line;
+    false
+  | pos ->
+    t.hits <- t.hits + 1;
+    for j = pos downto 1 do
+      tags.(base + j) <- tags.(base + j - 1)
+    done;
+    tags.(base) <- line;
+    true
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let miss_ratio t =
+  let total = accesses t in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
+
+let pp ppf t =
+  Fmt.pf ppf "cache(%dB lines, %d sets, %d-way; %d hits, %d misses)"
+    t.line_bytes t.n_sets t.assoc t.hits t.misses

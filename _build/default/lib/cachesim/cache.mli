@@ -1,0 +1,25 @@
+(** Set-associative LRU cache simulator (the hardware substitute for
+    the paper's Power3 / Pentium 4 L1 caches; see DESIGN.md). *)
+
+type t
+
+(** [create ~size_bytes ~line_bytes ~assoc]; line size and derived set
+    count must be powers of two. *)
+val create : size_bytes:int -> line_bytes:int -> assoc:int -> t
+
+(** Invalidate all lines and zero the counters. *)
+val reset : t -> unit
+
+(** Zero the counters, keeping cache contents (for warm-cache
+    measurement windows). *)
+val reset_counters : t -> unit
+
+(** One reference at a byte address; [true] on hit. Misses fill the
+    line (LRU eviction). *)
+val access : t -> int -> bool
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val miss_ratio : t -> float
+val pp : t Fmt.t

@@ -1,0 +1,8 @@
+(** Trace-driven cache simulation substrate: the stand-in for the
+    paper's Power3 / Pentium 4 hardware (see DESIGN.md for the
+    substitution argument). *)
+
+module Cache = Cache
+module Hierarchy = Hierarchy
+module Machine = Machine
+module Layout = Layout

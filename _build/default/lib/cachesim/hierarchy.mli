@@ -1,0 +1,25 @@
+(** A two-level cache hierarchy (L1, unified L2, memory) with
+    per-level cycle costs — the machine contrast that drives the
+    paper's Power3 vs Pentium 4 results. *)
+
+type t
+
+val create :
+  l1:Cache.t ->
+  l2:Cache.t ->
+  l1_hit_cycles:float ->
+  l2_hit_cycles:float ->
+  mem_cycles:float ->
+  t
+
+(** One reference; L2 consulted only on an L1 miss. *)
+val access : t -> int -> unit
+
+val reset : t -> unit
+val reset_counters : t -> unit
+val accesses : t -> int
+val l1_misses : t -> int
+val mem_accesses : t -> int
+val modeled_cycles : t -> float
+val miss_ratio : t -> float
+val pp : t Fmt.t

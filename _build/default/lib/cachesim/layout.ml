@@ -1,0 +1,87 @@
+(* Memory layouts: mapping (array, element) references to byte
+   addresses for the cache model.
+
+   Two layouts matter for the paper:
+   - [separate]: each array in its own contiguous region;
+   - [grouped]: inter-array data regrouping (Ding & Kennedy [8]) —
+     arrays indexed by the same space are interleaved element-wise
+     (array-of-structs), which both the baselines and the transformed
+     executors use in the paper's experiments.
+
+   A layout assigns every array a base address and a stride; address =
+   base + index * stride. Regions are padded to line-size multiples so
+   arrays never share a cache line by accident. *)
+
+type field = {
+  base : int;
+  stride : int; (* bytes between consecutive elements *)
+}
+
+type t = {
+  fields : (string * field) list;
+  total_bytes : int;
+}
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+let elem_bytes = 8 (* double-precision floats everywhere *)
+
+let align up x = (x + up - 1) / up * up
+
+(* [separate arrays] lays out each (name, length) contiguously. *)
+let separate ?(align_bytes = 128) arrays =
+  let fields, total =
+    List.fold_left
+      (fun (fields, offset) (name, len) ->
+        let field = { base = offset; stride = elem_bytes } in
+        ((name, field) :: fields, align align_bytes (offset + (len * elem_bytes))))
+      ([], 0) arrays
+  in
+  { fields = List.rev fields; total_bytes = total }
+
+(* [grouped ~groups] interleaves the arrays of each group: group
+   arrays must share a length; element i of the g-th member sits at
+   group_base + i * (k * 8) + g * 8. *)
+let grouped ?(align_bytes = 128) ~groups () =
+  let fields, total =
+    List.fold_left
+      (fun (fields, offset) group ->
+        match group with
+        | [] -> (fields, offset)
+        | (_, len0) :: _ ->
+          let k = List.length group in
+          List.iter
+            (fun (_, len) ->
+              if len <> len0 then invalid "Layout.grouped: lengths differ")
+            group;
+          let stride = k * elem_bytes in
+          let fields', _ =
+            List.fold_left
+              (fun (fs, g) (name, _) ->
+                ((name, { base = offset + (g * elem_bytes); stride }) :: fs, g + 1))
+              (fields, 0) group
+          in
+          (fields', align align_bytes (offset + (k * len0 * elem_bytes))))
+      ([], 0) groups
+  in
+  { fields = List.rev fields; total_bytes = total }
+
+let total_bytes l = l.total_bytes
+
+let field l name =
+  match List.assoc_opt name l.fields with
+  | Some f -> f
+  | None -> invalid "Layout.field: unknown array %s" name
+
+(* Byte address of element [index] of array [name]. *)
+let address l name index =
+  let f = field l name in
+  f.base + (index * f.stride)
+
+(* Fast accessor closure for inner loops: resolves the field once. *)
+let addresser l name =
+  let f = field l name in
+  fun index -> f.base + (index * f.stride)
+
+let pp ppf l =
+  Fmt.pf ppf "layout(%d arrays, %d bytes)" (List.length l.fields) l.total_bytes

@@ -1,0 +1,29 @@
+(** Memory layouts mapping (array, element) to byte addresses,
+    including inter-array data regrouping (Ding & Kennedy), which the
+    paper's baselines and executors both use. *)
+
+type field = private {
+  base : int;
+  stride : int;
+}
+
+type t
+
+(** Each named array (name, length) contiguous, regions padded to
+    [align_bytes]. *)
+val separate : ?align_bytes:int -> (string * int) list -> t
+
+(** Arrays within a group interleaved element-wise (array-of-structs);
+    group members must share a length. *)
+val grouped : ?align_bytes:int -> groups:(string * int) list list -> unit -> t
+
+val total_bytes : t -> int
+val field : t -> string -> field
+
+(** Byte address of [index] in array [name]. *)
+val address : t -> string -> int -> int
+
+(** Field-resolved accessor for inner loops. *)
+val addresser : t -> string -> int -> int
+
+val pp : t Fmt.t

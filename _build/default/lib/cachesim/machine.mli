@@ -1,0 +1,52 @@
+(** Machine models for the paper's two evaluation platforms, with
+    two-level cache hierarchies. Ratios of modeled cycles are
+    meaningful, absolute values are not. *)
+
+type t = {
+  name : string;
+  l1_size : int;
+  l1_line : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_line : int;
+  l2_assoc : int;
+  hit_cycles : float;    (** L1 hit *)
+  l2_hit_cycles : float; (** L1 miss, L2 hit *)
+  mem_cycles : float;    (** miss to memory *)
+  miss_cycles : float;   (** flat L1-miss penalty for the L1-only model *)
+}
+
+(** IBM Power3: 64KB L1D (128B, 128-way), 4MB L2, ~35-cycle memory. *)
+val power3 : t
+
+(** Intel Pentium 4: 8KB L1D (64B, 4-way), 256KB L2, ~200-cycle
+    memory. *)
+val pentium4 : t
+
+val custom :
+  name:string ->
+  l1_size:int ->
+  l1_line:int ->
+  l1_assoc:int ->
+  ?l2_size:int ->
+  ?l2_line:int ->
+  ?l2_assoc:int ->
+  hit_cycles:float ->
+  ?l2_hit_cycles:float ->
+  ?mem_cycles:float ->
+  miss_cycles:float ->
+  unit ->
+  t
+
+val by_name : string -> t option
+
+(** A fresh L1-only cache (unit tests, quick estimates). *)
+val cache : t -> Cache.t
+
+(** The full two-level hierarchy the experiment harness measures. *)
+val hierarchy : t -> Hierarchy.t
+
+(** Modeled cycles for the flat L1-only model. *)
+val modeled_cycles : t -> Cache.t -> float
+
+val pp : t Fmt.t

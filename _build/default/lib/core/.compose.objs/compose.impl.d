@@ -1,0 +1,1 @@
+lib/core/compose.ml: Codegen Depcheck Inspector Legality Plan Symbolic Timetile Transform

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Buffer Constr Fmt List Presburger Rel Str String Symbolic Term Transform

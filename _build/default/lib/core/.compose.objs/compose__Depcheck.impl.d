@@ -1,0 +1,1 @@
+lib/core/depcheck.ml: Access Array Kernels List Reorder

@@ -1,0 +1,1 @@
+lib/core/depcheck.mli: Kernels Reorder

@@ -1,0 +1,1 @@
+lib/core/inspector.mli: Kernels Plan Reorder

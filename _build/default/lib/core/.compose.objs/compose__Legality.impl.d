@@ -1,0 +1,1 @@
+lib/core/legality.ml: Array Fmt Inspector Kernels Perm Reorder Result Schedule Sparse_tile

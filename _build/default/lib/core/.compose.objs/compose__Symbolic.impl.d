@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Fmt List Parser Plan Presburger Rel String Transform Ufs_env

@@ -1,0 +1,1 @@
+lib/core/symbolic.mli: Fmt Plan Presburger Transform

@@ -1,0 +1,1 @@
+lib/core/timetile.ml: Array Fmt Irgraph Kernels Reorder Schedule Sparse_tile

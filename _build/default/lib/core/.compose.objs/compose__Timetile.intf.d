@@ -1,0 +1,1 @@
+lib/core/timetile.mli: Cachesim Kernels Reorder

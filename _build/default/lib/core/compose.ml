@@ -1,0 +1,21 @@
+(** The paper's core contribution: compile-time composition of run-time
+    data and iteration reorderings.
+
+    - {!Transform} / {!Plan}: compile-time descriptions of reordering
+      transformations and validated compositions;
+    - {!Symbolic}: the Kelly-Pugh-with-UFS effect computation — data
+      mappings, dependences, and composed [R]/[T] relations (Section 5);
+    - {!Inspector}: the composed run-time inspector with the
+      [Remap_each] / [Remap_once] strategies and symmetric-dependence
+      elision (Section 6);
+    - {!Legality}: run-time verification that the generated reordering
+      functions respect every dependence. *)
+
+module Transform = Transform
+module Plan = Plan
+module Symbolic = Symbolic
+module Inspector = Inspector
+module Legality = Legality
+module Codegen = Codegen
+module Depcheck = Depcheck
+module Timetile = Timetile

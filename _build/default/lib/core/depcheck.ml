@@ -1,0 +1,94 @@
+(* Run-time data dependence analysis for non-affine references
+   (Section 8 cites Pugh-Wonnacott [23] and Rus et al. [26]; Section 4
+   relies on knowing whether a subspace's loop-carried dependences are
+   reductions before applying lexGroup/lexSort/bucket tiling).
+
+   The compile-time side can only mark a loop "reduction-only" when the
+   operator is recognizably associative/commutative; whether two
+   iterations actually touch the same location is decided by the index
+   arrays. This module inspects concrete access patterns and
+   classifies a loop's loop-carried dependences:
+
+   - [Independent]: no two iterations write the same location and no
+     iteration reads another's written location — any reordering legal,
+     and the loop is fully parallel;
+   - [Reduction]: iterations share written locations but never read
+     them (update-only) — reorderings legal for associative updates
+     (Section 4, footnote 3);
+   - [Serialized pairs]: a read of one iteration aliases a write of
+     another — reordering must respect those pairs; we return a
+     predecessor map suitable for {!Reorder.Wavefront}. *)
+
+open Reorder
+
+type verdict =
+  | Independent
+  | Reduction
+  | Serialized of Access.t (* iteration -> earlier iterations it must follow *)
+
+(* Classify from the loop's read access and update (read-modify-write
+   reduction) access over one data space. [reads] are plain reads;
+   [updates] are commutative updates (+=). A flow dependence exists
+   when a plain read aliases another iteration's update. *)
+let classify ~(reads : Access.t) ~(updates : Access.t) =
+  if Access.n_iter reads <> Access.n_iter updates then
+    invalid_arg "Depcheck.classify: iteration counts differ";
+  let n_data = Access.n_data updates in
+  if Access.n_data reads <> n_data then
+    invalid_arg "Depcheck.classify: data spaces differ";
+  let n = Access.n_iter updates in
+  (* Which locations are ever updated, and by how many iterations. *)
+  let update_count = Array.make n_data 0 in
+  for it = 0 to n - 1 do
+    Access.iter_touches updates it (fun d ->
+        update_count.(d) <- update_count.(d) + 1)
+  done;
+  (* Flow aliasing: a plain read of a location someone updates. *)
+  let aliased = ref false in
+  (try
+     for it = 0 to n - 1 do
+       Access.iter_touches reads it (fun d ->
+           if update_count.(d) > 0 then begin
+             aliased := true;
+             raise Exit
+           end)
+     done
+   with Exit -> ());
+  if !aliased then begin
+    (* Build the predecessor map: iteration b depends on every earlier
+       iteration a whose update set intersects b's read set (flow) or
+       b's update set intersects a's read set (anti). We approximate
+       with the flow direction over the update transpose, which is the
+       order wavefront scheduling needs. *)
+    let upd_by_loc = Access.transpose updates in
+    let preds =
+      Array.init n (fun b ->
+          Access.fold_touches reads b
+            (fun acc d ->
+              Access.fold_touches upd_by_loc d
+                (fun acc a -> if a < b then a :: acc else acc)
+                acc)
+            []
+          |> List.sort_uniq compare)
+    in
+    Serialized (Access.of_lists ~n_data:n preds)
+  end
+  else if Array.exists (fun c -> c > 1) update_count then Reduction
+  else Independent
+
+let verdict_name = function
+  | Independent -> "independent"
+  | Reduction -> "reduction"
+  | Serialized _ -> "serialized"
+
+(* The j loops of irreg/nbf/moldyn read positions (x...) and update
+   forces (fx...) through the same index arrays but in *different*
+   arrays. Verify the kernels' reduction-only assumption from the
+   concrete index arrays by stacking the two arrays' spaces side by
+   side — reads in [0, n), updates in [n, 2n) — and classifying. *)
+let check_kernel_interaction_loop (kernel : Kernels.Kernel.t) =
+  let access = kernel.Kernels.Kernel.access in
+  let n = Access.n_data access in
+  let reads = Access.shift_data ~offset:0 ~n_data:(2 * n) access in
+  let updates = Access.shift_data ~offset:n ~n_data:(2 * n) access in
+  classify ~reads ~updates

@@ -1,0 +1,28 @@
+(** Run-time data dependence analysis for non-affine references
+    (Section 8 / [23, 26]): classify a loop's loop-carried dependences
+    from its concrete access patterns, validating the compile-time
+    "reduction-only" assumption the dependence-free iteration
+    reorderings rely on (Section 4, footnote 3). *)
+
+type verdict =
+  | Independent
+      (** no aliasing at all: any reordering legal, fully parallel *)
+  | Reduction
+      (** shared update locations, never read: reorderings legal for
+          associative updates *)
+  | Serialized of Reorder.Access.t
+      (** flow dependences exist; the access maps each iteration to the
+          earlier iterations it must follow (feed to
+          {!Reorder.Wavefront.run}) *)
+
+(** Classify from a loop's plain-read access and commutative-update
+    access over one (stacked) data space. *)
+val classify :
+  reads:Reorder.Access.t -> updates:Reorder.Access.t -> verdict
+
+val verdict_name : verdict -> string
+
+(** Verify a kernel's interaction loop: reads (positions) and updates
+    (forces) go through the same index arrays into different arrays,
+    so the verdict is {!Reduction} for all three benchmarks. *)
+val check_kernel_interaction_loop : Kernels.Kernel.t -> verdict

@@ -1,0 +1,238 @@
+(* The composed run-time inspector (Section 5 / Figures 11 and 15).
+
+   Given a plan and a kernel, run each transformation's inspector
+   against the data mappings and dependences *as modified by the
+   previously planned inspectors*, producing the composed reordering
+   functions, the transformed kernel for the executor, and (when the
+   plan sparse-tiles) the tile schedule.
+
+   Two remap strategies realize the Section 6 overhead trade-off:
+   - [Remap_each] (Figure 15): every transformation immediately
+     remaps the kernel's data and index arrays, so later inspectors
+     traverse plain arrays;
+   - [Remap_once] (Figure 11): inspectors traverse a working copy of
+     the index arrays (adjusted after every transformation, which the
+     paper found cheapest) while the data arrays are remapped a single
+     time, at the very end, through the composed sigma.
+
+   Both strategies produce identical results; only the inspector cost
+   differs (Figure 16 measures the difference). *)
+
+open Reorder
+
+type strategy = Remap_each | Remap_once
+
+type result = {
+  kernel : Kernels.Kernel.t; (* transformed kernel for the executor *)
+  schedule : Schedule.t option;
+  sigma_total : Perm.t; (* composed data reordering *)
+  delta_total : Perm.t; (* composed interaction-loop reordering *)
+  inspector_seconds : float;
+  n_data_remaps : int; (* full data-array remap passes performed *)
+  (* Each generated reordering function, named exactly as the symbolic
+     layer names it (sigma_cp, delta_lg, sigma_cp2, ...), so the
+     compile-time formulas can be evaluated against the run-time
+     output. *)
+  reordering_fns : (string * Perm.t) list;
+}
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+(* Mutable walk state shared by both strategies. *)
+type walk = {
+  mutable kern : Kernels.Kernel.t; (* original (Remap_once) or current *)
+  mutable work_access : Access.t;  (* access under all reorderings so far *)
+  mutable sigma : Perm.t;          (* composed data reordering so far *)
+  mutable delta : Perm.t;          (* composed interaction reordering *)
+  mutable schedule : Schedule.t option;
+  mutable remaps : int;
+  mutable fns : (string * Perm.t) list; (* reverse order *)
+  mutable counters : (string * int) list;
+}
+
+(* Fresh reordering-function names matching Symbolic.fresh_fn. *)
+let fresh_fn walk base =
+  let n =
+    match List.assoc_opt base walk.counters with Some n -> n | None -> 0
+  in
+  walk.counters <- (base, n + 1) :: List.remove_assoc base walk.counters;
+  if n = 0 then base else Fmt.str "%s%d" base (n + 1)
+
+let record_fn walk base perm =
+  walk.fns <- (fresh_fn walk base, perm) :: walk.fns
+
+let data_perm walk strategy sigma_new =
+  walk.work_access <- Access.map_data sigma_new walk.work_access;
+  walk.sigma <- Perm.compose sigma_new walk.sigma;
+  (match walk.schedule with
+  | None -> ()
+  | Some sched ->
+    (* Identity-mapped loops are renamed by the data reordering
+       (T_{I3->I4}); the interaction loop's ids are untouched. *)
+    let seed = walk.kern.Kernels.Kernel.seed_loop in
+    let sched' =
+      List.fold_left
+        (fun acc l ->
+          if l = seed then acc else Schedule.remap_loop acc ~loop:l sigma_new)
+        sched
+        (List.init (Schedule.n_loops sched) Fun.id)
+    in
+    walk.schedule <- Some sched');
+  match strategy with
+  | Remap_each ->
+    walk.kern <- walk.kern.Kernels.Kernel.apply_data_perm sigma_new;
+    walk.remaps <- walk.remaps + 1
+  | Remap_once -> ()
+
+let iter_perm walk strategy delta_new =
+  walk.work_access <- Access.reorder_iters delta_new walk.work_access;
+  walk.delta <- Perm.compose delta_new walk.delta;
+  match strategy with
+  | Remap_each ->
+    walk.kern <- walk.kern.Kernels.Kernel.apply_iter_perm delta_new
+  | Remap_once -> ()
+
+let seed_tiles_of walk (seed : Transform.seed_partition) ~seed_loop =
+  let kern = walk.kern in
+  let n_seed = kern.Kernels.Kernel.loop_sizes.(seed_loop) in
+  match seed with
+  | Transform.Seed_block { part_size } ->
+    Sparse_tile.tile_fn_of_partition
+      (Irgraph.Partition.block ~n:n_seed ~part_size)
+  | Transform.Seed_gpart { part_size } ->
+    (* Partition the data-affinity graph and key each seed-loop
+       iteration by the partition of its first touch (for identity
+       loops that *is* its datum). *)
+    let g = Access.to_graph walk.work_access in
+    let p = Irgraph.Partition.gpart g ~part_size in
+    let assign = Irgraph.Partition.assignment p in
+    let tile_of =
+      if seed_loop = kern.Kernels.Kernel.seed_loop then
+        Array.init n_seed (fun it ->
+            assign.(Access.first_touch walk.work_access it))
+      else Array.init n_seed (fun v -> assign.(v))
+    in
+    { Sparse_tile.n_tiles = Irgraph.Partition.n_parts p; tile_of }
+
+let sparse_tile walk ~share_symmetric_deps growth seed =
+  let kern = walk.kern in
+  if walk.schedule <> None then invalid "Inspector: already sparse tiled";
+  let chain = kern.Kernels.Kernel.chain_of_access walk.work_access in
+  let tiles =
+    match (growth : Transform.tile_growth) with
+    | Transform.Full ->
+      let seed_loop = kern.Kernels.Kernel.seed_loop in
+      let seed_tiles = seed_tiles_of walk seed ~seed_loop in
+      let shared_succ =
+        if share_symmetric_deps then
+          List.map
+            (fun (l, conn_idx) -> (l, chain.Sparse_tile.conn.(conn_idx)))
+            kern.Kernels.Kernel.symmetric_backward
+        else []
+      in
+      Sparse_tile.full ~shared_succ ~chain ~seed:seed_loop ~seed_tiles ()
+    | Transform.Cache_block ->
+      let seed_tiles = seed_tiles_of walk seed ~seed_loop:0 in
+      Sparse_tile.cache_block ~chain ~seed_tiles
+  in
+  (match Sparse_tile.check_legality ~chain ~tiles with
+  | [] -> ()
+  | (l, a, b) :: _ ->
+    invalid "Inspector: illegal tile function (loop pair %d, %d -> %d)" l a b);
+  walk.schedule <- Some (Schedule.of_tile_fns tiles)
+
+let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
+    (kernel : Kernels.Kernel.t) =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid "Inspector: %s" msg);
+  (* Work on a private copy: [apply_*_perm] rebuild only the arrays
+     they touch, so the transformed kernel would otherwise alias (and
+     its executor mutate) the caller's arrays. *)
+  let kernel = kernel.Kernels.Kernel.copy () in
+  let t0 = Unix.gettimeofday () in
+  let walk =
+    {
+      kern = kernel;
+      work_access = kernel.Kernels.Kernel.access;
+      sigma = Perm.id kernel.Kernels.Kernel.n_nodes;
+      delta = Perm.id kernel.Kernels.Kernel.n_inter;
+      schedule = None;
+      remaps = 0;
+      fns = [];
+      counters = [];
+    }
+  in
+  let apply (t : Transform.t) =
+    match t with
+    | Transform.Data_reorder alg ->
+      let sigma_new =
+        match alg with
+        | Transform.Cpack -> Cpack.run walk.work_access
+        | Transform.Gpart { part_size } ->
+          Gpart_reorder.run walk.work_access ~part_size
+        | Transform.Multilevel { part_size } ->
+          Multilevel_reorder.run walk.work_access ~part_size
+        | Transform.Rcm -> Rcm_reorder.run walk.work_access
+        | Transform.Tile_pack -> (
+          match walk.schedule with
+          | None -> invalid "Inspector: tilePack without schedule"
+          | Some sched ->
+            Tile_pack.run ~schedule:sched
+              ~accesses:
+                [ (walk.kern.Kernels.Kernel.seed_loop, walk.work_access) ]
+              ~n_data:(Access.n_data walk.work_access))
+      in
+      let base =
+        match alg with
+        | Transform.Cpack -> "sigma_cp"
+        | Transform.Gpart _ -> "sigma_gp"
+        | Transform.Multilevel _ -> "sigma_ml"
+        | Transform.Rcm -> "sigma_rcm"
+        | Transform.Tile_pack -> "sigma_tp"
+      in
+      record_fn walk base sigma_new;
+      data_perm walk strategy sigma_new
+    | Transform.Iter_reorder alg ->
+      let delta_new =
+        match alg with
+        | Transform.Lexgroup -> Lexgroup.run walk.work_access
+        | Transform.Lexsort -> Lexsort.run walk.work_access
+        | Transform.Bucket_tile { bucket_size } ->
+          (Bucket_tile.run walk.work_access ~bucket_size).Bucket_tile.delta
+      in
+      let base =
+        match alg with
+        | Transform.Lexgroup -> "delta_lg"
+        | Transform.Lexsort -> "delta_ls"
+        | Transform.Bucket_tile _ -> "delta_bt"
+      in
+      record_fn walk base delta_new;
+      iter_perm walk strategy delta_new
+    | Transform.Sparse_tile { growth; seed } ->
+      sparse_tile walk ~share_symmetric_deps growth seed
+  in
+  List.iter apply (Plan.transforms plan);
+  (* Remap_once: one data remap at the very end (plus the index-array
+     adjustment that both strategies pay). *)
+  let kern =
+    match strategy with
+    | Remap_each -> walk.kern
+    | Remap_once ->
+      let k = walk.kern.Kernels.Kernel.apply_iter_perm walk.delta in
+      if Perm.is_id walk.sigma then k
+      else begin
+        walk.remaps <- walk.remaps + 1;
+        k.Kernels.Kernel.apply_data_perm walk.sigma
+      end
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    kernel = kern;
+    schedule = walk.schedule;
+    sigma_total = walk.sigma;
+    delta_total = walk.delta;
+    inspector_seconds = seconds;
+    n_data_remaps = walk.remaps;
+    reordering_fns = List.rev walk.fns;
+  }

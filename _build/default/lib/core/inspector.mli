@@ -1,0 +1,38 @@
+(** The composed run-time inspector (Section 5, Figures 11 and 15):
+    runs each transformation's inspector against the data mappings and
+    dependences as modified by the previously planned inspectors. *)
+
+(** Section 6's remap trade-off: [Remap_each] remaps the kernel after
+    every transformation (Figure 15); [Remap_once] adjusts only the
+    index arrays along the way and remaps the data arrays a single
+    time at the end (Figure 11). Results are identical; inspector cost
+    differs (Figure 16). *)
+type strategy = Remap_each | Remap_once
+
+type result = {
+  kernel : Kernels.Kernel.t; (** transformed kernel for the executor *)
+  schedule : Reorder.Schedule.t option;
+      (** tile schedule when the plan sparse-tiles *)
+  sigma_total : Reorder.Perm.t; (** composed data reordering *)
+  delta_total : Reorder.Perm.t; (** composed interaction reordering *)
+  inspector_seconds : float;
+  n_data_remaps : int; (** full data-array remap passes performed *)
+  reordering_fns : (string * Reorder.Perm.t) list;
+      (** each generated reordering function, named as the symbolic
+          layer names it (sigma_cp, delta_lg, sigma_cp2, ...), so
+          compile-time formulas can be evaluated against run-time
+          output *)
+}
+
+(** [run ?strategy ?share_symmetric_deps plan kernel] validates the
+    plan and executes the composed inspector. The kernel is copied
+    first; the caller's arrays are never aliased.
+    [share_symmetric_deps] enables the Section 6 symmetric-dependence
+    elision during sparse-tile growth (default true). Default strategy
+    is [Remap_once]. *)
+val run :
+  ?strategy:strategy ->
+  ?share_symmetric_deps:bool ->
+  Plan.t ->
+  Kernels.Kernel.t ->
+  result

@@ -1,0 +1,20 @@
+(** Run-time verification that inspector-generated reordering functions
+    respect every dependence of the transformed program. *)
+
+(** Rebuild per-loop tile functions from a schedule (inverse of
+    {!Reorder.Schedule.of_tile_fns}). *)
+val tile_fns_of_schedule :
+  Reorder.Schedule.t ->
+  loop_sizes:int array ->
+  Reorder.Sparse_tile.tile_fn array
+
+(** Coverage + dependence-order check of a tiled executor against the
+    final kernel's chain. *)
+val check_tiled :
+  Kernels.Kernel.t -> Reorder.Schedule.t -> (unit, string) result
+
+(** Bijectivity/size sanity of the composed reordering functions. *)
+val check_plain : Inspector.result -> (unit, string) result
+
+(** Full verification of an inspector result. *)
+val check : Inspector.result -> (unit, string) result

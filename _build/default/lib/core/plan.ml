@@ -1,0 +1,127 @@
+(* Plans: compositions of run-time reordering transformations, with
+   static validation and the standard compositions of the paper's
+   evaluation (Section 2.4):
+
+     base, CPACK, CPACK+lexGroup (CL), Gpart+lexGroup (GL),
+     CL+CL, and each of the last three followed by full sparse
+     tiling + tilePack. *)
+
+type t = {
+  name : string;
+  transforms : Transform.t list;
+}
+
+let make ~name transforms = { name; transforms }
+
+let transforms p = p.transforms
+let name p = p.name
+
+(* Number of data reorderings — determines how many remaps a
+   Remap_each inspector performs (Section 6 / Figure 16). *)
+let n_data_reorders p =
+  List.length (List.filter Transform.is_data_reorder p.transforms)
+
+let has_sparse_tiling p =
+  List.exists
+    (function Transform.Sparse_tile _ -> true | _ -> false)
+    p.transforms
+
+(* Static validation of composition rules (Section 4):
+   - iteration reorderings that ignore dependences (lexGroup, lexSort,
+     bucket tiling) may not follow a sparse tiling: they would destroy
+     the tile-induced order;
+   - tilePack requires an earlier sparse tiling (it traverses the tile
+     function);
+   - at most one sparse tiling per plan (the executor runs one tiled
+     schedule). *)
+let validate p =
+  let rec go ~tiled = function
+    | [] -> Ok ()
+    | Transform.Sparse_tile _ :: _ when tiled ->
+      Error "plan: multiple sparse tilings"
+    | Transform.Sparse_tile _ :: rest -> go ~tiled:true rest
+    | Transform.Iter_reorder _ :: _ when tiled ->
+      Error "plan: dependence-free iteration reordering after sparse tiling"
+    | Transform.Data_reorder Transform.Tile_pack :: _ when not tiled ->
+      Error "plan: tilePack without a preceding sparse tiling"
+    | (Transform.Iter_reorder _ | Transform.Data_reorder _) :: rest ->
+      go ~tiled rest
+  in
+  go ~tiled:false p.transforms
+
+(* ------------------------------------------------------------------ *)
+(* The paper's standard compositions. Partition sizes are in
+   iterations/nodes and are chosen by the caller from the cache-size
+   target (Section 2.4 targets the L1). *)
+
+let base = make ~name:"base" []
+
+let cpack = make ~name:"cpack" [ Transform.Data_reorder Transform.Cpack ]
+
+let cpack_lexgroup =
+  make ~name:"CL"
+    [
+      Transform.Data_reorder Transform.Cpack;
+      Transform.Iter_reorder Transform.Lexgroup;
+    ]
+
+let gpart_lexgroup ~part_size =
+  make ~name:"GL"
+    [
+      Transform.Data_reorder (Transform.Gpart { part_size });
+      Transform.Iter_reorder Transform.Lexgroup;
+    ]
+
+let cpack_lexgroup_twice =
+  make ~name:"CLCL"
+    [
+      Transform.Data_reorder Transform.Cpack;
+      Transform.Iter_reorder Transform.Lexgroup;
+      Transform.Data_reorder Transform.Cpack;
+      Transform.Iter_reorder Transform.Lexgroup;
+    ]
+
+(* Append full sparse tiling (block seed, as Section 2.3 recommends
+   after a good data+iteration reordering) followed by tilePack. *)
+let with_fst ?(tile_pack = true) ~seed_part_size p =
+  let fst_t =
+    Transform.Sparse_tile
+      {
+        growth = Transform.Full;
+        seed = Transform.Seed_block { part_size = seed_part_size };
+      }
+  in
+  let tail =
+    if tile_pack then [ fst_t; Transform.Data_reorder Transform.Tile_pack ]
+    else [ fst_t ]
+  in
+  make ~name:(p.name ^ "+FST") (p.transforms @ tail)
+
+let with_cache_block ~seed_part_size p =
+  make ~name:(p.name ^ "+CB")
+    (p.transforms
+    @ [
+        Transform.Sparse_tile
+          {
+            growth = Transform.Cache_block;
+            seed = Transform.Seed_block { part_size = seed_part_size };
+          };
+      ])
+
+(* The full suite of Figures 6-9: data/iteration compositions and
+   their sparse-tiled extensions. *)
+let standard_suite ~gpart_size ~seed_part_size =
+  [
+    base;
+    cpack;
+    cpack_lexgroup;
+    gpart_lexgroup ~part_size:gpart_size;
+    cpack_lexgroup_twice;
+    with_fst ~seed_part_size cpack_lexgroup;
+    with_fst ~seed_part_size (gpart_lexgroup ~part_size:gpart_size);
+    with_fst ~seed_part_size cpack_lexgroup_twice;
+  ]
+
+let pp ppf p =
+  Fmt.pf ppf "%s = [%a]" p.name Fmt.(list ~sep:(any "; ") Transform.pp)
+    p.transforms

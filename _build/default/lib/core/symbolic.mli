@@ -1,0 +1,71 @@
+(** Compile-time composition of run-time reorderings (Sections 4-5):
+    folding a plan over a Kelly-Pugh program description while
+    maintaining the data mapping [M], composed iteration reordering
+    [T], composed data reordering [R], and the dependences [D]. *)
+
+(** How a loop reaches the shared node data space. *)
+type access_desc =
+  | Direct            (** location = loop index (identity-mapped) *)
+  | Indexed of string (** through an index-array UFS, e.g. [left] *)
+
+type loop_desc = {
+  index : string;
+  position : int; (** 1-based statement position *)
+  size : string;  (** symbolic trip count *)
+  accesses : access_desc list;
+  reduction_only : bool;
+      (** loop-carried dependences are reductions, so dependence-free
+          iteration reorderings are legal (Section 4, footnote 3) *)
+}
+
+type program = {
+  name : string;
+  loops : loop_desc list;
+  data_space : string;
+  deps : (string * Presburger.Rel.t) list;
+}
+
+(** One record per applied transformation. *)
+type step = {
+  transform : Transform.t;
+  fn_name : string;           (** the reordering UFS introduced *)
+  relation : Presburger.Rel.t; (** its [R] or [T] *)
+  data_map : Presburger.Rel.t; (** [M] after the step *)
+  legality : string;
+}
+
+type state
+
+(** The initial data mapping [M_{I0 -> data0}] of a program. *)
+val initial_data_map : program -> Presburger.Rel.t
+
+(** The interaction loop (the one using index arrays); raises
+    [Invalid_argument] if there is none. *)
+val indexed_loop : program -> loop_desc
+
+val create : program -> state
+
+(** Fold a plan; raises [Invalid_argument] on illegal applications
+    (e.g. lexGroup on a non-reduction loop, two sparse tilings). *)
+val apply : state -> Plan.t -> state
+
+val steps : state -> step list
+val data_map : state -> Presburger.Rel.t
+val t_total : state -> Presburger.Rel.t
+val r_total : state -> Presburger.Rel.t
+val dependences : state -> (string * Presburger.Rel.t) list
+val env : state -> Presburger.Ufs_env.t
+val is_tiled : state -> bool
+
+(** The simplified moldyn program of Figure 1 / Section 3. *)
+val moldyn_program : program
+
+val nbf_program : program
+val irreg_program : program
+val program_by_name : string -> program option
+
+val pp_step : step Fmt.t
+
+(** The full Section 5-style report: every step with its relation and
+    updated [M], the composed [R]/[T], and the final dependences. *)
+val pp_report : state Fmt.t

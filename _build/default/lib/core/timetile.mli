@@ -1,0 +1,34 @@
+(** Sparse tiling across the outer time-stepping loop (Section 2.3's
+    "across an outer loop"): unroll the within-step chain [depth]
+    times, connect steps through the kernel's cross-step connectivity,
+    grow tiles over the whole slab, and execute slab-wise — temporal
+    blocking for the three benchmarks, exactly as the Gauss-Seidel
+    kernel does for its convergence loop. *)
+
+(** The unrolled chain of [depth] time steps. *)
+val unrolled_chain :
+  Kernels.Kernel.t -> depth:int -> Reorder.Sparse_tile.chain
+
+type t = {
+  schedule : Reorder.Schedule.t;
+  depth : int; (** time steps per slab *)
+  n_tiles : int;
+}
+
+(** Grow and verify a [depth]-step tiling from a block seed on the
+    middle step's interaction loop. Raises [Invalid_argument] if the
+    grown tiling is illegal (it never is; the check is belt and
+    braces). *)
+val tile : Kernels.Kernel.t -> depth:int -> seed_part_size:int -> t
+
+(** Execute [total_steps] (a multiple of the depth) time steps
+    slab-wise; equivalent to the plain executor. *)
+val run : Kernels.Kernel.t -> t -> total_steps:int -> unit
+
+val run_traced :
+  Kernels.Kernel.t ->
+  t ->
+  total_steps:int ->
+  layout:Cachesim.Layout.t ->
+  access:(int -> unit) ->
+  unit

@@ -1,0 +1,71 @@
+(* Compile-time descriptions of run-time reordering transformations
+   (Section 4). A plan is a list of these; the composed inspector
+   (see {!Inspector}) realizes them at run time, and {!Symbolic}
+   computes their abstract effect on data mappings and dependences. *)
+
+type data_algorithm =
+  | Cpack
+  | Gpart of { part_size : int }
+  | Multilevel of { part_size : int } (* METIS-style partitioner *)
+  | Rcm
+  | Tile_pack (* requires an earlier sparse tiling in the plan *)
+
+type iter_algorithm =
+  | Lexgroup
+  | Lexsort
+  | Bucket_tile of { bucket_size : int }
+
+type tile_growth =
+  | Full        (* full sparse tiling: seed anywhere, min/max growth *)
+  | Cache_block (* cache blocking: seed on loop 0, shrink forward *)
+
+type seed_partition =
+  | Seed_block of { part_size : int }
+  | Seed_gpart of { part_size : int }
+
+type t =
+  | Data_reorder of data_algorithm
+  | Iter_reorder of iter_algorithm
+  | Sparse_tile of {
+      growth : tile_growth;
+      seed : seed_partition;
+    }
+
+let data_algorithm_name = function
+  | Cpack -> "cpack"
+  | Gpart _ -> "gpart"
+  | Multilevel _ -> "multilevel"
+  | Rcm -> "rcm"
+  | Tile_pack -> "tilepack"
+
+let iter_algorithm_name = function
+  | Lexgroup -> "lexgroup"
+  | Lexsort -> "lexsort"
+  | Bucket_tile _ -> "buckettile"
+
+let name = function
+  | Data_reorder a -> data_algorithm_name a
+  | Iter_reorder a -> iter_algorithm_name a
+  | Sparse_tile { growth = Full; _ } -> "fst"
+  | Sparse_tile { growth = Cache_block; _ } -> "cacheblock"
+
+(* Does this transformation reorder data (hence require a data remap)? *)
+let is_data_reorder = function Data_reorder _ -> true | _ -> false
+
+let pp ppf t =
+  match t with
+  | Data_reorder (Gpart { part_size }) -> Fmt.pf ppf "gpart(%d)" part_size
+  | Data_reorder (Multilevel { part_size }) ->
+    Fmt.pf ppf "multilevel(%d)" part_size
+  | Iter_reorder (Bucket_tile { bucket_size }) ->
+    Fmt.pf ppf "buckettile(%d)" bucket_size
+  | Sparse_tile { growth; seed } ->
+    let seed_s =
+      match seed with
+      | Seed_block { part_size } -> Fmt.str "block(%d)" part_size
+      | Seed_gpart { part_size } -> Fmt.str "gpart(%d)" part_size
+    in
+    Fmt.pf ppf "%s[seed=%s]"
+      (match growth with Full -> "fst" | Cache_block -> "cacheblock")
+      seed_s
+  | _ -> Fmt.string ppf (name t)

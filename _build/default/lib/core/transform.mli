@@ -1,0 +1,46 @@
+(** Compile-time descriptions of run-time reordering transformations
+    (Section 4). *)
+
+(** Data reorderings (relocate storage; always legal). *)
+type data_algorithm =
+  | Cpack              (** consecutive packing, Ding & Kennedy *)
+  | Gpart of { part_size : int }
+      (** graph-partitioned reordering, Han & Tseng *)
+  | Multilevel of { part_size : int }
+      (** METIS-style multilevel partitioned reordering *)
+  | Rcm                (** reverse Cuthill-McKee *)
+  | Tile_pack
+      (** pack data by sparse-tile access order; requires an earlier
+          sparse tiling in the plan *)
+
+(** Iteration reorderings over dependence-free (reduction) subspaces. *)
+type iter_algorithm =
+  | Lexgroup                            (** lexicographical grouping *)
+  | Lexsort                             (** lexicographical sorting *)
+  | Bucket_tile of { bucket_size : int } (** bucket tiling *)
+
+type tile_growth =
+  | Full        (** full sparse tiling: seed anywhere, min/max growth *)
+  | Cache_block (** cache blocking: seed on loop 0, shrink forward *)
+
+type seed_partition =
+  | Seed_block of { part_size : int }
+  | Seed_gpart of { part_size : int }
+
+type t =
+  | Data_reorder of data_algorithm
+  | Iter_reorder of iter_algorithm
+  | Sparse_tile of {
+      growth : tile_growth;
+      seed : seed_partition;
+    }
+
+val data_algorithm_name : data_algorithm -> string
+val iter_algorithm_name : iter_algorithm -> string
+val name : t -> string
+
+(** Does this transformation relocate data (and hence require a data
+    remap pass)? *)
+val is_data_reorder : t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/datagen/datagen.ml: Dataset Generators Pointcloud Rng

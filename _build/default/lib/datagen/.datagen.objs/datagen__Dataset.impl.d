@@ -1,0 +1,1 @@
+lib/datagen/dataset.ml: Array Fmt Irgraph Option Reorder Rng

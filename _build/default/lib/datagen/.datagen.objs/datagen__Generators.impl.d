@@ -1,0 +1,1 @@
+lib/datagen/generators.ml: Array Dataset Pointcloud Rng

@@ -1,0 +1,1 @@
+lib/datagen/pointcloud.ml: Array Float Rng

@@ -1,0 +1,8 @@
+(** Synthetic benchmark datasets matching the statistics of the
+    paper's mol1/mol2/foil/auto inputs (see DESIGN.md for the
+    substitution argument). *)
+
+module Rng = Rng
+module Dataset = Dataset
+module Pointcloud = Pointcloud
+module Generators = Generators

@@ -1,0 +1,56 @@
+(* Benchmark datasets: an interaction list over a node space, the
+   runtime shape shared by moldyn, nbf and irreg. The paper's datasets
+   (mol1/mol2 molecular neighbor lists, foil/auto unstructured meshes)
+   are not distributable, so generators in this library synthesize
+   graphs with matching node/edge statistics; node ids and interaction
+   order are randomly shuffled so the initial numbering carries no
+   locality — the state the run-time reorderings are designed to fix. *)
+
+type t = {
+  name : string;
+  n_nodes : int;
+  left : int array;  (* interaction endpoint 1 *)
+  right : int array; (* interaction endpoint 2 *)
+  coords : (float * float * float) array option;
+      (* node coordinates, when the generator has them; only
+         non-automatable reorderings (space-filling curves) use these *)
+}
+
+let n_interactions d = Array.length d.left
+
+let access d = Reorder.Access.of_pairs ~n_data:d.n_nodes d.left d.right
+
+let to_graph d =
+  Irgraph.Csr.of_edges ~n:d.n_nodes
+    (Array.init (n_interactions d) (fun j -> (d.left.(j), d.right.(j))))
+
+(* Destroy any locality of the generator's natural numbering: relabel
+   nodes by a random permutation and shuffle the interaction order.
+   Coordinates follow their nodes. *)
+let scramble ~seed d =
+  let rng = Rng.create seed in
+  let relabel = Rng.permutation rng d.n_nodes in
+  let m = n_interactions d in
+  let order = Rng.permutation rng m in
+  let left = Array.make m 0 and right = Array.make m 0 in
+  for j = 0 to m - 1 do
+    left.(j) <- relabel.(d.left.(order.(j)));
+    right.(j) <- relabel.(d.right.(order.(j)))
+  done;
+  let coords =
+    Option.map
+      (fun cs ->
+        let out = Array.make d.n_nodes (0.0, 0.0, 0.0) in
+        Array.iteri (fun old c -> out.(relabel.(old)) <- c) cs;
+        out)
+      d.coords
+  in
+  { d with left; right; coords }
+
+let avg_degree d =
+  if d.n_nodes = 0 then 0.0
+  else 2.0 *. float_of_int (n_interactions d) /. float_of_int d.n_nodes
+
+let pp ppf d =
+  Fmt.pf ppf "%s: %d nodes, %d edges (avg degree %.1f)" d.name d.n_nodes
+    (n_interactions d) (avg_degree d)

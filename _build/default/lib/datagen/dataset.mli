@@ -1,0 +1,27 @@
+(** Benchmark datasets: an interaction list over a node space — the
+    runtime shape shared by moldyn, nbf and irreg. *)
+
+type t = {
+  name : string;
+  n_nodes : int;
+  left : int array;
+  right : int array;
+  coords : (float * float * float) array option;
+      (** node coordinates when the generator has them (only
+          non-automatable reorderings like space-filling curves use
+          these) *)
+}
+
+val n_interactions : t -> int
+
+(** The interaction loop's access pattern. *)
+val access : t -> Reorder.Access.t
+
+val to_graph : t -> Irgraph.Csr.t
+
+(** Relabel nodes by a random permutation and shuffle the interaction
+    order, destroying the generator's natural locality. *)
+val scramble : seed:int -> t -> t
+
+val avg_degree : t -> float
+val pp : t Fmt.t

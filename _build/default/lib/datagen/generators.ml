@@ -1,0 +1,82 @@
+(* The four paper datasets (Section 2.4), synthesized:
+
+     Data set   nodes     edges      structure
+     mol1       131072    1179648    3-D molecular neighbor list, deg 18
+     mol2       442368    3981312    3-D molecular neighbor list, deg 18
+     foil       144649    1074393    2-D unstructured mesh, deg ~14.9
+     auto       448695    3314611    3-D unstructured mesh, deg ~14.8
+
+   Generators reproduce the node counts and average degrees; the exact
+   edge counts differ slightly (cutoff lists are stochastic), which is
+   immaterial to the reorderings. [scale] divides the node count for
+   laptop-sized runs; scale = 1 is the paper's size. *)
+
+let scaled n scale = max 64 (n / scale)
+
+let coords_of_points points =
+  Array.map
+    (fun (p : Pointcloud.point) -> (p.Pointcloud.x, p.Pointcloud.y, p.Pointcloud.z))
+    points
+
+(* 3-D molecular dataset: jittered lattice + cutoff at degree 18. *)
+let molecular ~name ~n_nodes ~seed =
+  let rng = Rng.create seed in
+  let points, side = Pointcloud.lattice ~rng ~dim:3 ~n:n_nodes ~jitter_amp:0.3 in
+  let radius = Pointcloud.radius_for_degree ~dim:3 ~degree:18.0 in
+  let pairs = Pointcloud.cutoff_pairs ~dim:3 ~side points ~radius in
+  let left = Array.map fst pairs and right = Array.map snd pairs in
+  Dataset.scramble ~seed:(seed + 1)
+    {
+      Dataset.name;
+      n_nodes = Array.length points;
+      left;
+      right;
+      coords = Some (coords_of_points points);
+    }
+
+(* Unstructured-mesh dataset: jittered lattice + cutoff at the foil /
+   auto degree (~14.8). *)
+let mesh ~name ~dim ~n_nodes ~seed =
+  let rng = Rng.create seed in
+  let points, side = Pointcloud.lattice ~rng ~dim ~n:n_nodes ~jitter_amp:0.35 in
+  let radius = Pointcloud.radius_for_degree ~dim ~degree:14.85 in
+  let pairs = Pointcloud.cutoff_pairs ~dim ~side points ~radius in
+  let left = Array.map fst pairs and right = Array.map snd pairs in
+  Dataset.scramble ~seed:(seed + 1)
+    {
+      Dataset.name;
+      n_nodes = Array.length points;
+      left;
+      right;
+      coords = Some (coords_of_points points);
+    }
+
+let mol1 ?(scale = 1) () =
+  molecular ~name:"mol1" ~n_nodes:(scaled 131072 scale) ~seed:0x11
+
+let mol2 ?(scale = 1) () =
+  molecular ~name:"mol2" ~n_nodes:(scaled 442368 scale) ~seed:0x22
+
+let foil ?(scale = 1) () =
+  mesh ~name:"foil" ~dim:2 ~n_nodes:(scaled 144649 scale) ~seed:0x33
+
+let auto ?(scale = 1) () =
+  mesh ~name:"auto" ~dim:3 ~n_nodes:(scaled 448695 scale) ~seed:0x44
+
+let by_name ?scale = function
+  | "mol1" -> Some (mol1 ?scale ())
+  | "mol2" -> Some (mol2 ?scale ())
+  | "foil" -> Some (foil ?scale ())
+  | "auto" -> Some (auto ?scale ())
+  | _ -> None
+
+let all ?scale () = [ mol1 ?scale (); mol2 ?scale (); foil ?scale (); auto ?scale () ]
+
+(* Paper-reported sizes, for the Section 2.4 table. *)
+let paper_sizes =
+  [
+    ("mol1", (131072, 1179648));
+    ("mol2", (442368, 3981312));
+    ("foil", (144649, 1074393));
+    ("auto", (448695, 3314611));
+  ]

@@ -1,0 +1,15 @@
+(** Synthetic versions of the paper's four datasets (Section 2.4),
+    matching node counts and average degrees; see DESIGN.md for the
+    substitution argument. [scale] divides the node count (1 = paper
+    size). All datasets are scrambled. *)
+
+val mol1 : ?scale:int -> unit -> Dataset.t
+val mol2 : ?scale:int -> unit -> Dataset.t
+val foil : ?scale:int -> unit -> Dataset.t
+val auto : ?scale:int -> unit -> Dataset.t
+val by_name : ?scale:int -> string -> Dataset.t option
+val all : ?scale:int -> unit -> Dataset.t list
+
+(** The node/edge counts the paper reports, for the Section 2.4
+    table. *)
+val paper_sizes : (string * (int * int)) list

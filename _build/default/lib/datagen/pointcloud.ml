@@ -1,0 +1,130 @@
+(* Cutoff-radius interaction lists over jittered lattices in 2 or 3
+   dimensions — the common machinery behind the molecular (mol1/mol2)
+   and mesh (foil/auto) generators. Cell binning keeps generation
+   O(n): only the 3^dim surrounding cells are scanned per node.
+
+   The cutoff radius is chosen from the target average degree: in 2D
+   the expected number of neighbors within r at unit density is
+   pi r^2, in 3D (4/3) pi r^3. *)
+
+type point = { x : float; y : float; z : float }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y and dz = a.z -. b.z in
+  (dx *. dx) +. (dy *. dy) +. (dz *. dz)
+
+(* Jittered lattice of ~n points; returns the points and the grid side
+   length actually used. *)
+let lattice ~rng ~dim ~n ~jitter_amp =
+  match dim with
+  | 2 ->
+    let side = int_of_float (ceil (sqrt (float_of_int n))) in
+    let pts =
+      Array.init (side * side) (fun idx ->
+          let i = idx / side and j = idx mod side in
+          {
+            x = float_of_int i +. Rng.jitter rng jitter_amp;
+            y = float_of_int j +. Rng.jitter rng jitter_amp;
+            z = 0.0;
+          })
+    in
+    (pts, side)
+  | 3 ->
+    let side = int_of_float (ceil (Float.cbrt (float_of_int n))) in
+    let pts =
+      Array.init (side * side * side) (fun idx ->
+          let i = idx / (side * side) in
+          let j = idx / side mod side in
+          let k = idx mod side in
+          {
+            x = float_of_int i +. Rng.jitter rng jitter_amp;
+            y = float_of_int j +. Rng.jitter rng jitter_amp;
+            z = float_of_int k +. Rng.jitter rng jitter_amp;
+          })
+    in
+    (pts, side)
+  | _ -> invalid_arg "Pointcloud.lattice: dim must be 2 or 3"
+
+let radius_for_degree ~dim ~degree =
+  match dim with
+  | 2 -> sqrt (degree /. Float.pi)
+  | 3 -> Float.cbrt (degree *. 3.0 /. (4.0 *. Float.pi))
+  | _ -> invalid_arg "Pointcloud.radius_for_degree"
+
+(* All pairs within [radius], via cell binning with cell size = radius.
+   Each pair is emitted once (low id, high id). *)
+let cutoff_pairs ~dim ~side points ~radius =
+  let n = Array.length points in
+  let cell_size = radius in
+  let cells_per_side =
+    max 1 (int_of_float (ceil (float_of_int side /. cell_size)))
+  in
+  let cell_of p =
+    let cx = min (cells_per_side - 1) (max 0 (int_of_float (p.x /. cell_size))) in
+    let cy = min (cells_per_side - 1) (max 0 (int_of_float (p.y /. cell_size))) in
+    let cz =
+      if dim = 3 then
+        min (cells_per_side - 1) (max 0 (int_of_float (p.z /. cell_size)))
+      else 0
+    in
+    ((cz * cells_per_side) + cy) * cells_per_side + cx
+  in
+  let n_cells =
+    cells_per_side * cells_per_side * (if dim = 3 then cells_per_side else 1)
+  in
+  (* Bucket nodes by cell (CSR-style). *)
+  let counts = Array.make n_cells 0 in
+  let cell_id = Array.make n 0 in
+  Array.iteri
+    (fun v p ->
+      let c = cell_of p in
+      cell_id.(v) <- c;
+      counts.(c) <- counts.(c) + 1)
+    points;
+  let ptr = Array.make (n_cells + 1) 0 in
+  for c = 0 to n_cells - 1 do
+    ptr.(c + 1) <- ptr.(c) + counts.(c)
+  done;
+  let members = Array.make n 0 in
+  let cursor = Array.copy ptr in
+  Array.iteri
+    (fun v c ->
+      members.(cursor.(c)) <- v;
+      cursor.(c) <- cursor.(c) + 1)
+    cell_id;
+  let r2 = radius *. radius in
+  let pairs = ref [] in
+  let count = ref 0 in
+  let consider v w =
+    if v < w && dist2 points.(v) points.(w) <= r2 then begin
+      pairs := (v, w) :: !pairs;
+      incr count
+    end
+  in
+  let zrange = if dim = 3 then 1 else 0 in
+  for cz = 0 to (if dim = 3 then cells_per_side - 1 else 0) do
+    for cy = 0 to cells_per_side - 1 do
+      for cx = 0 to cells_per_side - 1 do
+        let c = ((cz * cells_per_side) + cy) * cells_per_side + cx in
+        for dz = -zrange to zrange do
+          for dy = -1 to 1 do
+            for dx = -1 to 1 do
+              let nx = cx + dx and ny = cy + dy and nz = cz + dz in
+              if
+                nx >= 0 && nx < cells_per_side && ny >= 0
+                && ny < cells_per_side && nz >= 0 && nz < cells_per_side
+              then begin
+                let c' = ((nz * cells_per_side) + ny) * cells_per_side + nx in
+                for ia = ptr.(c) to ptr.(c + 1) - 1 do
+                  for ib = ptr.(c') to ptr.(c' + 1) - 1 do
+                    consider members.(ia) members.(ib)
+                  done
+                done
+              end
+            done
+          done
+        done
+      done
+    done
+  done;
+  Array.of_list !pairs

@@ -1,0 +1,20 @@
+(** Cutoff-radius interaction lists over jittered lattices in 2 or 3
+    dimensions: the machinery behind the molecular and mesh dataset
+    generators. Cell binning keeps generation O(n). *)
+
+type point = { x : float; y : float; z : float }
+
+val dist2 : point -> point -> float
+
+(** Jittered lattice of about [n] points; returns the points and the
+    grid side length used. [dim] must be 2 or 3. *)
+val lattice :
+  rng:Rng.t -> dim:int -> n:int -> jitter_amp:float -> point array * int
+
+(** The cutoff radius giving an expected neighbor count of [degree] at
+    unit density. *)
+val radius_for_degree : dim:int -> degree:float -> float
+
+(** All pairs within [radius] (each emitted once, low id first). *)
+val cutoff_pairs :
+  dim:int -> side:int -> point array -> radius:float -> (int * int) array

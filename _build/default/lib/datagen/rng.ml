@@ -1,0 +1,47 @@
+(* Deterministic pseudo-random numbers (splitmix64 over OCaml's 63-bit
+   ints). Every dataset is reproducible from its seed, independent of
+   the stdlib Random state. *)
+
+type t = { mutable state : int }
+
+let create seed = { state = seed land max_int }
+
+(* splitmix64-style constants truncated to OCaml's 63-bit int range;
+   the mixer quality is more than enough for dataset jitter. *)
+let golden = 0x1E3779B97F4A7C15
+let mix1 = 0x3F58476D1CE4E5B9
+let mix2 = 0x14D049BB133111EB
+
+let next t =
+  t.state <- (t.state + golden) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * mix1 land max_int in
+  let z = (z lxor (z lsr 27)) * mix2 land max_int in
+  z lxor (z lsr 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound";
+  next t mod bound
+
+(* Uniform float in [0, 1). *)
+let float t =
+  float_of_int (next t land 0xFFFFFFFFFFFF) /. float_of_int 0x1000000000000
+
+(* Uniform float in [-amp, amp). *)
+let jitter t amp = (2.0 *. float t -. 1.0) *. amp
+
+(* In-place Fisher-Yates shuffle. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* A random permutation of [0, n). *)
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a

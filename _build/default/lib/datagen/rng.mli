@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64-style) so every
+    dataset is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+
+(** Next raw value (non-negative). *)
+val next : t -> int
+
+(** Uniform int in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [-amp, amp). *)
+val jitter : t -> float -> float
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** A random permutation of [0, n). *)
+val permutation : t -> int -> int array

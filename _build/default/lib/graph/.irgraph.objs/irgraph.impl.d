@@ -1,0 +1,1 @@
+lib/graph/irgraph.ml: Csr Multilevel Partition Rcm

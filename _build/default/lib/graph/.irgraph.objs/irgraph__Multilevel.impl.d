@@ -1,0 +1,1 @@
+lib/graph/multilevel.ml: Array Csr Hashtbl List Partition Queue

@@ -1,0 +1,1 @@
+lib/graph/multilevel.mli: Csr Partition

@@ -1,0 +1,1 @@
+lib/graph/rcm.ml: Array Csr List Queue Stdlib

@@ -1,0 +1,1 @@
+lib/graph/rcm.mli: Csr

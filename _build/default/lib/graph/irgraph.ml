@@ -1,0 +1,8 @@
+(** Graph substrate: CSR graphs, BFS/Cuthill-McKee orderings, and the
+    bounded-size partitioners (GPART-style and block) used by the
+    run-time reordering transformations. *)
+
+module Csr = Csr
+module Partition = Partition
+module Rcm = Rcm
+module Multilevel = Multilevel

@@ -1,0 +1,17 @@
+(** Cuthill-McKee / reverse Cuthill-McKee bandwidth-reducing orderings
+    (cited by the paper as one of the classic run-time data
+    reorderings). *)
+
+(** A pseudo-peripheral node of [root]'s component (repeated farthest
+    BFS). *)
+val pseudo_peripheral : Csr.t -> int -> int
+
+(** Cuthill-McKee order: [order.(k)] is the k-th node in the new
+    numbering. *)
+val cm_order : Csr.t -> int array
+
+(** Reverse Cuthill-McKee order. *)
+val rcm_order : Csr.t -> int array
+
+(** Max over edges of |pos(u) - pos(v)| under [position]. *)
+val bandwidth : Csr.t -> position:int array -> int

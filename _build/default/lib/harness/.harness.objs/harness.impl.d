@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Ablations Experiment Figures Guidance

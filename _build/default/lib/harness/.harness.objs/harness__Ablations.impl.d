@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Cachesim Compose Datagen Experiment Figures Fmt Irgraph Kernels List Option Reorder

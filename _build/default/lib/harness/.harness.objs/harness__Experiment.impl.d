@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Cachesim Compose Fmt Kernels List Reorder Unix

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Buffer Cachesim Compose Datagen Experiment Fmt Kernels List

@@ -1,0 +1,1 @@
+lib/harness/guidance.ml: Compose Experiment Fmt List

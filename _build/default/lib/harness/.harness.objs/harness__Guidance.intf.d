@@ -1,0 +1,1 @@
+lib/harness/guidance.mli: Cachesim Compose Fmt Kernels

@@ -1,0 +1,131 @@
+(* Measuring one (plan, kernel, machine) combination: inspector cost,
+   executor wall-clock, and modeled cycles from the cache simulator.
+
+   The cache-model measurement warms the cache for [warmup] time steps,
+   then counts over [steps] steps, mirroring the paper's reporting of
+   executor time per outer-loop iteration with overhead excluded. *)
+
+type measurement = {
+  plan_name : string;
+  inspector_seconds : float;
+  executor_seconds_per_step : float;
+  modeled_cycles_per_step : float;
+  misses_per_step : float;
+  accesses_per_step : float;
+  miss_ratio : float;
+  n_data_remaps : int;
+  n_tiles : int; (* 1 when not sparse tiled *)
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* Run the inspector and verify the result. *)
+let inspect ?strategy ?share_symmetric_deps plan kernel =
+  let result = Compose.Inspector.run ?strategy ?share_symmetric_deps plan kernel in
+  (match Compose.Legality.check result with
+  | Ok () -> ()
+  | Error msg ->
+    Fmt.invalid_arg "experiment: plan %s produced illegal result: %s"
+      (Compose.Plan.name plan) msg);
+  result
+
+let trace_steps ?(layout_of = Kernels.Kernel.layout)
+    (result : Compose.Inspector.result) ~machine ~warmup ~steps =
+  let kernel = result.Compose.Inspector.kernel in
+  let layout = layout_of kernel in
+  let hierarchy = Cachesim.Machine.hierarchy machine in
+  let access = Cachesim.Hierarchy.access hierarchy in
+  (match result.Compose.Inspector.schedule with
+  | None ->
+    kernel.Kernels.Kernel.run_traced ~steps:warmup ~layout ~access;
+    Cachesim.Hierarchy.reset_counters hierarchy;
+    kernel.Kernels.Kernel.run_traced ~steps ~layout ~access
+  | Some sched ->
+    kernel.Kernels.Kernel.run_tiled_traced sched ~steps:warmup ~layout ~access;
+    Cachesim.Hierarchy.reset_counters hierarchy;
+    kernel.Kernels.Kernel.run_tiled_traced sched ~steps ~layout ~access);
+  let misses = float_of_int (Cachesim.Hierarchy.l1_misses hierarchy) in
+  let accesses = float_of_int (Cachesim.Hierarchy.accesses hierarchy) in
+  let cycles = Cachesim.Hierarchy.modeled_cycles hierarchy in
+  ( cycles /. float_of_int steps,
+    misses /. float_of_int steps,
+    accesses /. float_of_int steps,
+    Cachesim.Hierarchy.miss_ratio hierarchy )
+
+let wall_clock_steps (result : Compose.Inspector.result) ~steps =
+  let kernel = result.Compose.Inspector.kernel in
+  let (), seconds =
+    time (fun () ->
+        match result.Compose.Inspector.schedule with
+        | None -> kernel.Kernels.Kernel.run ~steps
+        | Some sched -> kernel.Kernels.Kernel.run_tiled sched ~steps)
+  in
+  seconds /. float_of_int steps
+
+let measure ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
+    ?(trace_steps_n = 2) ?(wall_steps = 5) ~machine ~plan kernel =
+  let result = inspect ?strategy ?share_symmetric_deps plan (kernel : Kernels.Kernel.t) in
+  let cycles, misses, accesses, ratio =
+    trace_steps ?layout_of result ~machine ~warmup ~steps:trace_steps_n
+  in
+  let exec_seconds = wall_clock_steps result ~steps:wall_steps in
+  {
+    plan_name = Compose.Plan.name plan;
+    inspector_seconds = result.Compose.Inspector.inspector_seconds;
+    executor_seconds_per_step = exec_seconds;
+    modeled_cycles_per_step = cycles;
+    misses_per_step = misses;
+    accesses_per_step = accesses;
+    miss_ratio = ratio;
+    n_data_remaps = result.Compose.Inspector.n_data_remaps;
+    n_tiles =
+      (match result.Compose.Inspector.schedule with
+      | None -> 1
+      | Some s -> Reorder.Schedule.n_tiles s);
+  }
+
+(* Normalized against the first (base) measurement, as Figures 6-7. *)
+let normalize measurements =
+  match measurements with
+  | [] -> []
+  | base :: _ ->
+    List.map
+      (fun m ->
+        ( m,
+          m.modeled_cycles_per_step /. base.modeled_cycles_per_step,
+          m.executor_seconds_per_step /. base.executor_seconds_per_step ))
+      measurements
+
+(* Outer-loop iterations needed to amortize the inspector (Figures
+   8-9): inspector time divided by per-step executor savings. [None]
+   when the transformation does not save time. *)
+let amortization ~base m =
+  let savings = base.executor_seconds_per_step -. m.executor_seconds_per_step in
+  if savings <= 0.0 then None
+  else Some (m.inspector_seconds /. savings)
+
+(* Modeled-cycle variant of amortization: inspector cost is converted
+   to cycles at the measured executor cycles-per-second rate, so both
+   quantities live on the machine model's clock. *)
+let amortization_modeled ~base m =
+  let savings = base.modeled_cycles_per_step -. m.modeled_cycles_per_step in
+  if savings <= 0.0 then None
+  else begin
+    let cycles_per_second =
+      if m.executor_seconds_per_step > 0.0 then
+        m.modeled_cycles_per_step /. m.executor_seconds_per_step
+      else 0.0
+    in
+    Some (m.inspector_seconds *. cycles_per_second /. savings)
+  end
+
+let pp_measurement ppf m =
+  Fmt.pf ppf
+    "%-12s cycles/step %.3e  misses/step %.3e  miss%% %5.2f  insp %.3fs  \
+     exec/step %.2e s  tiles %d"
+    m.plan_name m.modeled_cycles_per_step m.misses_per_step
+    (100.0 *. m.miss_ratio) m.inspector_seconds m.executor_seconds_per_step
+    m.n_tiles

@@ -1,0 +1,53 @@
+(** Measurement of one (plan, kernel, machine) combination: inspector
+    cost, executor wall clock, and modeled cycles from the cache
+    simulator. *)
+
+type measurement = {
+  plan_name : string;
+  inspector_seconds : float;
+  executor_seconds_per_step : float;
+  modeled_cycles_per_step : float;
+  misses_per_step : float;
+  accesses_per_step : float;
+  miss_ratio : float;
+  n_data_remaps : int;
+  n_tiles : int; (** 1 when not sparse tiled *)
+}
+
+(** Run the inspector and verify the result (raises on an illegal
+    plan/result). *)
+val inspect :
+  ?strategy:Compose.Inspector.strategy ->
+  ?share_symmetric_deps:bool ->
+  Compose.Plan.t ->
+  Kernels.Kernel.t ->
+  Compose.Inspector.result
+
+(** Measure one plan: [warmup] steps warm the modeled cache,
+    [trace_steps_n] steps are counted, [wall_steps] steps are timed. *)
+val measure :
+  ?strategy:Compose.Inspector.strategy ->
+  ?share_symmetric_deps:bool ->
+  ?layout_of:(Kernels.Kernel.t -> Cachesim.Layout.t) ->
+  ?warmup:int ->
+  ?trace_steps_n:int ->
+  ?wall_steps:int ->
+  machine:Cachesim.Machine.t ->
+  plan:Compose.Plan.t ->
+  Kernels.Kernel.t ->
+  measurement
+
+(** Pair each measurement with (modeled, wall-clock) ratios against the
+    first (base) measurement — Figures 6/7. *)
+val normalize :
+  measurement list -> (measurement * float * float) list
+
+(** Outer-loop iterations to amortize the inspector against the
+    per-step executor savings (Figures 8/9); [None] when the
+    transformation does not save time. *)
+val amortization : base:measurement -> measurement -> float option
+
+(** Modeled-cycles variant of {!amortization}. *)
+val amortization_modeled : base:measurement -> measurement -> float option
+
+val pp_measurement : measurement Fmt.t

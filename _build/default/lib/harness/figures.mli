@@ -1,0 +1,114 @@
+(** Drivers regenerating every measured table/figure of the paper; the
+    CLI, the bench harness and the tests all consume these. *)
+
+type config = {
+  scale : int;       (** dataset node-count divisor; 1 = paper size *)
+  trace_steps : int; (** time steps counted by the cache model *)
+  wall_steps : int;  (** time steps for wall-clock measurement *)
+}
+
+val default_config : config
+
+(** The paper's benchmark/dataset pairings (Figures 6-9). *)
+val pairings : (string * string list) list
+
+(** Gpart nodes-per-partition for a cache-byte target. *)
+val gpart_size_for : target_bytes:int -> Kernels.Kernel.t -> int
+
+(** FST seed-block size (interactions) for a cache-byte target; see
+    EXPERIMENTS.md for the calibration. *)
+val seed_size_for : target_bytes:int -> Kernels.Kernel.t -> int
+
+(** The eight standard compositions, sized for a machine's L1. *)
+val suite_for : machine:Cachesim.Machine.t -> Kernels.Kernel.t -> Compose.Plan.t list
+
+(** Measure the full suite on one kernel. *)
+val run_suite :
+  machine:Cachesim.Machine.t ->
+  config:config ->
+  Kernels.Kernel.t ->
+  Experiment.measurement list
+
+(** Section 2.4 dataset table. *)
+type dataset_row = {
+  ds_name : string;
+  gen_nodes : int;
+  gen_edges : int;
+  paper_nodes : int;
+  paper_edges : int;
+  footprint_mb : (string * float) list;
+      (** per-benchmark working set at paper size (Figure 8's MB
+          labels) *)
+}
+
+val dataset_table : config:config -> unit -> dataset_row list
+val pp_dataset_table : dataset_row list Fmt.t
+
+(** Figures 6/7: normalized executor time without overhead. *)
+type exec_row = {
+  bench : string;
+  dataset : string;
+  per_plan : (string * float * float) list;
+      (** plan, normalized modeled cycles, normalized wall clock *)
+}
+
+val executor_time :
+  machine:Cachesim.Machine.t -> config:config -> unit -> exec_row list
+
+val pp_exec_rows : exec_row list Fmt.t
+
+(** Figures 8/9: outer-loop iterations to amortize the inspector. *)
+type amort_row = {
+  a_bench : string;
+  a_dataset : string;
+  a_per_plan : (string * float option * float option) list;
+      (** plan, modeled-based, wall-clock-based *)
+}
+
+val amortization :
+  machine:Cachesim.Machine.t -> config:config -> unit -> amort_row list
+
+val pp_amort_rows : amort_row list Fmt.t
+
+(** Figure 16: inspector-overhead reduction from remapping once. *)
+type remap_row = {
+  r_bench : string;
+  r_dataset : string;
+  r_plan : string;
+  seconds_each : float;
+  seconds_once : float;
+  reduction_pct : float;
+}
+
+val remap_overhead :
+  ?repeats:int ->
+  machine:Cachesim.Machine.t ->
+  config:config ->
+  unit ->
+  remap_row list
+
+val pp_remap_rows : remap_row list Fmt.t
+
+(** Figure 17: executor time vs cache-size target. *)
+type sweep_row = {
+  s_bench : string;
+  s_dataset : string;
+  s_target_kb : int;
+  s_gl : float;
+  s_fst : float;
+}
+
+val cache_target_sweep :
+  ?targets_kb:int list ->
+  machine:Cachesim.Machine.t ->
+  config:config ->
+  unit ->
+  sweep_row list
+
+val pp_sweep_rows : sweep_row list Fmt.t
+
+(** Plot-ready CSV renderings of the figure tables. *)
+
+val csv_exec_rows : exec_row list -> string
+val csv_amort_rows : amort_row list -> string
+val csv_sweep_rows : sweep_row list -> string

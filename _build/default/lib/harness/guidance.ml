@@ -1,0 +1,78 @@
+(* A guidance prototype for the paper's Section 7 future work:
+   "guidance mechanisms that decide when to apply which sequence of
+   transformations ... made at runtime based on the characteristics of
+   the actual data mappings and dependences."
+
+   Given a kernel, a machine model and a number of outer-loop
+   iterations the application intends to run, rank candidate
+   compositions by their *predicted total cost*:
+
+     total(plan) = inspector_cycles(plan)
+                   + steps_budget * executor_cycles_per_step(plan)
+
+   Executor cost per step comes from the cache model over a short
+   probe (the inspector has already paid for the reordering, so
+   probing is cheap relative to a long run); inspector cost is
+   measured directly and converted to cycles at the probe's measured
+   cycles-per-second rate. Small budgets select cheap or empty
+   compositions (the overhead cannot amortize); large budgets select
+   the aggressive ones — the amortization trade-off of Figures 8/9
+   turned into a decision procedure. *)
+
+type choice = {
+  plan : Compose.Plan.t;
+  inspector_cycles : float;
+  executor_cycles_per_step : float;
+  total_cycles : float;
+}
+
+(* Probe one plan: inspector cost + modeled executor cost/step. *)
+let probe ?(trace_steps = 2) ~machine ~plan kernel =
+  let m =
+    Experiment.measure ~trace_steps_n:trace_steps ~wall_steps:1 ~machine ~plan
+      kernel
+  in
+  (* Convert inspector seconds to model cycles via the probe's own
+     cycles-per-second, so both terms live on the same clock. *)
+  let cycles_per_second =
+    if m.Experiment.executor_seconds_per_step > 0.0 then
+      m.Experiment.modeled_cycles_per_step
+      /. m.Experiment.executor_seconds_per_step
+    else 0.0
+  in
+  ( m.Experiment.inspector_seconds *. cycles_per_second,
+    m.Experiment.modeled_cycles_per_step )
+
+(* Rank [plans] for a run of [steps_budget] outer iterations;
+   cheapest-total first. *)
+let select ?trace_steps ~machine ~steps_budget ~plans kernel =
+  let choices =
+    List.map
+      (fun plan ->
+        let inspector_cycles, executor_cycles_per_step =
+          probe ?trace_steps ~machine ~plan kernel
+        in
+        {
+          plan;
+          inspector_cycles;
+          executor_cycles_per_step;
+          total_cycles =
+            inspector_cycles
+            +. (float_of_int steps_budget *. executor_cycles_per_step);
+        })
+      plans
+  in
+  List.sort (fun a b -> compare a.total_cycles b.total_cycles) choices
+
+let best ?trace_steps ~machine ~steps_budget ~plans kernel =
+  match select ?trace_steps ~machine ~steps_budget ~plans kernel with
+  | [] -> invalid_arg "Guidance.best: no candidate plans"
+  | c :: _ -> c
+
+let pp_choice ppf c =
+  Fmt.pf ppf "%-10s total %.3e cy (inspector %.3e + %.3e/step)"
+    (Compose.Plan.name c.plan) c.total_cycles c.inspector_cycles
+    c.executor_cycles_per_step
+
+let pp_ranking ppf choices =
+  List.iteri (fun i c -> Fmt.pf ppf "%d. %a@." (i + 1) pp_choice c) choices

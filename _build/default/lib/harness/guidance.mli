@@ -1,0 +1,42 @@
+(** Guidance prototype (the paper's Section 7 future work): rank
+    candidate compositions at run time by predicted total cost —
+    inspector overhead plus modeled executor cost over the
+    application's intended number of outer iterations. Small budgets
+    favor cheap compositions, large budgets the aggressive ones. *)
+
+type choice = {
+  plan : Compose.Plan.t;
+  inspector_cycles : float;
+  executor_cycles_per_step : float;
+  total_cycles : float;
+}
+
+(** Measure one plan's inspector cycles and executor cycles/step. *)
+val probe :
+  ?trace_steps:int ->
+  machine:Cachesim.Machine.t ->
+  plan:Compose.Plan.t ->
+  Kernels.Kernel.t ->
+  float * float
+
+(** Rank plans cheapest-total first for a [steps_budget]-iteration
+    run. *)
+val select :
+  ?trace_steps:int ->
+  machine:Cachesim.Machine.t ->
+  steps_budget:int ->
+  plans:Compose.Plan.t list ->
+  Kernels.Kernel.t ->
+  choice list
+
+(** The cheapest choice; raises on an empty candidate list. *)
+val best :
+  ?trace_steps:int ->
+  machine:Cachesim.Machine.t ->
+  steps_budget:int ->
+  plans:Compose.Plan.t list ->
+  Kernels.Kernel.t ->
+  choice
+
+val pp_choice : choice Fmt.t
+val pp_ranking : choice list Fmt.t

@@ -1,0 +1,8 @@
+(** Experiment harness: measurement of (plan, kernel, machine)
+    combinations and the drivers that regenerate each of the paper's
+    figures. *)
+
+module Experiment = Experiment
+module Figures = Figures
+module Ablations = Ablations
+module Guidance = Guidance

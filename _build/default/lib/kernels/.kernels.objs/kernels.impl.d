@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Gauss_seidel Irreg Kernel Moldyn Nbf

@@ -1,0 +1,1 @@
+lib/kernels/gauss_seidel.ml: Array Cachesim Irgraph List Reorder

@@ -1,0 +1,1 @@
+lib/kernels/gauss_seidel.mli: Cachesim Irgraph Reorder

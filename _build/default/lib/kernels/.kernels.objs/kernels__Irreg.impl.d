@@ -1,0 +1,1 @@
+lib/kernels/irreg.ml: Array Cachesim Datagen Kernel List Reorder

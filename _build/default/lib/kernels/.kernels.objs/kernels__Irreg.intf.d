@@ -1,0 +1,1 @@
+lib/kernels/irreg.mli: Datagen Kernel

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Array Cachesim List Reorder String

@@ -1,0 +1,1 @@
+lib/kernels/moldyn.ml: Array Cachesim Datagen Kernel List Reorder

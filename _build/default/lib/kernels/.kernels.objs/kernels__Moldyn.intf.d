@@ -1,0 +1,1 @@
+lib/kernels/moldyn.mli: Datagen Kernel

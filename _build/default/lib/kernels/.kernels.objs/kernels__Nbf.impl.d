@@ -1,0 +1,1 @@
+lib/kernels/nbf.ml: Array Cachesim Datagen Kernel List Reorder

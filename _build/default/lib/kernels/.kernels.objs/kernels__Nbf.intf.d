@@ -1,0 +1,1 @@
+lib/kernels/nbf.mli: Datagen Kernel

@@ -1,0 +1,183 @@
+(* The irreg benchmark (irregular CFD-style edge/node kernel from the
+   Han-Tseng suite): only 2 node arrays (16 bytes per node) and a
+   per-edge weight array, so spatial reordering has the most room to
+   help (many nodes per cache line).
+
+   Loop chain per time step:
+     loop 0 (j): edge flux    y[l] += w*(x[l]-x[r]); y[r] += w*(x[r]-x[l])
+     loop 1 (k): node update  x[k] += c * y[k] *)
+
+type state = {
+  n : int;
+  m : int;
+  left : int array;
+  right : int array;
+  w : float array; (* per-edge weights: follow iteration reorderings *)
+  x : float array;
+  y : float array;
+}
+
+let relax = 0.001
+
+let node_array_names = [ "x"; "y" ]
+let inter_array_names = [ "left"; "right"; "w" ]
+
+let flux_j st j =
+  let l = st.left.(j) and r = st.right.(j) in
+  let d = st.w.(j) *. (st.x.(l) -. st.x.(r)) in
+  st.y.(l) <- st.y.(l) +. d;
+  st.y.(r) <- st.y.(r) -. d
+
+let update_k st k =
+  st.x.(k) <- st.x.(k) +. (relax *. st.y.(k))
+
+let run_plain st ~steps =
+  for _s = 1 to steps do
+    for j = 0 to st.m - 1 do
+      flux_j st j
+    done;
+    for k = 0 to st.n - 1 do
+      update_k st k
+    done
+  done
+
+(* Chain position c executes loop (c mod 2): a 2-loop schedule is one
+   time step, a 2S-loop schedule is S time steps (time-step tiling). *)
+let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        if c mod 2 = 0 then Array.iter (flux_j st) iters
+        else Array.iter (update_k st) iters
+      done
+    done
+  done
+
+let trace_j ~touch ~touch_inter left right j =
+  touch_inter 0 j;
+  touch_inter 1 j;
+  touch_inter 2 j;
+  let l = left.(j) and r = right.(j) in
+  touch 0 l; touch 0 r;
+  touch 1 l; touch 1 r
+
+let trace_k ~touch k =
+  touch 0 k;
+  touch 1 k
+
+let make_touch ~layout ~access names =
+  let addr = Array.of_list (List.map (Cachesim.Layout.addresser layout) names) in
+  fun a i -> access (addr.(a) i)
+
+let run_traced_st st ~steps ~layout ~access =
+  let touch = make_touch ~layout ~access node_array_names in
+  let touch_inter = make_touch ~layout ~access inter_array_names in
+  for _s = 1 to steps do
+    for j = 0 to st.m - 1 do
+      trace_j ~touch ~touch_inter st.left st.right j
+    done;
+    for k = 0 to st.n - 1 do
+      trace_k ~touch k
+    done
+  done
+
+let run_tiled_traced_st st sched ~steps ~layout ~access =
+  let touch = make_touch ~layout ~access node_array_names in
+  let touch_inter = make_touch ~layout ~access inter_array_names in
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        if c mod 2 = 0 then
+          Array.iter (trace_j ~touch ~touch_inter st.left st.right) iters
+        else Array.iter (trace_k ~touch) iters
+      done
+    done
+  done
+
+let rec make st =
+  let access = Reorder.Access.of_pairs ~n_data:st.n st.left st.right in
+  (* Chain [j; k]: k-iterations depend on the j-iterations touching
+     their node, i.e. the transpose of the j access. *)
+  let chain_of_access acc =
+    Reorder.Sparse_tile.make_chain
+      ~loop_sizes:[| st.m; st.n |]
+      ~conn:[| Reorder.Access.transpose acc |]
+  in
+  let apply_data_perm sigma =
+    make
+      {
+        st with
+        left = Reorder.Perm.remap_values sigma st.left;
+        right = Reorder.Perm.remap_values sigma st.right;
+        x = Reorder.Perm.apply_to_float_array sigma st.x;
+        y = Reorder.Perm.apply_to_float_array sigma st.y;
+      }
+  in
+  let apply_iter_perm delta =
+    make
+      {
+        st with
+        left = Reorder.Perm.apply_to_array delta st.left;
+        right = Reorder.Perm.apply_to_array delta st.right;
+        w = Reorder.Perm.apply_to_float_array delta st.w;
+      }
+  in
+  {
+    Kernel.name = "irreg";
+    n_nodes = st.n;
+    n_inter = st.m;
+    node_array_names;
+    inter_array_names;
+    access;
+    loop_sizes = [| st.m; st.n |];
+    seed_loop = 0;
+    chain_of_access;
+    wrap_conn_of_access = (fun acc -> acc);
+    symmetric_backward = [];
+    apply_data_perm;
+    apply_iter_perm;
+    run = (fun ~steps -> run_plain st ~steps);
+    run_tiled = (fun sched ~steps -> run_tiled_st st sched ~steps);
+    run_traced =
+      (fun ~steps ~layout ~access -> run_traced_st st ~steps ~layout ~access);
+    run_tiled_traced =
+      (fun sched ~steps ~layout ~access ->
+        run_tiled_traced_st st sched ~steps ~layout ~access);
+    snapshot =
+      (fun () -> [ ("x", Array.copy st.x); ("y", Array.copy st.y) ]);
+    copy =
+      (fun () ->
+        make
+          {
+            st with
+            left = Array.copy st.left;
+            right = Array.copy st.right;
+            w = Array.copy st.w;
+            x = Array.copy st.x;
+            y = Array.copy st.y;
+          });
+  }
+
+let init_value ~salt i =
+  let h = ((i + 1) * 2654435761) land 0xFFFFFF in
+  float_of_int ((h lxor salt) land 0xFFFF) /. 65536.0
+
+let of_dataset (d : Datagen.Dataset.t) =
+  let n = d.Datagen.Dataset.n_nodes in
+  let m = Datagen.Dataset.n_interactions d in
+  make
+    {
+      n;
+      m;
+      left = Array.copy d.Datagen.Dataset.left;
+      right = Array.copy d.Datagen.Dataset.right;
+      w = Array.init m (init_value ~salt:21);
+      x = Array.init n (init_value ~salt:22);
+      y = Array.make n 0.0;
+    }

@@ -1,0 +1,5 @@
+(** The irreg benchmark (2 node arrays, 16 B/node; j/k loop chain) as a {!Kernel.t}. *)
+
+(** Build the kernel over a dataset's interaction list, with
+    deterministic initial conditions derived from node ids. *)
+val of_dataset : Datagen.Dataset.t -> Kernel.t

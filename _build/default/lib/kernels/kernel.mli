@@ -1,0 +1,66 @@
+(** The uniform executor interface over the benchmarks.
+
+    A kernel owns its data and index arrays; the composition framework
+    transforms it through [apply_data_perm] (a data reordering R) and
+    [apply_iter_perm] (an iteration reordering T of the interaction
+    loop). Executors come in plain (Figure 13) and sparse-tiled
+    (Figure 14) forms, each with a traced twin feeding the cache
+    model. *)
+
+type t = {
+  name : string;
+  n_nodes : int;
+  n_inter : int;
+  node_array_names : string list;
+  inter_array_names : string list;
+  access : Reorder.Access.t;
+      (** the interaction loop's access to the node space (current) *)
+  loop_sizes : int array;
+  seed_loop : int; (** the interaction loop's position in the chain *)
+  chain_of_access : Reorder.Access.t -> Reorder.Sparse_tile.chain;
+  wrap_conn_of_access : Reorder.Access.t -> Reorder.Access.t;
+      (** cross-time-step connectivity: for each first-loop iteration at
+          step s+1, the last-loop iterations at step s it shares data
+          with — lets sparse tiling grow across the outer loop *)
+  symmetric_backward : (int * int) list;
+      (** [(backward_loop, conn_index)]: the successor connectivity for
+          growing [backward_loop] equals [chain.conn.(conn_index)]
+          (Section 6 symmetric dependences) *)
+  apply_data_perm : Reorder.Perm.t -> t;
+  apply_iter_perm : Reorder.Perm.t -> t;
+  run : steps:int -> unit;
+  run_tiled : Reorder.Schedule.t -> steps:int -> unit;
+  run_traced :
+    steps:int -> layout:Cachesim.Layout.t -> access:(int -> unit) -> unit;
+  run_tiled_traced :
+    Reorder.Schedule.t ->
+    steps:int ->
+    layout:Cachesim.Layout.t ->
+    access:(int -> unit) ->
+    unit;
+  snapshot : unit -> (string * float array) list;
+  copy : unit -> t;
+}
+
+(** The paper's memory layout: inter-array regrouping over the node
+    arrays; index arrays separate. *)
+val layout : t -> Cachesim.Layout.t
+
+(** No regrouping (each array separate), for the regrouping ablation. *)
+val layout_separate : t -> Cachesim.Layout.t
+
+(** Bytes of node data per node (72 for moldyn, as the paper quotes). *)
+val bytes_per_node : t -> int
+
+(** Relative comparison of snapshots (reductions are reassociated by
+    the transformations, so bitwise equality is not expected). *)
+val snapshots_close :
+  ?rtol:float ->
+  (string * float array) list ->
+  (string * float array) list ->
+  bool
+
+(** Un-permute a snapshot taken after data reordering [sigma] back to
+    original numbering. *)
+val unpermute_snapshot :
+  Reorder.Perm.t -> (string * float array) list -> (string * float array) list

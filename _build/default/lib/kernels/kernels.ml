@@ -1,0 +1,18 @@
+(** The paper's three benchmarks as loop chains over flat float arrays,
+    each with plain, sparse-tiled, and trace-emitting executors, plus a
+    Gauss-Seidel smoother for the sparse-tiling generality claim. *)
+
+module Kernel = Kernel
+module Moldyn = Moldyn
+module Nbf = Nbf
+module Irreg = Irreg
+module Gauss_seidel = Gauss_seidel
+
+(** Benchmark constructors by name. *)
+let by_name = function
+  | "moldyn" -> Some Moldyn.of_dataset
+  | "nbf" -> Some Nbf.of_dataset
+  | "irreg" -> Some Irreg.of_dataset
+  | _ -> None
+
+let all_names = [ "irreg"; "nbf"; "moldyn" ]

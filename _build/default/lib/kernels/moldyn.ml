@@ -1,0 +1,287 @@
+(* The moldyn benchmark (non-bonded force molecular dynamics, Figure 1
+   of the paper generalized to 3-D): 9 node arrays of doubles — 72
+   bytes per molecule, the figure the paper quotes when explaining why
+   data reordering alone saturates on a 64-byte-line machine.
+
+   Loop chain per time step:
+     S1 (i loop): position update     x += vx + fx        (writes x)
+     S2/S3 (j loop): pairwise forces  fx[l] += g, fx[r] -= g
+     S4 (k loop): velocity update     vx += fx            (reads fx) *)
+
+type state = {
+  n : int;
+  m : int;
+  left : int array;
+  right : int array;
+  x : float array;
+  y : float array;
+  z : float array;
+  vx : float array;
+  vy : float array;
+  vz : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+}
+
+let dt = 0.0001
+
+let node_array_names = [ "x"; "y"; "z"; "vx"; "vy"; "vz"; "fx"; "fy"; "fz" ]
+let inter_array_names = [ "left"; "right" ]
+
+let run_plain st ~steps =
+  let n = st.n and m = st.m in
+  let x = st.x and y = st.y and z = st.z in
+  let vx = st.vx and vy = st.vy and vz = st.vz in
+  let fx = st.fx and fy = st.fy and fz = st.fz in
+  let left = st.left and right = st.right in
+  for _s = 1 to steps do
+    for i = 0 to n - 1 do
+      x.(i) <- x.(i) +. (dt *. (vx.(i) +. fx.(i)));
+      y.(i) <- y.(i) +. (dt *. (vy.(i) +. fy.(i)));
+      z.(i) <- z.(i) +. (dt *. (vz.(i) +. fz.(i)))
+    done;
+    for j = 0 to m - 1 do
+      let l = left.(j) and r = right.(j) in
+      let dx = x.(l) -. x.(r) in
+      let dy = y.(l) -. y.(r) in
+      let dz = z.(l) -. z.(r) in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+      let g = 1.0 /. r2 in
+      fx.(l) <- fx.(l) +. (g *. dx);
+      fx.(r) <- fx.(r) -. (g *. dx);
+      fy.(l) <- fy.(l) +. (g *. dy);
+      fy.(r) <- fy.(r) -. (g *. dy);
+      fz.(l) <- fz.(l) +. (g *. dz);
+      fz.(r) <- fz.(r) -. (g *. dz)
+    done;
+    for k = 0 to n - 1 do
+      vx.(k) <- vx.(k) +. (dt *. fx.(k));
+      vy.(k) <- vy.(k) +. (dt *. fy.(k));
+      vz.(k) <- vz.(k) +. (dt *. fz.(k))
+    done
+  done
+
+(* The tiled executor interprets a schedule whose loop count is any
+   multiple of the 3-loop chain: chain position c executes the body of
+   loop (c mod 3). A 3-loop schedule is the Figure 14 executor; a
+   3S-loop schedule executes S whole time steps per [steps] (time-step
+   sparse tiling across the outer loop). *)
+let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
+  let x = st.x and y = st.y and z = st.z in
+  let vx = st.vx and vy = st.vy and vz = st.vz in
+  let fx = st.fx and fy = st.fy and fz = st.fz in
+  let left = st.left and right = st.right in
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        match c mod 3 with
+        | 0 ->
+          for idx = 0 to Array.length iters - 1 do
+            let i = iters.(idx) in
+            x.(i) <- x.(i) +. (dt *. (vx.(i) +. fx.(i)));
+            y.(i) <- y.(i) +. (dt *. (vy.(i) +. fy.(i)));
+            z.(i) <- z.(i) +. (dt *. (vz.(i) +. fz.(i)))
+          done
+        | 1 ->
+          for idx = 0 to Array.length iters - 1 do
+            let j = iters.(idx) in
+            let l = left.(j) and r = right.(j) in
+            let dx = x.(l) -. x.(r) in
+            let dy = y.(l) -. y.(r) in
+            let dz = z.(l) -. z.(r) in
+            let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+            let g = 1.0 /. r2 in
+            fx.(l) <- fx.(l) +. (g *. dx);
+            fx.(r) <- fx.(r) -. (g *. dx);
+            fy.(l) <- fy.(l) +. (g *. dy);
+            fy.(r) <- fy.(r) -. (g *. dy);
+            fz.(l) <- fz.(l) +. (g *. dz);
+            fz.(r) <- fz.(r) -. (g *. dz)
+          done
+        | _ ->
+          for idx = 0 to Array.length iters - 1 do
+            let k = iters.(idx) in
+            vx.(k) <- vx.(k) +. (dt *. fx.(k));
+            vy.(k) <- vy.(k) +. (dt *. fy.(k));
+            vz.(k) <- vz.(k) +. (dt *. fz.(k))
+          done
+      done
+    done
+  done
+
+(* Traced executors: the reference stream is data-independent given the
+   index arrays, so no arithmetic is performed. One touch per distinct
+   array-element reference in the loop body. *)
+let trace_i ~touch i =
+  touch 0 i; touch 1 i; touch 2 i;     (* x y z *)
+  touch 3 i; touch 4 i; touch 5 i;     (* vx vy vz *)
+  touch 6 i; touch 7 i; touch 8 i      (* fx fy fz *)
+
+let trace_j ~touch ~touch_inter left right j =
+  touch_inter 0 j;
+  touch_inter 1 j;
+  let l = left.(j) and r = right.(j) in
+  touch 0 l; touch 1 l; touch 2 l;
+  touch 0 r; touch 1 r; touch 2 r;
+  touch 6 l; touch 7 l; touch 8 l;
+  touch 6 r; touch 7 r; touch 8 r
+
+let trace_k ~touch k =
+  touch 3 k; touch 4 k; touch 5 k;
+  touch 6 k; touch 7 k; touch 8 k
+
+let make_touch ~layout ~access names =
+  let addr =
+    Array.of_list (List.map (Cachesim.Layout.addresser layout) names)
+  in
+  fun a i -> access (addr.(a) i)
+
+let run_traced_st st ~steps ~layout ~access =
+  let touch = make_touch ~layout ~access node_array_names in
+  let touch_inter = make_touch ~layout ~access inter_array_names in
+  for _s = 1 to steps do
+    for i = 0 to st.n - 1 do
+      trace_i ~touch i
+    done;
+    for j = 0 to st.m - 1 do
+      trace_j ~touch ~touch_inter st.left st.right j
+    done;
+    for k = 0 to st.n - 1 do
+      trace_k ~touch k
+    done
+  done
+
+let run_tiled_traced_st st sched ~steps ~layout ~access =
+  let touch = make_touch ~layout ~access node_array_names in
+  let touch_inter = make_touch ~layout ~access inter_array_names in
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        match c mod 3 with
+        | 0 -> Array.iter (trace_i ~touch) iters
+        | 1 -> Array.iter (trace_j ~touch ~touch_inter st.left st.right) iters
+        | _ -> Array.iter (trace_k ~touch) iters
+      done
+    done
+  done
+
+let rec make st =
+  let access = Reorder.Access.of_pairs ~n_data:st.n st.left st.right in
+  (* The chain's two dependence sets are symmetric (both constrained by
+     left/right, Section 6): conn.(1) is the transpose that backward
+     growth of loop 0 also needs. *)
+  let chain_of_access acc =
+    Reorder.Sparse_tile.make_chain
+      ~loop_sizes:[| st.n; st.m; st.n |]
+      ~conn:[| acc; Reorder.Access.transpose acc |]
+  in
+  let apply_data_perm sigma =
+    make
+      {
+        st with
+        left = Reorder.Perm.remap_values sigma st.left;
+        right = Reorder.Perm.remap_values sigma st.right;
+        x = Reorder.Perm.apply_to_float_array sigma st.x;
+        y = Reorder.Perm.apply_to_float_array sigma st.y;
+        z = Reorder.Perm.apply_to_float_array sigma st.z;
+        vx = Reorder.Perm.apply_to_float_array sigma st.vx;
+        vy = Reorder.Perm.apply_to_float_array sigma st.vy;
+        vz = Reorder.Perm.apply_to_float_array sigma st.vz;
+        fx = Reorder.Perm.apply_to_float_array sigma st.fx;
+        fy = Reorder.Perm.apply_to_float_array sigma st.fy;
+        fz = Reorder.Perm.apply_to_float_array sigma st.fz;
+      }
+  in
+  let apply_iter_perm delta =
+    make
+      {
+        st with
+        left = Reorder.Perm.apply_to_array delta st.left;
+        right = Reorder.Perm.apply_to_array delta st.right;
+      }
+  in
+  {
+    Kernel.name = "moldyn";
+    n_nodes = st.n;
+    n_inter = st.m;
+    node_array_names;
+    inter_array_names;
+    access;
+    loop_sizes = [| st.n; st.m; st.n |];
+    seed_loop = 1;
+    chain_of_access;
+    wrap_conn_of_access = (fun _acc -> Reorder.Access.identity st.n);
+    symmetric_backward = [ (0, 1) ];
+    apply_data_perm;
+    apply_iter_perm;
+    run = (fun ~steps -> run_plain st ~steps);
+    run_tiled = (fun sched ~steps -> run_tiled_st st sched ~steps);
+    run_traced =
+      (fun ~steps ~layout ~access -> run_traced_st st ~steps ~layout ~access);
+    run_tiled_traced =
+      (fun sched ~steps ~layout ~access ->
+        run_tiled_traced_st st sched ~steps ~layout ~access);
+    snapshot =
+      (fun () ->
+        [
+          ("x", Array.copy st.x);
+          ("y", Array.copy st.y);
+          ("z", Array.copy st.z);
+          ("vx", Array.copy st.vx);
+          ("vy", Array.copy st.vy);
+          ("vz", Array.copy st.vz);
+          ("fx", Array.copy st.fx);
+          ("fy", Array.copy st.fy);
+          ("fz", Array.copy st.fz);
+        ]);
+    copy =
+      (fun () ->
+        make
+          {
+            st with
+            left = Array.copy st.left;
+            right = Array.copy st.right;
+            x = Array.copy st.x;
+            y = Array.copy st.y;
+            z = Array.copy st.z;
+            vx = Array.copy st.vx;
+            vy = Array.copy st.vy;
+            vz = Array.copy st.vz;
+            fx = Array.copy st.fx;
+            fy = Array.copy st.fy;
+            fz = Array.copy st.fz;
+          });
+  }
+
+(* Deterministic initial conditions derived from node ids, so two runs
+   on permuted data remain comparable after un-permuting. *)
+let init_value ~salt i =
+  let h = ((i + 1) * 2654435761) land 0xFFFFFF in
+  float_of_int ((h lxor salt) land 0xFFFF) /. 65536.0
+
+let of_dataset (d : Datagen.Dataset.t) =
+  let n = d.Datagen.Dataset.n_nodes in
+  let m = Datagen.Dataset.n_interactions d in
+  make
+    {
+      n;
+      m;
+      left = Array.copy d.Datagen.Dataset.left;
+      right = Array.copy d.Datagen.Dataset.right;
+      x = Array.init n (init_value ~salt:1);
+      y = Array.init n (init_value ~salt:2);
+      z = Array.init n (init_value ~salt:3);
+      vx = Array.init n (init_value ~salt:4);
+      vy = Array.init n (init_value ~salt:5);
+      vz = Array.init n (init_value ~salt:6);
+      fx = Array.make n 0.0;
+      fy = Array.make n 0.0;
+      fz = Array.make n 0.0;
+    }

@@ -1,0 +1,5 @@
+(** The moldyn benchmark (9 node arrays, 72 B/molecule; i/j/k loop chain) as a {!Kernel.t}. *)
+
+(** Build the kernel over a dataset's interaction list, with
+    deterministic initial conditions derived from node ids. *)
+val of_dataset : Datagen.Dataset.t -> Kernel.t

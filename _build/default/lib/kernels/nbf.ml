@@ -1,0 +1,211 @@
+(* The nbf benchmark (non-bonded force kernel, CHARMM-style, from the
+   Han-Tseng suite): 6 node arrays (48 bytes per node) and a heavier
+   Lennard-Jones-like force expression than moldyn's.
+
+   Loop chain per time step:
+     loop 0 (i): position integration  x += c * fx   (writes x, reads fx)
+     loop 1 (j): pairwise LJ forces    fx[l] += g, fx[r] -= g *)
+
+type state = {
+  n : int;
+  m : int;
+  left : int array;
+  right : int array;
+  x : float array;
+  y : float array;
+  z : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+}
+
+let dt = 0.0001
+
+let node_array_names = [ "x"; "y"; "z"; "fx"; "fy"; "fz" ]
+let inter_array_names = [ "left"; "right" ]
+
+let force_j st j =
+  let l = st.left.(j) and r = st.right.(j) in
+  let dx = st.x.(l) -. st.x.(r) in
+  let dy = st.y.(l) -. st.y.(r) in
+  let dz = st.z.(l) -. st.z.(r) in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+  let ir2 = 1.0 /. r2 in
+  let ir6 = ir2 *. ir2 *. ir2 in
+  (* Lennard-Jones 12-6 shape. *)
+  let g = ((2.0 *. ir6 *. ir6) -. ir6) *. ir2 in
+  st.fx.(l) <- st.fx.(l) +. (g *. dx);
+  st.fx.(r) <- st.fx.(r) -. (g *. dx);
+  st.fy.(l) <- st.fy.(l) +. (g *. dy);
+  st.fy.(r) <- st.fy.(r) -. (g *. dy);
+  st.fz.(l) <- st.fz.(l) +. (g *. dz);
+  st.fz.(r) <- st.fz.(r) -. (g *. dz)
+
+let update_i st i =
+  st.x.(i) <- st.x.(i) +. (dt *. st.fx.(i));
+  st.y.(i) <- st.y.(i) +. (dt *. st.fy.(i));
+  st.z.(i) <- st.z.(i) +. (dt *. st.fz.(i))
+
+let run_plain st ~steps =
+  for _s = 1 to steps do
+    for i = 0 to st.n - 1 do
+      update_i st i
+    done;
+    for j = 0 to st.m - 1 do
+      force_j st j
+    done
+  done
+
+(* Chain position c executes loop (c mod 2): a 2-loop schedule is one
+   time step, a 2S-loop schedule is S time steps (time-step tiling). *)
+let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        if c mod 2 = 0 then Array.iter (update_i st) iters
+        else Array.iter (force_j st) iters
+      done
+    done
+  done
+
+let trace_i ~touch i =
+  touch 0 i; touch 1 i; touch 2 i;
+  touch 3 i; touch 4 i; touch 5 i
+
+let trace_j ~touch ~touch_inter left right j =
+  touch_inter 0 j;
+  touch_inter 1 j;
+  let l = left.(j) and r = right.(j) in
+  touch 0 l; touch 1 l; touch 2 l;
+  touch 0 r; touch 1 r; touch 2 r;
+  touch 3 l; touch 4 l; touch 5 l;
+  touch 3 r; touch 4 r; touch 5 r
+
+let make_touch ~layout ~access names =
+  let addr = Array.of_list (List.map (Cachesim.Layout.addresser layout) names) in
+  fun a i -> access (addr.(a) i)
+
+let run_traced_st st ~steps ~layout ~access =
+  let touch = make_touch ~layout ~access node_array_names in
+  let touch_inter = make_touch ~layout ~access inter_array_names in
+  for _s = 1 to steps do
+    for i = 0 to st.n - 1 do
+      trace_i ~touch i
+    done;
+    for j = 0 to st.m - 1 do
+      trace_j ~touch ~touch_inter st.left st.right j
+    done
+  done
+
+let run_tiled_traced_st st sched ~steps ~layout ~access =
+  let touch = make_touch ~layout ~access node_array_names in
+  let touch_inter = make_touch ~layout ~access inter_array_names in
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        if c mod 2 = 0 then Array.iter (trace_i ~touch) iters
+        else Array.iter (trace_j ~touch ~touch_inter st.left st.right) iters
+      done
+    done
+  done
+
+let rec make st =
+  let access = Reorder.Access.of_pairs ~n_data:st.n st.left st.right in
+  let chain_of_access acc =
+    Reorder.Sparse_tile.make_chain ~loop_sizes:[| st.n; st.m |] ~conn:[| acc |]
+  in
+  let apply_data_perm sigma =
+    make
+      {
+        st with
+        left = Reorder.Perm.remap_values sigma st.left;
+        right = Reorder.Perm.remap_values sigma st.right;
+        x = Reorder.Perm.apply_to_float_array sigma st.x;
+        y = Reorder.Perm.apply_to_float_array sigma st.y;
+        z = Reorder.Perm.apply_to_float_array sigma st.z;
+        fx = Reorder.Perm.apply_to_float_array sigma st.fx;
+        fy = Reorder.Perm.apply_to_float_array sigma st.fy;
+        fz = Reorder.Perm.apply_to_float_array sigma st.fz;
+      }
+  in
+  let apply_iter_perm delta =
+    make
+      {
+        st with
+        left = Reorder.Perm.apply_to_array delta st.left;
+        right = Reorder.Perm.apply_to_array delta st.right;
+      }
+  in
+  {
+    Kernel.name = "nbf";
+    n_nodes = st.n;
+    n_inter = st.m;
+    node_array_names;
+    inter_array_names;
+    access;
+    loop_sizes = [| st.n; st.m |];
+    seed_loop = 1;
+    chain_of_access;
+    wrap_conn_of_access = Reorder.Access.transpose;
+    symmetric_backward = [];
+    apply_data_perm;
+    apply_iter_perm;
+    run = (fun ~steps -> run_plain st ~steps);
+    run_tiled = (fun sched ~steps -> run_tiled_st st sched ~steps);
+    run_traced =
+      (fun ~steps ~layout ~access -> run_traced_st st ~steps ~layout ~access);
+    run_tiled_traced =
+      (fun sched ~steps ~layout ~access ->
+        run_tiled_traced_st st sched ~steps ~layout ~access);
+    snapshot =
+      (fun () ->
+        [
+          ("x", Array.copy st.x);
+          ("y", Array.copy st.y);
+          ("z", Array.copy st.z);
+          ("fx", Array.copy st.fx);
+          ("fy", Array.copy st.fy);
+          ("fz", Array.copy st.fz);
+        ]);
+    copy =
+      (fun () ->
+        make
+          {
+            st with
+            left = Array.copy st.left;
+            right = Array.copy st.right;
+            x = Array.copy st.x;
+            y = Array.copy st.y;
+            z = Array.copy st.z;
+            fx = Array.copy st.fx;
+            fy = Array.copy st.fy;
+            fz = Array.copy st.fz;
+          });
+  }
+
+let init_value ~salt i =
+  let h = ((i + 1) * 2654435761) land 0xFFFFFF in
+  float_of_int ((h lxor salt) land 0xFFFF) /. 65536.0
+
+let of_dataset (d : Datagen.Dataset.t) =
+  let n = d.Datagen.Dataset.n_nodes in
+  let m = Datagen.Dataset.n_interactions d in
+  make
+    {
+      n;
+      m;
+      left = Array.copy d.Datagen.Dataset.left;
+      right = Array.copy d.Datagen.Dataset.right;
+      x = Array.init n (init_value ~salt:11);
+      y = Array.init n (init_value ~salt:12);
+      z = Array.init n (init_value ~salt:13);
+      fx = Array.make n 0.0;
+      fy = Array.make n 0.0;
+      fz = Array.make n 0.0;
+    }

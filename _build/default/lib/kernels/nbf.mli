@@ -1,0 +1,5 @@
+(** The nbf benchmark (6 node arrays, 48 B/node; i/j loop chain) as a {!Kernel.t}. *)
+
+(** Build the kernel over a dataset's interaction list, with
+    deterministic initial conditions derived from node ids. *)
+val of_dataset : Datagen.Dataset.t -> Kernel.t

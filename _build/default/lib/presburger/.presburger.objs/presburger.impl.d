@@ -1,0 +1,1 @@
+lib/presburger/presburger.ml: Constr Fresh Lexord Parser Rel Set_ Solve Term Ufs_env

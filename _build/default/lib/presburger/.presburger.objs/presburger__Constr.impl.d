@@ -1,0 +1,1 @@
+lib/presburger/constr.ml: Fmt List Term

@@ -1,0 +1,1 @@
+lib/presburger/constr.mli: Fmt Term

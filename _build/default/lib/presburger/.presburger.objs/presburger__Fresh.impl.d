@@ -1,0 +1,1 @@
+lib/presburger/fresh.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/presburger/lexord.ml: Stdlib Term

@@ -1,0 +1,1 @@
+lib/presburger/parser.ml: Constr Fmt List Printf Rel Set_ String Term

@@ -1,0 +1,1 @@
+lib/presburger/parser.mli: Rel Set_ Term

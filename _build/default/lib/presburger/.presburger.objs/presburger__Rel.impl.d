@@ -1,0 +1,1 @@
+lib/presburger/rel.ml: Constr Fmt Fresh List Printf Set_ Solve String Term Ufs_env

@@ -1,0 +1,1 @@
+lib/presburger/rel.mli: Constr Fmt Set_ Term Ufs_env

@@ -1,0 +1,1 @@
+lib/presburger/set_.ml: Constr Fmt Fresh List Solve String Ufs_env

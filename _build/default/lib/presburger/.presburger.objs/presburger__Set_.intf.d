@@ -1,0 +1,1 @@
+lib/presburger/set_.mli: Constr Fmt Ufs_env

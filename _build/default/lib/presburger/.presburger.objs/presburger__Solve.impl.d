@@ -1,0 +1,1 @@
+lib/presburger/solve.ml: Constr List String Term Ufs_env

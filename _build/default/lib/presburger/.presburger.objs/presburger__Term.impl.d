@@ -1,0 +1,1 @@
+lib/presburger/term.ml: Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/presburger/term.mli: Fmt

@@ -1,0 +1,1 @@
+lib/presburger/ufs_env.ml: List String

@@ -1,0 +1,78 @@
+(* Atomic Presburger constraints over terms: equalities [t = 0] and
+   inequalities [t >= 0]. *)
+
+type t =
+  | Eq of Term.t  (* t = 0 *)
+  | Geq of Term.t (* t >= 0 *)
+
+let eq lhs rhs = Eq (Term.sub lhs rhs)
+let geq lhs rhs = Geq (Term.sub lhs rhs)
+let leq lhs rhs = Geq (Term.sub rhs lhs)
+let lt lhs rhs = Geq (Term.sub (Term.sub rhs lhs) (Term.const 1))
+let gt lhs rhs = lt rhs lhs
+
+let term = function Eq t | Geq t -> t
+
+let compare c1 c2 =
+  match c1, c2 with
+  | Eq t1, Eq t2 | Geq t1, Geq t2 -> Term.compare t1 t2
+  | Eq _, Geq _ -> -1
+  | Geq _, Eq _ -> 1
+
+let equal c1 c2 = compare c1 c2 = 0
+
+let map f = function
+  | Eq t -> Eq (f t)
+  | Geq t -> Geq (f t)
+
+let subst x by c = map (Term.subst x by) c
+let rename f c = map (Term.rename f) c
+let vars c = Term.vars (term c)
+let mem_var x c = Term.mem_var x (term c)
+
+(* Trivial truth-value of a constraint, if decidable syntactically. *)
+let truth = function
+  | Eq t -> (
+    match Term.to_const t with
+    | Some 0 -> `True
+    | Some _ -> `False
+    | None -> `Unknown)
+  | Geq t -> (
+    match Term.to_const t with
+    | Some c when c >= 0 -> `True
+    | Some _ -> `False
+    | None -> `Unknown)
+
+(* Normalize an equality by the sign of its leading coefficient so that
+   [x - y = 0] and [y - x = 0] compare equal. *)
+let normalize = function
+  | Eq t -> (
+    match (t : Term.t).coeffs with
+    | (_, c) :: _ when c < 0 -> Eq (Term.neg t)
+    | _ -> Eq t)
+  | Geq _ as c -> c
+
+let eval ~env ~interp = function
+  | Eq t -> Term.eval ~env ~interp t = 0
+  | Geq t -> Term.eval ~env ~interp t >= 0
+
+(* Pretty-print in the paper's style: an equality [t = 0] is shown as
+   [lhs = rhs] with the negative part moved to the right-hand side. *)
+let split_sides t =
+  let pos, neg =
+    List.partition (fun (_, c) -> c > 0) (t : Term.t).coeffs
+  in
+  let lhs = Term.make (max (t : Term.t).const 0) pos in
+  let rhs =
+    Term.make
+      (if (t : Term.t).const < 0 then -(t : Term.t).const else 0)
+      (List.map (fun (a, c) -> (a, -c)) neg)
+  in
+  (lhs, rhs)
+
+let pp ppf c =
+  let op = match c with Eq _ -> "=" | Geq _ -> ">=" in
+  let lhs, rhs = split_sides (term c) in
+  Fmt.pf ppf "%a %s %a" Term.pp lhs op Term.pp rhs
+
+let to_string c = Fmt.str "%a" pp c

@@ -1,0 +1,45 @@
+(** Atomic Presburger constraints: equalities [t = 0] and inequalities
+    [t >= 0] over {!Term.t}. *)
+
+type t =
+  | Eq of Term.t  (** [Eq t] means [t = 0] *)
+  | Geq of Term.t (** [Geq t] means [t >= 0] *)
+
+(** [eq a b] is the constraint [a = b]. *)
+val eq : Term.t -> Term.t -> t
+
+(** [geq a b] is [a >= b]. *)
+val geq : Term.t -> Term.t -> t
+
+(** [leq a b] is [a <= b]. *)
+val leq : Term.t -> Term.t -> t
+
+(** [lt a b] is [a < b] (encoded as [b - a - 1 >= 0]). *)
+val lt : Term.t -> Term.t -> t
+
+(** [gt a b] is [a > b]. *)
+val gt : Term.t -> Term.t -> t
+
+(** The underlying term (compared against 0). *)
+val term : t -> Term.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val map : (Term.t -> Term.t) -> t -> t
+val subst : string -> Term.t -> t -> t
+val rename : (string -> string) -> t -> t
+val vars : t -> string list
+val mem_var : string -> t -> bool
+
+(** Syntactic truth value: [`True] / [`False] when the constraint is a
+    ground (dis)equality, [`Unknown] otherwise. *)
+val truth : t -> [ `True | `False | `Unknown ]
+
+(** Sign-normalize equalities so [x - y = 0] equals [y - x = 0]. *)
+val normalize : t -> t
+
+(** Evaluate under a variable environment and UFS interpretation. *)
+val eval : env:(string -> int) -> interp:(string -> int list -> int) -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,16 @@
+(* Fresh-name supply for existential variables introduced by relation
+   operations (compose, inverse, apply). Names are prefixed with "$" so
+   they can never collide with user-written variable names, which the
+   parser restricts to ordinary identifiers. *)
+
+let counter = ref 0
+
+let reset () = counter := 0
+
+let var ?(hint = "e") () =
+  incr counter;
+  Printf.sprintf "$%s%d" hint !counter
+
+let vars ?hint n = List.init n (fun _ -> var ?hint ())
+
+let is_fresh name = String.length name > 0 && name.[0] = '$'

@@ -1,0 +1,46 @@
+(* Lexicographic order on integer tuples, both concrete and symbolic.
+
+   Execution order in the unified iteration space is lexicographic
+   (Kelly-Pugh), so an iteration-reordering transformation T is legal
+   iff for every dependence p -> q, T(p) lexicographically precedes
+   T(q). The symbolic comparison below is best-effort (sound but
+   incomplete): it reports [Unknown] whenever the constraint system
+   would be needed to decide. *)
+
+type verdict = Lt | Eq | Gt | Unknown
+
+(* Concrete comparison; tuples of different length compare by the
+   common prefix, then the shorter tuple first (as for sequences). *)
+let compare_concrete (a : int list) (b : int list) =
+  let rec go = function
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = Stdlib.compare x y in
+      if c <> 0 then c else go (xs, ys)
+  in
+  go (a, b)
+
+let precedes_concrete a b = compare_concrete a b < 0
+
+(* Symbolic comparison of tuple terms. Two components are decided when
+   their difference is a constant; otherwise the result is [Unknown]
+   unless they are syntactically identical (difference zero). *)
+let compare_symbolic (a : Term.t list) (b : Term.t list) : verdict =
+  let rec go = function
+    | [], [] -> Eq
+    | [], _ :: _ -> Lt
+    | _ :: _, [] -> Gt
+    | x :: xs, y :: ys -> (
+      match Term.to_const (Term.sub y x) with
+      | Some 0 -> go (xs, ys)
+      | Some d when d > 0 -> Lt
+      | Some _ -> Gt
+      | None -> Unknown)
+  in
+  go (a, b)
+
+(* [definitely_precedes a b] holds when [a] strictly precedes [b] in
+   every interpretation of the UFSs. *)
+let definitely_precedes a b = compare_symbolic a b = Lt

@@ -1,0 +1,360 @@
+(* Recursive-descent parser for the paper's set/relation notation, e.g.
+
+     {[s,1,i,1] -> [s,1,sigma(i),1] : 1 <= s && s <= n}
+     {[s,2,j,q] -> [left(j)]} union {[s,2,j,q] -> [right(j)]}
+     {[m] : 1 <= m <= n_nodes}
+
+   Chained comparisons ([1 <= i <= n]) expand to conjunctions.
+   Existentials are written [exists(e1,e2 : formula)]. *)
+
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | ARROW
+  | ANDAND
+  | UNION
+  | EXISTS
+  | IDENT of string
+  | INT of int
+  | PLUS
+  | MINUS
+  | STAR
+  | LE
+  | LT
+  | EQUAL
+  | GE
+  | GT
+  | EOF
+
+let pp_token ppf = function
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LBRACK -> Fmt.string ppf "["
+  | RBRACK -> Fmt.string ppf "]"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | COMMA -> Fmt.string ppf ","
+  | COLON -> Fmt.string ppf ":"
+  | ARROW -> Fmt.string ppf "->"
+  | ANDAND -> Fmt.string ppf "&&"
+  | UNION -> Fmt.string ppf "union"
+  | EXISTS -> Fmt.string ppf "exists"
+  | IDENT s -> Fmt.string ppf s
+  | INT n -> Fmt.int ppf n
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | LE -> Fmt.string ppf "<="
+  | LT -> Fmt.string ppf "<"
+  | EQUAL -> Fmt.string ppf "="
+  | GE -> Fmt.string ppf ">="
+  | GT -> Fmt.string ppf ">"
+  | EOF -> Fmt.string ppf "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      match word with
+      | "union" -> push UNION
+      | "exists" -> push EXISTS
+      | _ -> push (IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "->" -> push ARROW; i := !i + 2
+      | "&&" -> push ANDAND; i := !i + 2
+      | "<=" -> push LE; i := !i + 2
+      | ">=" -> push GE; i := !i + 2
+      | "==" -> push EQUAL; i := !i + 2
+      | _ ->
+        (match c with
+        | '{' -> push LBRACE
+        | '}' -> push RBRACE
+        | '[' -> push LBRACK
+        | ']' -> push RBRACK
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | ',' -> push COMMA
+        | ':' -> push COLON
+        | '+' -> push PLUS
+        | '-' -> push MINUS
+        | '*' -> push STAR
+        | '<' -> push LT
+        | '>' -> push GT
+        | '=' -> push EQUAL
+        | _ -> error "unexpected character %c" c);
+        incr i
+    end
+  done;
+  push EOF;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                        *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else error "expected %a but found %a" pp_token tok pp_token got
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_expr st =
+  let negated = accept st MINUS in
+  let first = parse_product st in
+  let first = if negated then Term.neg first else first in
+  let rec loop acc =
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Term.add acc (parse_product st))
+    | MINUS ->
+      advance st;
+      loop (Term.sub acc (parse_product st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_product st =
+  match peek st with
+  | INT k -> (
+    advance st;
+    match peek st with
+    | STAR ->
+      advance st;
+      Term.scale k (parse_factor st)
+    | IDENT _ | LPAREN -> Term.scale k (parse_factor st)
+    | _ -> Term.const k)
+  | _ -> parse_factor st
+
+and parse_factor st =
+  match peek st with
+  | IDENT name -> (
+    advance st;
+    match peek st with
+    | LPAREN ->
+      advance st;
+      let args = parse_expr_list st in
+      expect st RPAREN;
+      Term.ufs name args
+    | _ -> Term.var name)
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | INT k ->
+    advance st;
+    Term.const k
+  | tok -> error "expected expression, found %a" pp_token tok
+
+and parse_expr_list st =
+  let first = parse_expr st in
+  let rec loop acc =
+    if accept st COMMA then loop (parse_expr st :: acc) else List.rev acc
+  in
+  loop [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+
+let parse_relop st =
+  match peek st with
+  | LE -> advance st; Some `Le
+  | LT -> advance st; Some `Lt
+  | GE -> advance st; Some `Ge
+  | GT -> advance st; Some `Gt
+  | EQUAL -> advance st; Some `Eq
+  | _ -> None
+
+let constr_of_op op lhs rhs =
+  match op with
+  | `Le -> Constr.leq lhs rhs
+  | `Lt -> Constr.lt lhs rhs
+  | `Ge -> Constr.geq lhs rhs
+  | `Gt -> Constr.gt lhs rhs
+  | `Eq -> Constr.eq lhs rhs
+
+(* A chain [e1 op e2 op e3] yields the conjunction of adjacent pairs. *)
+let parse_chain st =
+  let first = parse_expr st in
+  let rec loop lhs acc =
+    match parse_relop st with
+    | None -> (
+      match acc with
+      | [] -> error "expected comparison operator"
+      | _ -> List.rev acc)
+    | Some op ->
+      let rhs = parse_expr st in
+      loop rhs (constr_of_op op lhs rhs :: acc)
+  in
+  loop first []
+
+let parse_ident st =
+  match peek st with
+  | IDENT x -> advance st; x
+  | tok -> error "expected identifier, found %a" pp_token tok
+
+let parse_ident_list st =
+  let first = parse_ident st in
+  let rec loop acc =
+    if accept st COMMA then loop (parse_ident st :: acc) else List.rev acc
+  in
+  loop [ first ]
+
+(* formula := exists(vars : conj) | conj;  returns (exists, constrs) *)
+let rec parse_formula st =
+  if accept st EXISTS then begin
+    expect st LPAREN;
+    let vars = parse_ident_list st in
+    expect st COLON;
+    let exists', constrs = parse_formula st in
+    expect st RPAREN;
+    (vars @ exists', constrs)
+  end
+  else
+    let rec conj acc =
+      let cs = parse_chain st in
+      let acc = acc @ cs in
+      if accept st ANDAND then
+        if peek st = EXISTS then
+          let exists', constrs = parse_formula st in
+          (exists', acc @ constrs)
+        else conj acc
+      else ([], acc)
+    in
+    conj []
+
+(* ------------------------------------------------------------------ *)
+(* Sets and relations                                                  *)
+
+(* An input-tuple position may be an identifier or an integer constant
+   (the paper writes statement positions as constants, e.g.
+   [{[s,2,j,q] -> ...}]). A constant at position [k] becomes the
+   positional variable [_pk] pinned by an equality constraint. *)
+let parse_tuple_vars st =
+  expect st LBRACK;
+  if accept st RBRACK then ([], [])
+  else begin
+    let parse_item k =
+      match peek st with
+      | IDENT x -> advance st; (x, None)
+      | INT n ->
+        advance st;
+        let v = Printf.sprintf "_p%d" k in
+        (v, Some (Constr.eq (Term.var v) (Term.const n)))
+      | tok -> error "expected tuple variable, found %a" pp_token tok
+    in
+    let rec loop k acc =
+      let item = parse_item k in
+      if accept st COMMA then loop (k + 1) (item :: acc)
+      else List.rev (item :: acc)
+    in
+    let items = loop 0 [] in
+    expect st RBRACK;
+    (List.map fst items, List.filter_map snd items)
+  end
+
+let parse_tuple_exprs st =
+  expect st LBRACK;
+  if accept st RBRACK then []
+  else begin
+    let exprs = parse_expr_list st in
+    expect st RBRACK;
+    exprs
+  end
+
+let parse_rel_disjunct st =
+  expect st LBRACE;
+  let in_vars, pinned = parse_tuple_vars st in
+  expect st ARROW;
+  let out_tuple = parse_tuple_exprs st in
+  let exists, constrs =
+    if accept st COLON then parse_formula st else ([], [])
+  in
+  expect st RBRACE;
+  Rel.make ~in_vars ~out_tuple ~exists ~constrs:(pinned @ constrs) ()
+
+let parse_set_disjunct st =
+  expect st LBRACE;
+  let vars, pinned = parse_tuple_vars st in
+  let exists, constrs =
+    if accept st COLON then parse_formula st else ([], [])
+  in
+  expect st RBRACE;
+  Set_.make ~vars ~exists ~constrs:(pinned @ constrs) ()
+
+let relation src =
+  let st = { toks = tokenize src } in
+  let first = parse_rel_disjunct st in
+  let rec loop acc =
+    if accept st UNION then loop (Rel.union acc (parse_rel_disjunct st))
+    else begin
+      expect st EOF;
+      acc
+    end
+  in
+  loop first
+
+let set src =
+  let st = { toks = tokenize src } in
+  let first = parse_set_disjunct st in
+  let rec loop acc =
+    if accept st UNION then loop (Set_.union acc (parse_set_disjunct st))
+    else begin
+      expect st EOF;
+      acc
+    end
+  in
+  loop first
+
+let term src =
+  let st = { toks = tokenize src } in
+  let e = parse_expr st in
+  expect st EOF;
+  e

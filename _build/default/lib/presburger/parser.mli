@@ -1,0 +1,23 @@
+(** Parser for the paper's textual set/relation notation.
+
+    Examples:
+    {v
+      relation "{[s,1,i,1] -> [s,1,sigma(i),1] : 1 <= s && s <= n}"
+      relation "{[s,2,j,q] -> [left(j)]} union {[s,2,j,q] -> [right(j)]}"
+      set      "{[m] : 1 <= m <= n_nodes}"
+    v}
+
+    Chained comparisons ([1 <= i <= n]) expand into conjunctions;
+    existentials are written [exists(e1,e2 : formula)]. *)
+
+exception Parse_error of string
+
+(** Parse a relation (a union of [{[vars] -> [exprs] : formula}]
+    disjuncts). Raises {!Parse_error}. *)
+val relation : string -> Rel.t
+
+(** Parse a set (a union of [{[vars] : formula}] conjuncts). *)
+val set : string -> Set_.t
+
+(** Parse a single affine/UFS expression. *)
+val term : string -> Term.t

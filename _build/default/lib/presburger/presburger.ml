@@ -1,0 +1,14 @@
+(** Presburger-with-UFS layer: the compile-time representation used by
+    the composition framework (terms, constraints, sets, relations,
+    lexicographic order, parser). This is the "sparse polyhedral"
+    substrate the paper builds on Kelly-Pugh + Pugh-Wonnacott. *)
+
+module Term = Term
+module Constr = Constr
+module Set = Set_
+module Rel = Rel
+module Lexord = Lexord
+module Ufs_env = Ufs_env
+module Solve = Solve
+module Fresh = Fresh
+module Parser = Parser

@@ -1,0 +1,403 @@
+(* Integer tuple relations with uninterpreted function symbols.
+
+   A relation is a finite union of [disjunct]s sharing one list of input
+   tuple variables. Each disjunct gives the output tuple as a list of
+   terms over the input variables and local existentials, constrained by
+   a conjunction of affine/UFS constraints:
+
+     { [in_vars] -> [out_tuple] : exists(exists : constrs) }
+
+   This "functional-form" representation makes composition a
+   substitution, which is the operation the paper's framework leans on:
+   the effect of a data reordering R on a data mapping M is [R . M], and
+   the effect of an iteration reordering T on dependences D is
+   [T . D . T^-1]. Non-functional relations (dependences) are still
+   expressible by using existentials in the output tuple. *)
+
+type disjunct = {
+  exists : string list;
+  out_tuple : Term.t list;
+  constrs : Constr.t list;
+}
+
+type t = {
+  in_vars : string list;
+  out_arity : int;
+  disjuncts : disjunct list;
+}
+
+let in_arity r = List.length r.in_vars
+let out_arity r = r.out_arity
+let in_vars r = r.in_vars
+let disjuncts r = r.disjuncts
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+(* Variables that are neither inputs nor existentials are symbolic
+   constants (e.g. n_nodes, n_steps), as in the Omega notation. *)
+let make ~in_vars ~out_tuple ?(exists = []) ?(constrs = []) () =
+  let d = { exists; out_tuple; constrs } in
+  { in_vars; out_arity = List.length out_tuple; disjuncts = [ d ] }
+
+(* The identity relation on [n]-tuples with canonical variable names. *)
+let identity ?(prefix = "x") n =
+  let vars = List.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+  make ~in_vars:vars ~out_tuple:(List.map Term.var vars) ()
+
+let empty ~in_vars ~out_arity = { in_vars; out_arity; disjuncts = [] }
+
+let is_empty r = r.disjuncts = []
+
+(* A relation is functional in form when no disjunct uses existentials:
+   each output tuple is then a direct function of the inputs. *)
+let is_functional r = List.for_all (fun d -> d.exists = []) r.disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* Renaming and substitution                                           *)
+
+let freshen_disjunct d =
+  let renaming =
+    List.map (fun e -> (e, Fresh.var ~hint:"u" ())) d.exists
+  in
+  let f x = match List.assoc_opt x renaming with Some y -> y | None -> x in
+  {
+    exists = List.map snd renaming;
+    out_tuple = List.map (Term.rename f) d.out_tuple;
+    constrs = List.map (Constr.rename f) d.constrs;
+  }
+
+(* Substitute terms for the input variables of a disjunct. Existentials
+   are freshened first so they cannot capture variables of [bindings]. *)
+let subst_in_disjunct bindings d =
+  let d = freshen_disjunct d in
+  {
+    d with
+    out_tuple = List.map (Term.subst_all bindings) d.out_tuple;
+    constrs = List.map (fun c -> Constr.map (Term.subst_all bindings) c) d.constrs;
+  }
+
+(* [rename_in_vars names r] re-expresses [r] over input variables
+   [names]. *)
+let rename_in_vars names r =
+  if List.length names <> in_arity r then
+    invalid "Rel.rename_in_vars: arity mismatch";
+  let bindings = List.map2 (fun old nw -> (old, Term.var nw)) r.in_vars names in
+  {
+    r with
+    in_vars = names;
+    disjuncts = List.map (subst_in_disjunct bindings) r.disjuncts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Simplification                                                      *)
+
+(* Eliminate existentials that are determined by equalities (possibly
+   through UFS inversion), drop trivially-true constraints, and drop
+   disjuncts containing a trivially-false constraint. *)
+let simplify_disjunct env d =
+  let rec eliminate d =
+    let try_var v =
+      match Solve.solve_in_constrs env d.constrs v with
+      | Some (s, remaining) ->
+        Some
+          {
+            exists = List.filter (fun e -> not (String.equal e v)) d.exists;
+            out_tuple = List.map (Term.subst v s) d.out_tuple;
+            constrs = List.map (Constr.subst v s) remaining;
+          }
+      | None -> None
+    in
+    match List.find_map try_var d.exists with
+    | Some d' -> eliminate d'
+    | None -> d
+  in
+  let d = eliminate d in
+  (* Cancel bijections composed with their inverses. *)
+  let collapse = Term.collapse_inverses ~inverse:(fun f -> Ufs_env.inverse f env) in
+  let d =
+    {
+      d with
+      out_tuple = List.map collapse d.out_tuple;
+      constrs = List.map (Constr.map collapse) d.constrs;
+    }
+  in
+  let constrs =
+    List.filter (fun c -> Constr.truth c <> `True) d.constrs
+  in
+  if List.exists (fun c -> Constr.truth c = `False) constrs then None
+  else
+    let constrs =
+      List.sort_uniq Constr.compare (List.map Constr.normalize constrs)
+    in
+    (* Drop existentials that no longer occur anywhere. *)
+    let used v =
+      List.exists (Term.mem_var v) d.out_tuple
+      || List.exists (Constr.mem_var v) constrs
+    in
+    Some { d with constrs; exists = List.filter used d.exists }
+
+let simplify ?(env = Ufs_env.empty) r =
+  { r with disjuncts = List.filter_map (simplify_disjunct env) r.disjuncts }
+
+(* ------------------------------------------------------------------ *)
+(* Algebra                                                             *)
+
+let union r1 r2 =
+  if in_arity r1 <> in_arity r2 || r1.out_arity <> r2.out_arity then
+    invalid "Rel.union: arity mismatch (%dx%d vs %dx%d)" (in_arity r1)
+      r1.out_arity (in_arity r2) r2.out_arity;
+  let r2 = rename_in_vars r1.in_vars r2 in
+  { r1 with disjuncts = r1.disjuncts @ r2.disjuncts }
+
+let union_all = function
+  | [] -> invalid "Rel.union_all: empty list"
+  | r :: rest -> List.fold_left union r rest
+
+(* [compose ?env r2 r1] is [r2 . r1]: apply [r1] first. Since output
+   tuples are explicit terms, composition substitutes [r1]'s output
+   tuple for [r2]'s input variables, pairwise over disjuncts. *)
+let compose ?(env = Ufs_env.empty) r2 r1 =
+  if r1.out_arity <> in_arity r2 then
+    invalid "Rel.compose: r1 out arity %d <> r2 in arity %d" r1.out_arity
+      (in_arity r2);
+  let combine d1 d2 =
+    let bindings = List.map2 (fun v t -> (v, t)) r2.in_vars d1.out_tuple in
+    let d2 = subst_in_disjunct bindings d2 in
+    {
+      exists = d1.exists @ d2.exists;
+      out_tuple = d2.out_tuple;
+      constrs = d1.constrs @ d2.constrs;
+    }
+  in
+  let disjuncts =
+    List.concat_map
+      (fun d1 -> List.map (combine d1) r2.disjuncts)
+      r1.disjuncts
+  in
+  simplify ~env { in_vars = r1.in_vars; out_arity = r2.out_arity; disjuncts }
+
+(* [inverse ?env r] swaps domain and range. For each disjunct, the old
+   input variables become existentials related to the new inputs by
+   [y_k = out_tuple_k]; simplification then eliminates what it can by
+   solving (using registered UFS inverses). *)
+let inverse ?(env = Ufs_env.empty) ?(prefix = "y") r =
+  let new_in = List.init r.out_arity (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let invert_one d =
+    (* Freshen old in_vars to avoid clashing with the new input names. *)
+    let renaming = List.map (fun v -> (v, Fresh.var ~hint:"v" ())) r.in_vars in
+    let f x = match List.assoc_opt x renaming with Some y -> y | None -> x in
+    let old_out = List.map (Term.rename f) d.out_tuple in
+    let old_constrs = List.map (Constr.rename f) d.constrs in
+    let link =
+      List.map2 (fun y t -> Constr.eq (Term.var y) t) new_in old_out
+    in
+    {
+      exists = List.map snd renaming @ d.exists;
+      out_tuple = List.map (fun (_, v) -> Term.var v) renaming;
+      constrs = link @ old_constrs;
+    }
+  in
+  simplify ~env
+    {
+      in_vars = new_in;
+      out_arity = in_arity r;
+      disjuncts = List.map invert_one r.disjuncts;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Domain and range                                                    *)
+
+(* The domain as a set: the input tuples for which some disjunct's
+   constraints are satisfiable. Output-tuple variables and existentials
+   become the set conjunct's existentials. *)
+let domain r =
+  let conjunct_of (d : disjunct) =
+    let d = freshen_disjunct d in
+    (* Variables appearing only in the out tuple must stay bound:
+       introduce them as existentials via equalities out_i = t_i with
+       fresh names, then drop the trivially-satisfiable ones. Since
+       out-tuple terms are plain terms, the out tuple itself imposes no
+       constraint; only [d.constrs] restrict the domain. *)
+    { Set_.exists = d.exists; constrs = d.constrs }
+  in
+  Set_.of_conjuncts ~vars:r.in_vars (List.map conjunct_of r.disjuncts)
+
+(* The range as a set over fresh variables [prefix]0.. *)
+let range ?(env = Ufs_env.empty) ?(prefix = "z") r =
+  let vars = List.init r.out_arity (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let conjunct_of (d : disjunct) =
+    let renaming = List.map (fun v -> (v, Fresh.var ~hint:"r" ())) r.in_vars in
+    let f x = match List.assoc_opt x renaming with Some y -> y | None -> x in
+    let link =
+      List.map2
+        (fun z t -> Constr.eq (Term.var z) (Term.rename f t))
+        vars d.out_tuple
+    in
+    {
+      Set_.exists = List.map snd renaming @ d.exists;
+      constrs = link @ List.map (Constr.rename f) d.constrs;
+    }
+  in
+  Set_.simplify ~env
+    (Set_.of_conjuncts ~vars (List.map conjunct_of r.disjuncts))
+
+(* [image ?env r s] is the image of set [s] under [r]: fresh output
+   variables are linked to the relation's output tuple by equalities,
+   the old tuple variables become existentials. *)
+let image ?(env = Ufs_env.empty) r s =
+  if in_arity r <> Set_.arity s then invalid "Rel.image: arity mismatch";
+  let r = rename_in_vars (Set_.vars s) r in
+  let out_vars = List.init r.out_arity (fun i -> Printf.sprintf "z%d" i) in
+  let combine (c : Set_.conjunct) (d : disjunct) =
+    let renaming =
+      List.map (fun v -> (v, Fresh.var ~hint:"p" ())) (Set_.vars s)
+    in
+    let f x = match List.assoc_opt x renaming with Some y -> y | None -> x in
+    let link =
+      List.map2
+        (fun z t -> Constr.eq (Term.var z) (Term.rename f t))
+        out_vars d.out_tuple
+    in
+    {
+      Set_.exists = List.map snd renaming @ c.Set_.exists @ d.exists;
+      constrs =
+        link
+        @ List.map (Constr.rename f) c.Set_.constrs
+        @ List.map (Constr.rename f) d.constrs;
+    }
+  in
+  Set_.simplify ~env
+    (Set_.of_conjuncts ~vars:out_vars
+       (List.concat_map
+          (fun c -> List.map (combine c) r.disjuncts)
+          (Set_.conjuncts s)))
+
+(* Restrict the domain to a set (of matching arity). *)
+let restrict_domain r s =
+  if Set_.arity s <> in_arity r then invalid "Rel.restrict_domain: arity";
+  let s = Set_.rename_vars r.in_vars s in
+  let combine (d : disjunct) (c : Set_.conjunct) =
+    let c_exists = List.map (fun e -> (e, Fresh.var ~hint:"s" ())) c.Set_.exists in
+    let f x = match List.assoc_opt x c_exists with Some y -> y | None -> x in
+    {
+      d with
+      exists = d.exists @ List.map snd c_exists;
+      constrs = d.constrs @ List.map (Constr.rename f) c.Set_.constrs;
+    }
+  in
+  {
+    r with
+    disjuncts =
+      List.concat_map
+        (fun d -> List.map (combine d) (Set_.conjuncts s))
+        r.disjuncts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation (for testing and run-time legality checks)               *)
+
+(* Evaluate a functional disjunct on a concrete input tuple. Returns
+   [None] when a constraint is violated. Only exists-free disjuncts can
+   be evaluated directly. *)
+let eval_disjunct ~interp in_vars d tuple =
+  if d.exists <> [] then
+    invalid "Rel.eval: disjunct has existentials; simplify first";
+  let bindings = List.combine in_vars tuple in
+  let env x =
+    match List.assoc_opt x bindings with
+    | Some v -> v
+    | None -> raise Not_found
+  in
+  if List.for_all (Constr.eval ~env ~interp) d.constrs then
+    Some (List.map (Term.eval ~env ~interp) d.out_tuple)
+  else None
+
+(* [eval ~interp r tuple] returns every output tuple produced by some
+   disjunct of [r] on [tuple]. *)
+let eval ?(interp = fun f _ -> invalid "Rel.eval: uninterpreted %s" f) r tuple
+    =
+  if List.length tuple <> in_arity r then
+    invalid "Rel.eval: tuple arity mismatch";
+  List.filter_map (fun d -> eval_disjunct ~interp r.in_vars d tuple) r.disjuncts
+
+(* [eval_fn] for relations expected to be total functions: exactly one
+   disjunct must fire. *)
+let eval_fn ?interp r tuple =
+  match eval ?interp r tuple with
+  | [ out ] -> out
+  | [] -> invalid "Rel.eval_fn: no disjunct applies"
+  | _ -> invalid "Rel.eval_fn: multiple disjuncts apply"
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let ufs_names r =
+  let from_disjunct d =
+    List.fold_left Term.ufs_names
+      (List.fold_left
+         (fun acc c -> Term.ufs_names acc (Constr.term c))
+         [] d.constrs)
+      d.out_tuple
+  in
+  List.sort_uniq String.compare (List.concat_map from_disjunct r.disjuncts)
+
+let equal r1 r2 =
+  in_arity r1 = in_arity r2
+  && r1.out_arity = r2.out_arity
+  &&
+  let r2 = rename_in_vars r1.in_vars r2 in
+  let norm d =
+    (d.out_tuple, List.sort Constr.compare d.constrs, List.length d.exists)
+  in
+  let ds1 = List.map norm r1.disjuncts and ds2 = List.map norm r2.disjuncts in
+  List.length ds1 = List.length ds2
+  && List.for_all
+       (fun d1 ->
+         List.exists
+           (fun d2 ->
+             let t1, c1, e1 = d1 and t2, c2, e2 = d2 in
+             e1 = e2
+             && List.for_all2 Term.equal t1 t2
+             && List.length c1 = List.length c2
+             && List.for_all2 Constr.equal c1 c2)
+           ds2)
+       ds1
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let pp_tuple ppf terms =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") Term.pp) terms
+
+let pp_disjunct in_vars ppf d =
+  let pp_body ppf () =
+    Fmt.pf ppf "[%a] -> %a"
+      Fmt.(list ~sep:(any ", ") string)
+      in_vars pp_tuple d.out_tuple;
+    match d.exists, d.constrs with
+    | [], [] -> ()
+    | [], cs -> Fmt.pf ppf " : %a" Fmt.(list ~sep:(any " && ") Constr.pp) cs
+    | es, cs ->
+      Fmt.pf ppf " : exists(%a : %a)"
+        Fmt.(list ~sep:(any ", ") string)
+        es
+        Fmt.(list ~sep:(any " && ") Constr.pp)
+        cs
+  in
+  Fmt.pf ppf "{%a}" pp_body ()
+
+let pp ppf r =
+  match r.disjuncts with
+  | [] ->
+    Fmt.pf ppf "{[%a] -> [] : false}"
+      Fmt.(list ~sep:(any ", ") string)
+      r.in_vars
+  | ds ->
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:(any " union ") (pp_disjunct r.in_vars))
+      ds
+
+let to_string r = Fmt.str "%a" pp r

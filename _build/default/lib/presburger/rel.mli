@@ -1,0 +1,98 @@
+(** Integer tuple relations with uninterpreted function symbols — the
+    compile-time representation of data mappings [M_{I->a}], dependences
+    [D_{I->I}], data reorderings [R_{a->a'}] and iteration reorderings
+    [T_{I->I'}] from the paper.
+
+    A relation is a union of disjuncts over shared input variables; each
+    disjunct gives the output tuple as terms over the inputs and local
+    existentials, under a conjunction of constraints. *)
+
+type disjunct = {
+  exists : string list;
+  out_tuple : Term.t list;
+  constrs : Constr.t list;
+}
+
+type t = private {
+  in_vars : string list;
+  out_arity : int;
+  disjuncts : disjunct list;
+}
+
+val in_arity : t -> int
+val out_arity : t -> int
+val in_vars : t -> string list
+val disjuncts : t -> disjunct list
+
+(** [make ~in_vars ~out_tuple ?exists ?constrs ()] builds a
+    single-disjunct relation. Variables that are neither inputs nor
+    existentials are symbolic constants (e.g. [n_nodes]). *)
+val make :
+  in_vars:string list ->
+  out_tuple:Term.t list ->
+  ?exists:string list ->
+  ?constrs:Constr.t list ->
+  unit ->
+  t
+
+(** Identity relation on [n]-tuples. *)
+val identity : ?prefix:string -> int -> t
+
+(** The empty relation of the given signature. *)
+val empty : in_vars:string list -> out_arity:int -> t
+
+val is_empty : t -> bool
+
+(** True when no disjunct has existentials, i.e. every output tuple is a
+    direct function of the inputs. *)
+val is_functional : t -> bool
+
+(** Re-express the relation over new input variable names. *)
+val rename_in_vars : string list -> t -> t
+
+(** Eliminate determined existentials (using UFS inverses registered in
+    [env]), drop trivially-true constraints and trivially-false
+    disjuncts. *)
+val simplify : ?env:Ufs_env.t -> t -> t
+
+(** Union of relations of equal signature. *)
+val union : t -> t -> t
+
+val union_all : t list -> t
+
+(** [compose ?env r2 r1] is [r2 . r1] (apply [r1] first). *)
+val compose : ?env:Ufs_env.t -> t -> t -> t
+
+(** [inverse ?env r] swaps domain and range, solving for the old inputs
+    where UFS inverses allow. *)
+val inverse : ?env:Ufs_env.t -> ?prefix:string -> t -> t
+
+(** The domain as a set over the input variables. *)
+val domain : t -> Set_.t
+
+(** The range as a set over fresh variables [prefix]0... *)
+val range : ?env:Ufs_env.t -> ?prefix:string -> t -> Set_.t
+
+(** Image of a set under the relation. *)
+val image : ?env:Ufs_env.t -> t -> Set_.t -> Set_.t
+
+(** Conjoin a set's constraints onto the relation's inputs. *)
+val restrict_domain : t -> Set_.t -> t
+
+(** [eval ~interp r tuple] lists the output tuples related to [tuple];
+    requires exists-free disjuncts (simplify first). [interp] gives
+    meaning to UFS applications. *)
+val eval : ?interp:(string -> int list -> int) -> t -> int list -> int list list
+
+(** Like {!eval} but expects exactly one result. *)
+val eval_fn : ?interp:(string -> int list -> int) -> t -> int list -> int list
+
+(** All UFS names occurring in the relation. *)
+val ufs_names : t -> string list
+
+(** Structural equality up to input-variable renaming and constraint
+    order (not semantic equivalence). *)
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,157 @@
+(* Integer tuple sets with UFS constraints: iteration spaces and data
+   spaces of the Kelly-Pugh framework. A set is a union of conjuncts
+   over shared tuple variables. *)
+
+type conjunct = {
+  exists : string list;
+  constrs : Constr.t list;
+}
+
+type t = {
+  vars : string list;
+  conjuncts : conjunct list;
+}
+
+let arity s = List.length s.vars
+let vars s = s.vars
+let conjuncts s = s.conjuncts
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+(* Variables that are neither tuple variables nor existentials are
+   symbolic constants, as in the Omega notation. *)
+let make ~vars ?(exists = []) ?(constrs = []) () =
+  { vars; conjuncts = [ { exists; constrs } ] }
+
+let universe vars = make ~vars ()
+let empty ~vars = { vars; conjuncts = [] }
+let is_empty s = s.conjuncts = []
+
+let rename_vars names s =
+  if List.length names <> arity s then invalid "Set.rename_vars: arity";
+  let table = List.combine s.vars names in
+  let f x = match List.assoc_opt x table with Some y -> y | None -> x in
+  {
+    vars = names;
+    conjuncts =
+      List.map
+        (fun c -> { c with constrs = List.map (Constr.rename f) c.constrs })
+        s.conjuncts;
+  }
+
+let union s1 s2 =
+  if arity s1 <> arity s2 then invalid "Set.union: arity mismatch";
+  let s2 = rename_vars s1.vars s2 in
+  { s1 with conjuncts = s1.conjuncts @ s2.conjuncts }
+
+let union_all = function
+  | [] -> invalid "Set.union_all: empty"
+  | s :: rest -> List.fold_left union s rest
+
+let intersect s1 s2 =
+  if arity s1 <> arity s2 then invalid "Set.intersect: arity mismatch";
+  let s2 = rename_vars s1.vars s2 in
+  let combine c1 c2 =
+    let c2' =
+      let renaming = List.map (fun e -> (e, Fresh.var ~hint:"w" ())) c2.exists in
+      let f x =
+        match List.assoc_opt x renaming with Some y -> y | None -> x
+      in
+      {
+        exists = List.map snd renaming;
+        constrs = List.map (Constr.rename f) c2.constrs;
+      }
+    in
+    { exists = c1.exists @ c2'.exists; constrs = c1.constrs @ c2'.constrs }
+  in
+  {
+    s1 with
+    conjuncts =
+      List.concat_map (fun c1 -> List.map (combine c1) s2.conjuncts) s1.conjuncts;
+  }
+
+let simplify ?(env = Ufs_env.empty) s =
+  let simplify_conjunct c =
+    let rec eliminate c =
+      let try_var v =
+        match Solve.solve_in_constrs env c.constrs v with
+        | Some (sln, remaining) ->
+          Some
+            {
+              exists = List.filter (fun e -> not (String.equal e v)) c.exists;
+              constrs = List.map (Constr.subst v sln) remaining;
+            }
+        | None -> None
+      in
+      match List.find_map try_var c.exists with
+      | Some c' -> eliminate c'
+      | None -> c
+    in
+    let c = eliminate c in
+    let constrs = List.filter (fun k -> Constr.truth k <> `True) c.constrs in
+    if List.exists (fun k -> Constr.truth k = `False) constrs then None
+    else
+      Some
+        {
+          c with
+          constrs =
+            List.sort_uniq Constr.compare (List.map Constr.normalize constrs);
+        }
+  in
+  { s with conjuncts = List.filter_map simplify_conjunct s.conjuncts }
+
+(* Membership test for exists-free conjuncts. *)
+let mem ?(interp = fun f _ -> invalid "Set.mem: uninterpreted %s" f) s tuple =
+  if List.length tuple <> arity s then invalid "Set.mem: tuple arity";
+  let bindings = List.combine s.vars tuple in
+  let env x =
+    match List.assoc_opt x bindings with
+    | Some v -> v
+    | None -> raise Not_found
+  in
+  List.exists
+    (fun c ->
+      if c.exists <> [] then invalid "Set.mem: existentials; simplify first";
+      List.for_all (Constr.eval ~env ~interp) c.constrs)
+    s.conjuncts
+
+(* Raw constructor used by the relation operations (domain, range,
+   image) that build sets. *)
+let of_conjuncts ~vars conjuncts = { vars; conjuncts }
+
+(* Enumerate the tuples of a set within inclusive per-dimension bounds;
+   intended for small test instances. *)
+let enumerate ?interp ~bounds s =
+  if List.length bounds <> arity s then invalid "Set.enumerate: bounds arity";
+  let rec go acc prefix = function
+    | [] ->
+      let tuple = List.rev prefix in
+      if mem ?interp s tuple then tuple :: acc else acc
+    | (lo, hi) :: rest ->
+      let acc = ref acc in
+      for v = lo to hi do
+        acc := go !acc (v :: prefix) rest
+      done;
+      !acc
+  in
+  List.rev (go [] [] bounds)
+
+let pp_conjunct vars ppf c =
+  Fmt.pf ppf "{[%a]" Fmt.(list ~sep:(any ", ") string) vars;
+  (match c.exists, c.constrs with
+  | [], [] -> ()
+  | [], cs -> Fmt.pf ppf " : %a" Fmt.(list ~sep:(any " && ") Constr.pp) cs
+  | es, cs ->
+    Fmt.pf ppf " : exists(%a : %a)"
+      Fmt.(list ~sep:(any ", ") string)
+      es
+      Fmt.(list ~sep:(any " && ") Constr.pp)
+      cs);
+  Fmt.pf ppf "}"
+
+let pp ppf s =
+  match s.conjuncts with
+  | [] -> Fmt.pf ppf "{[%a] : false}" Fmt.(list ~sep:(any ", ") string) s.vars
+  | cs -> Fmt.(list ~sep:(any " union ") (pp_conjunct s.vars)) ppf cs
+
+let to_string s = Fmt.str "%a" pp s

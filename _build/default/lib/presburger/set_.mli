@@ -1,0 +1,55 @@
+(** Integer tuple sets with UFS constraints: the iteration spaces and
+    data spaces of the framework. A set is a union of conjuncts over
+    shared tuple variables. *)
+
+type conjunct = {
+  exists : string list;
+  constrs : Constr.t list;
+}
+
+type t = private {
+  vars : string list;
+  conjuncts : conjunct list;
+}
+
+val arity : t -> int
+val vars : t -> string list
+val conjuncts : t -> conjunct list
+
+(** Build a single-conjunct set. Variables that are neither tuple
+    variables nor existentials are symbolic constants. *)
+val make :
+  vars:string list ->
+  ?exists:string list ->
+  ?constrs:Constr.t list ->
+  unit ->
+  t
+
+(** The unconstrained set over the given tuple variables. *)
+val universe : string list -> t
+
+val empty : vars:string list -> t
+val is_empty : t -> bool
+val rename_vars : string list -> t -> t
+val union : t -> t -> t
+val union_all : t list -> t
+val intersect : t -> t -> t
+val simplify : ?env:Ufs_env.t -> t -> t
+
+(** Membership for exists-free sets, given a UFS interpretation. *)
+val mem : ?interp:(string -> int list -> int) -> t -> int list -> bool
+
+(** Raw constructor from conjuncts (used by {!Rel}'s set-producing
+    operations). *)
+val of_conjuncts : vars:string list -> conjunct list -> t
+
+(** Enumerate members within inclusive per-dimension [bounds] (small
+    test instances only). *)
+val enumerate :
+  ?interp:(string -> int list -> int) ->
+  bounds:(int * int) list ->
+  t ->
+  int list list
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,60 @@
+(* Solving equalities for a chosen variable, with UFS inversion.
+
+   Given an equality [t = 0] and a target variable [v], [solve env t v]
+   attempts to rewrite the equality into [v = s] where [s] does not
+   mention [v]. Besides ordinary affine rearrangement, it can peel one
+   single-argument UFS application at a time using inverses registered
+   in the {!Ufs_env}: from [y - f(e) = 0] it derives [f_inv(y) - e = 0]
+   and recurses into [e]. This is exactly the algebra the paper uses to
+   build composed inspectors (e.g. recovering [j] from [j1 = lg(j)] via
+   [delta_lg_inv]). *)
+
+(* Count occurrences of [v] as a top-level Var atom and the list of
+   top-level UFS atoms (with coefficients) whose arguments mention [v]. *)
+let analyze v (t : Term.t) =
+  let var_coeff = ref 0 in
+  let ufs_with_v = ref [] in
+  List.iter
+    (fun ((a : Term.atom), c) ->
+      match a with
+      | Term.Var x -> if String.equal x v then var_coeff := c
+      | Term.Ufs (f, args) ->
+        if List.exists (Term.mem_var v) args then
+          ufs_with_v := (f, args, c) :: !ufs_with_v)
+    t.Term.coeffs;
+  (!var_coeff, List.rev !ufs_with_v)
+
+let remove_atom atom (t : Term.t) =
+  Term.make t.Term.const
+    (List.filter (fun (a, _) -> not (Term.equal_atom a atom)) t.Term.coeffs)
+
+let rec solve env (t : Term.t) v =
+  match analyze v t with
+  | c, [] when (c = 1 || c = -1) ->
+    (* t = c*v + rest = 0  ==>  v = -rest/c *)
+    let rest = remove_atom (Term.Var v) t in
+    Some (Term.scale (-c) rest)
+  | 0, [ (f, [ arg ], c) ] when c = 1 || c = -1 -> (
+    (* t = c*f(arg) + rest = 0 with v only inside arg:
+       f(arg) = -rest/c, hence arg = f_inv(-rest/c) if f is bijective. *)
+    match Ufs_env.inverse f env with
+    | None -> None
+    | Some f_inv ->
+      let rest = remove_atom (Term.Ufs (f, [ arg ])) t in
+      let rhs = Term.ufs f_inv [ Term.scale (-c) rest ] in
+      solve env (Term.sub arg rhs) v)
+  | _ -> None
+
+(* Try to solve any of the equalities in [constrs] for [v]; returns the
+   solution and the remaining constraints. *)
+let solve_in_constrs env constrs v =
+  let rec go acc = function
+    | [] -> None
+    | (Constr.Eq t as c) :: rest -> (
+      match solve env t v with
+      | Some s when not (Term.mem_var v s) ->
+        Some (s, List.rev_append acc rest)
+      | _ -> go (c :: acc) rest)
+    | c :: rest -> go (c :: acc) rest
+  in
+  go [] constrs

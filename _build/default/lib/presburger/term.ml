@@ -1,0 +1,222 @@
+(* Affine expressions over tuple variables extended with uninterpreted
+   function symbol (UFS) atoms, as used by the Kelly-Pugh framework with
+   Pugh-Wonnacott uninterpreted function symbols.
+
+   A term is kept in the normal form
+
+     const + sum_i coeff_i * atom_i
+
+   where each [atom] is either a named integer variable or a UFS
+   application [f(e1, ..., ek)] whose arguments are themselves terms.
+   The coefficient list is sorted by atom and contains no zero
+   coefficients, so structural equality of normalized terms coincides
+   with syntactic equality of the expressions they denote. *)
+
+type atom =
+  | Var of string
+  | Ufs of string * t list
+
+and t = {
+  const : int;
+  coeffs : (atom * int) list;
+}
+
+let rec compare_atom a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Var _, Ufs _ -> -1
+  | Ufs _, Var _ -> 1
+  | Ufs (f, args1), Ufs (g, args2) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_args args1 args2
+
+and compare_args l1 l2 =
+  match l1, l2 with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | t1 :: r1, t2 :: r2 ->
+    let c = compare t1 t2 in
+    if c <> 0 then c else compare_args r1 r2
+
+and compare t1 t2 =
+  let c = Stdlib.compare t1.const t2.const in
+  if c <> 0 then c
+  else
+    let rec go l1 l2 =
+      match l1, l2 with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | (a1, c1) :: r1, (a2, c2) :: r2 ->
+        let c = compare_atom a1 a2 in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare c1 c2 in
+          if c <> 0 then c else go r1 r2
+    in
+    go t1.coeffs t2.coeffs
+
+let equal t1 t2 = compare t1 t2 = 0
+let equal_atom a b = compare_atom a b = 0
+
+(* Normalization: merge equal atoms, drop zero coefficients, keep sorted. *)
+let normalize coeffs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare_atom a b) coeffs in
+  let rec merge = function
+    | [] -> []
+    | [ (a, c) ] -> if c = 0 then [] else [ (a, c) ]
+    | (a1, c1) :: (a2, c2) :: rest when compare_atom a1 a2 = 0 ->
+      merge ((a1, c1 + c2) :: rest)
+    | (a, c) :: rest -> if c = 0 then merge rest else (a, c) :: merge rest
+  in
+  merge sorted
+
+let make const coeffs = { const; coeffs = normalize coeffs }
+let zero = { const = 0; coeffs = [] }
+let const c = { const = c; coeffs = [] }
+let var x = { const = 0; coeffs = [ (Var x, 1) ] }
+let of_atom a = { const = 0; coeffs = [ (a, 1) ] }
+let ufs f args = { const = 0; coeffs = [ (Ufs (f, args), 1) ] }
+
+let add t1 t2 =
+  make (t1.const + t2.const) (t1.coeffs @ t2.coeffs)
+
+let scale k t =
+  if k = 0 then zero
+  else { const = k * t.const; coeffs = List.map (fun (a, c) -> (a, k * c)) t.coeffs }
+
+let neg t = scale (-1) t
+let sub t1 t2 = add t1 (neg t2)
+let is_const t = t.coeffs = []
+
+let to_const t = if is_const t then Some t.const else None
+
+(* [as_var t] is [Some x] when [t] is exactly the variable [x]. *)
+let as_var t =
+  match t.const, t.coeffs with
+  | 0, [ (Var x, 1) ] -> Some x
+  | _ -> None
+
+(* [as_ufs t] is [Some (f, args)] when [t] is exactly one UFS application. *)
+let as_ufs t =
+  match t.const, t.coeffs with
+  | 0, [ (Ufs (f, args), 1) ] -> Some (f, args)
+  | _ -> None
+
+let rec free_vars_atom acc = function
+  | Var x -> x :: acc
+  | Ufs (_, args) -> List.fold_left free_vars acc args
+
+and free_vars acc t =
+  List.fold_left (fun acc (a, _) -> free_vars_atom acc a) acc t.coeffs
+
+let vars t =
+  List.sort_uniq String.compare (free_vars [] t)
+
+let mem_var x t = List.mem x (vars t)
+
+let rec ufs_names_atom acc = function
+  | Var _ -> acc
+  | Ufs (f, args) -> List.fold_left ufs_names (f :: acc) args
+
+and ufs_names acc t =
+  List.fold_left (fun acc (a, _) -> ufs_names_atom acc a) acc t.coeffs
+
+(* Substitute term [by] for every occurrence of variable [x], including
+   occurrences inside UFS arguments. *)
+let rec subst x by t =
+  let subst_atom (a, c) =
+    match a with
+    | Var y when String.equal x y -> scale c by
+    | Var _ -> { const = 0; coeffs = [ (a, c) ] }
+    | Ufs (f, args) ->
+      let args' = List.map (subst x by) args in
+      { const = 0; coeffs = [ (Ufs (f, args'), c) ] }
+  in
+  List.fold_left
+    (fun acc ac -> add acc (subst_atom ac))
+    (const t.const) t.coeffs
+
+(* Simultaneous substitution: later bindings must not rewrite variables
+   introduced by earlier ones (relation composition depends on this). *)
+let rec subst_all bindings t =
+  let subst_atom (a, c) =
+    match a with
+    | Var y -> (
+      match List.assoc_opt y bindings with
+      | Some by -> scale c by
+      | None -> { const = 0; coeffs = [ (a, c) ] })
+    | Ufs (f, args) ->
+      let args' = List.map (subst_all bindings) args in
+      { const = 0; coeffs = [ (Ufs (f, args'), c) ] }
+  in
+  List.fold_left
+    (fun acc ac -> add acc (subst_atom ac))
+    (const t.const) t.coeffs
+
+(* Collapse compositions of a bijection with its registered inverse:
+   f(f_inv(e)) -> e and f_inv(f(e)) -> e, bottom-up. [inverse] reports
+   the inverse's name for a bijective UFS. *)
+let rec collapse_inverses ~inverse t =
+  let collapse_atom (a, c) =
+    match a with
+    | Var _ -> { const = 0; coeffs = [ (a, c) ] }
+    | Ufs (f, args) -> (
+      let args = List.map (collapse_inverses ~inverse) args in
+      match args, inverse f with
+      | [ arg ], Some f_inv -> (
+        match arg.const, arg.coeffs with
+        | 0, [ (Ufs (g, [ inner ]), 1) ] when String.equal g f_inv ->
+          scale c inner
+        | _ -> { const = 0; coeffs = [ (Ufs (f, args), c) ] })
+      | _ -> { const = 0; coeffs = [ (Ufs (f, args), c) ] })
+  in
+  List.fold_left
+    (fun acc ac -> add acc (collapse_atom ac))
+    (const t.const) t.coeffs
+
+(* Rename variables according to [f]; renaming reaches inside UFS args. *)
+let rec rename f t =
+  let rename_atom (a, c) =
+    match a with
+    | Var y -> ((Var (f y) : atom), c)
+    | Ufs (g, args) -> (Ufs (g, List.map (rename f) args), c)
+  in
+  { t with coeffs = normalize (List.map rename_atom t.coeffs) }
+
+(* Evaluate a term given an environment for variables and an
+   interpretation for UFS applications. Raises [Not_found] if a
+   variable is unbound. *)
+let rec eval ~env ~interp t =
+  let eval_atom = function
+    | Var x -> env x
+    | Ufs (f, args) -> interp f (List.map (eval ~env ~interp) args)
+  in
+  List.fold_left (fun acc (a, c) -> acc + (c * eval_atom a)) t.const t.coeffs
+
+let rec pp ppf t =
+  let pp_atom ppf = function
+    | Var x -> Fmt.string ppf x
+    | Ufs (f, args) ->
+      Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp) args
+  in
+  let pp_mono ~first ppf (a, c) =
+    let sep =
+      if first then if c < 0 then "-" else ""
+      else if c < 0 then " - "
+      else " + "
+    in
+    match abs c with
+    | 1 -> Fmt.pf ppf "%s%a" sep pp_atom a
+    | m -> Fmt.pf ppf "%s%d %a" sep m pp_atom a
+  in
+  match t.coeffs with
+  | [] -> Fmt.int ppf t.const
+  | first_mono :: rest ->
+    pp_mono ~first:true ppf first_mono;
+    List.iter (pp_mono ~first:false ppf) rest;
+    if t.const > 0 then Fmt.pf ppf " + %d" t.const
+    else if t.const < 0 then Fmt.pf ppf " - %d" (abs t.const)
+
+let to_string t = Fmt.str "%a" pp t

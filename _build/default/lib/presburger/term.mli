@@ -1,0 +1,84 @@
+(** Affine integer expressions extended with uninterpreted function
+    symbols (UFS), the term language of the Kelly-Pugh framework with
+    Pugh-Wonnacott uninterpreted function symbols.
+
+    A term denotes [const + sum_i coeff_i * atom_i] where each atom is a
+    variable or a UFS application [f(e1, ..., ek)]. Terms are kept
+    normalized (sorted atoms, merged and nonzero coefficients), so
+    {!equal} decides syntactic equality of the denoted expressions. *)
+
+(** An atom: a tuple/existential variable or a UFS application whose
+    arguments are themselves terms. *)
+type atom =
+  | Var of string
+  | Ufs of string * t list
+
+and t = private {
+  const : int;
+  coeffs : (atom * int) list;
+}
+
+val compare : t -> t -> int
+val compare_atom : atom -> atom -> int
+val equal : t -> t -> bool
+val equal_atom : atom -> atom -> bool
+
+(** [make const coeffs] builds a normalized term. *)
+val make : int -> (atom * int) list -> t
+
+val zero : t
+val const : int -> t
+val var : string -> t
+val of_atom : atom -> t
+
+(** [ufs f args] is the application [f(args)] as a term. *)
+val ufs : string -> t list -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [scale k t] is [k * t]. *)
+val scale : int -> t -> t
+
+val is_const : t -> bool
+
+(** [to_const t] is [Some c] iff [t] is the constant [c]. *)
+val to_const : t -> int option
+
+(** [as_var t] is [Some x] iff [t] is exactly the variable [x]. *)
+val as_var : t -> string option
+
+(** [as_ufs t] is [Some (f, args)] iff [t] is exactly [f(args)]. *)
+val as_ufs : t -> (string * t list) option
+
+(** All variables occurring in [t], including inside UFS arguments,
+    sorted and deduplicated. *)
+val vars : t -> string list
+
+val mem_var : string -> t -> bool
+
+(** Names of every UFS occurring in [t] (with duplicates), accumulated
+    onto the first argument. *)
+val ufs_names : string list -> t -> string list
+
+(** [subst x by t] replaces variable [x] with term [by] everywhere in
+    [t], including inside UFS arguments. *)
+val subst : string -> t -> t -> t
+
+(** Simultaneous substitution of several variables. *)
+val subst_all : (string * t) list -> t -> t
+
+(** Collapse [f(f_inv(e))] (and [f_inv(f(e))]) to [e] bottom-up, given
+    a function reporting each bijective UFS's inverse name. *)
+val collapse_inverses : inverse:(string -> string option) -> t -> t
+
+(** [rename f t] renames every variable [x] to [f x]. *)
+val rename : (string -> string) -> t -> t
+
+(** [eval ~env ~interp t] evaluates [t] with variable environment [env]
+    and UFS interpretation [interp]. *)
+val eval : env:(string -> int) -> interp:(string -> int list -> int) -> t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,38 @@
+(* Environment of facts about uninterpreted function symbols.
+
+   The composition framework needs to know, for a UFS [f] that denotes a
+   run-time permutation (a data or iteration reordering function), the
+   name of its inverse [f_inv]; this is what lets the simplifier solve
+   equalities such as [j1 = lg(j)] for [j] (giving [j = lg_inv(j1)]),
+   exactly as the paper's composed inspectors materialize
+   [delta_lg_inv]. *)
+
+type fact = {
+  arity : int;
+  inverse : string option; (* name of the inverse function, if bijective *)
+}
+
+type t = (string * fact) list
+
+let empty = []
+
+let add ?inverse ~arity name env = (name, { arity; inverse }) :: env
+
+(* Register a bijection together with its inverse; both directions are
+   recorded so that inverting twice recovers the original symbol. *)
+let add_bijection name ~inverse ~arity env =
+  (name, { arity; inverse = Some inverse })
+  :: (inverse, { arity; inverse = Some name })
+  :: env
+
+let find name env = List.assoc_opt name env
+
+let inverse name env =
+  match find name env with
+  | Some { inverse = Some inv; _ } -> Some inv
+  | _ -> None
+
+let arity name env =
+  match find name env with Some { arity; _ } -> Some arity | None -> None
+
+let names env = List.sort_uniq String.compare (List.map fst env)

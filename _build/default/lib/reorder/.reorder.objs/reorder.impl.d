@@ -1,0 +1,1 @@
+lib/reorder/reorder.ml: Access Bucket_tile Cpack Gpart_reorder Lexgroup Lexsort Multilevel_reorder Perm Rcm_reorder Schedule Sfc_reorder Sparse_tile Tile_pack Tile_par Wavefront

@@ -1,0 +1,1 @@
+lib/reorder/access.ml: Array Fmt Irgraph List Perm

@@ -1,0 +1,1 @@
+lib/reorder/access.mli: Fmt Irgraph Perm

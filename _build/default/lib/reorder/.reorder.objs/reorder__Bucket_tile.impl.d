@@ -1,0 +1,1 @@
+lib/reorder/bucket_tile.ml: Access Array Perm

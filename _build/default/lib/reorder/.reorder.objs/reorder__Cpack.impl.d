@@ -1,0 +1,1 @@
+lib/reorder/cpack.ml: Access Array Perm

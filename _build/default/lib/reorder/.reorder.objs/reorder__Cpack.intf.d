@@ -1,0 +1,1 @@
+lib/reorder/cpack.mli: Access Perm

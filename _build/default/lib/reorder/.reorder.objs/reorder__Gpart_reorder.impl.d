@@ -1,0 +1,1 @@
+lib/reorder/gpart_reorder.ml: Access Array Irgraph Perm

@@ -1,0 +1,1 @@
+lib/reorder/gpart_reorder.mli: Access Irgraph Perm

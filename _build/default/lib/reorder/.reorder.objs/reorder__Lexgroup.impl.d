@@ -1,0 +1,1 @@
+lib/reorder/lexgroup.ml: Access Array Perm

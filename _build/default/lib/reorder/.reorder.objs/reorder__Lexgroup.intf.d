@@ -1,0 +1,1 @@
+lib/reorder/lexgroup.mli: Access Perm

@@ -1,0 +1,1 @@
+lib/reorder/lexsort.ml: Access Array Perm Stdlib

@@ -1,0 +1,1 @@
+lib/reorder/lexsort.mli: Access Perm

@@ -1,0 +1,1 @@
+lib/reorder/multilevel_reorder.ml: Access Array Irgraph Perm Queue

@@ -1,0 +1,1 @@
+lib/reorder/multilevel_reorder.mli: Access Irgraph Perm

@@ -1,0 +1,1 @@
+lib/reorder/perm.ml: Array Fmt

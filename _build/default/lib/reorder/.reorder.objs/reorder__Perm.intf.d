@@ -1,0 +1,1 @@
+lib/reorder/perm.mli: Fmt

@@ -1,0 +1,1 @@
+lib/reorder/rcm_reorder.ml: Access Irgraph Perm

@@ -1,0 +1,1 @@
+lib/reorder/rcm_reorder.mli: Access Perm

@@ -1,0 +1,1 @@
+lib/reorder/schedule.ml: Array Fmt Perm Sparse_tile Stdlib

@@ -1,0 +1,1 @@
+lib/reorder/schedule.mli: Fmt Perm Sparse_tile

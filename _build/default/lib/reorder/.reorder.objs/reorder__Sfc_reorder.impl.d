@@ -1,0 +1,1 @@
+lib/reorder/sfc_reorder.ml: Array Perm

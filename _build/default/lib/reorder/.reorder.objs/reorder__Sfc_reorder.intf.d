@@ -1,0 +1,1 @@
+lib/reorder/sfc_reorder.mli: Perm

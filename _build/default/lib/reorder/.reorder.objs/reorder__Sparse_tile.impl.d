@@ -1,0 +1,1 @@
+lib/reorder/sparse_tile.ml: Access Array Fmt Irgraph List

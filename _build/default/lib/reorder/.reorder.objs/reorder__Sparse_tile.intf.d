@@ -1,0 +1,1 @@
+lib/reorder/sparse_tile.mli: Access Fmt Irgraph

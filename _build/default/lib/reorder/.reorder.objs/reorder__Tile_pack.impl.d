@@ -1,0 +1,1 @@
+lib/reorder/tile_pack.ml: Access Array List Perm Schedule

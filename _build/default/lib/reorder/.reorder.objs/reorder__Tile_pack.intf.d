@@ -1,0 +1,1 @@
+lib/reorder/tile_pack.mli: Access Perm Schedule

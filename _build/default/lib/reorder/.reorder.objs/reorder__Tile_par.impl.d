@@ -1,0 +1,1 @@
+lib/reorder/tile_par.ml: Access Array Fmt Hashtbl List Sparse_tile

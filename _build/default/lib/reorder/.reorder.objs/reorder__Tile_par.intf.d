@@ -1,0 +1,1 @@
+lib/reorder/tile_par.mli: Access Fmt Sparse_tile

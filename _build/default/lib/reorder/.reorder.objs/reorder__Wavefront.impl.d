@@ -1,0 +1,1 @@
+lib/reorder/wavefront.ml: Access Array Fmt

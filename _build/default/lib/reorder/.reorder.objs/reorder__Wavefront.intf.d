@@ -1,0 +1,1 @@
+lib/reorder/wavefront.mli: Access Fmt

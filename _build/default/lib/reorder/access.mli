@@ -1,0 +1,57 @@
+(** Run-time counterpart of a data mapping [M_{I->a}]: per-iteration
+    touched locations of one data space, CSR-style, in touch order.
+    Data-reordering inspectors traverse exactly this structure. *)
+
+type t = private {
+  n_iter : int;
+  n_data : int;
+  ptr : int array;
+  dat : int array;
+}
+
+val n_iter : t -> int
+val n_data : t -> int
+
+(** Total number of (iteration, location) touches. *)
+val n_touches : t -> int
+
+(** Raw constructor; validates CSR shape and location bounds. *)
+val make : n_iter:int -> n_data:int -> ptr:int array -> dat:int array -> t
+
+(** Iteration [j] touches [(left.(j), right.(j))] in that order (the j
+    loop of moldyn/nbf/irreg). *)
+val of_pairs : n_data:int -> int array -> int array -> t
+
+(** Iteration [j] touches the single location [idx.(j)]. *)
+val of_single : n_data:int -> int array -> t
+
+(** Iteration [i] touches location [i]. *)
+val identity : int -> t
+
+val of_lists : n_data:int -> int list array -> t
+
+val touches : t -> int -> int array
+val iter_touches : t -> int -> (int -> unit) -> unit
+val fold_touches : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** First location iteration [it] touches. *)
+val first_touch : t -> int -> int
+
+(** Effect of a data reordering sigma on the mapping ([R . M]). *)
+val map_data : Perm.t -> t -> t
+
+(** Effect of an iteration reordering delta ([M . T^-1]). *)
+val reorder_iters : Perm.t -> t -> t
+
+(** Same touches, locations shifted by [offset] into a larger space of
+    [n_data] locations (stacking several arrays into one space). *)
+val shift_data : offset:int -> n_data:int -> t -> t
+
+(** For each datum, the iterations touching it (ascending). *)
+val transpose : t -> t
+
+(** Data-affinity graph: locations co-touched by an iteration are
+    adjacent. *)
+val to_graph : t -> Irgraph.Csr.t
+
+val pp : t Fmt.t

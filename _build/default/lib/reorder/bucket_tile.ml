@@ -1,0 +1,45 @@
+(* Bucket tiling (Mitchell, Carter & Ferrante 1999, "localizing
+   non-affine array references"): partition the data space into
+   contiguous buckets of [bucket_size] locations; an iteration is
+   keyed by the bucket of its first touch and iterations are grouped
+   bucket by bucket (stable within a bucket).
+
+   Returns both the iteration reordering and the bucket (tile) of each
+   new iteration, since executors may insert per-bucket prefetch or
+   blocking. *)
+
+type t = {
+  delta : Perm.t;        (* iteration reordering *)
+  n_buckets : int;
+  bucket_of_new : int array; (* new iteration -> bucket id *)
+}
+
+let run (access : Access.t) ~bucket_size =
+  if bucket_size <= 0 then invalid_arg "Bucket_tile.run: bucket_size";
+  let n_iter = Access.n_iter access in
+  let n_data = Access.n_data access in
+  let n_buckets = max 1 ((n_data + bucket_size - 1) / bucket_size) in
+  let key =
+    Array.init n_iter (fun it -> Access.first_touch access it / bucket_size)
+  in
+  let count = Array.make (n_buckets + 1) 0 in
+  Array.iter (fun k -> count.(k + 1) <- count.(k + 1) + 1) key;
+  for b = 0 to n_buckets - 1 do
+    count.(b + 1) <- count.(b + 1) + count.(b)
+  done;
+  let starts = Array.copy count in
+  let forward = Array.make n_iter 0 in
+  for it = 0 to n_iter - 1 do
+    let k = key.(it) in
+    forward.(it) <- count.(k);
+    count.(k) <- count.(k) + 1
+  done;
+  let bucket_of_new = Array.make n_iter 0 in
+  let b = ref 0 in
+  for nw = 0 to n_iter - 1 do
+    while !b < n_buckets - 1 && nw >= starts.(!b + 1) do
+      incr b
+    done;
+    bucket_of_new.(nw) <- !b
+  done;
+  { delta = Perm.unsafe_of_forward forward; n_buckets; bucket_of_new }

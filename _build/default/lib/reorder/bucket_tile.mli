@@ -1,0 +1,10 @@
+(** Bucket tiling (Mitchell, Carter & Ferrante 1999): group iterations
+    by the contiguous data bucket of their first touch. *)
+
+type t = {
+  delta : Perm.t;            (** iteration reordering *)
+  n_buckets : int;
+  bucket_of_new : int array; (** new iteration -> bucket id *)
+}
+
+val run : Access.t -> bucket_size:int -> t

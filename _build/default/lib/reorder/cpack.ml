@@ -1,0 +1,52 @@
+(* Consecutive packing (Ding & Kennedy): a run-time data-reordering
+   inspector that traverses the data mapping in iteration order and
+   packs locations consecutively in first-touch order; untouched
+   locations keep their relative order at the end. This is Figure 10
+   of the paper, generalized from the (left, right) index-array pair to
+   any access pattern.
+
+   Returns the data reordering sigma_cp with
+   [Perm.forward sigma old = new]. *)
+
+let run (access : Access.t) =
+  let n_data = Access.n_data access in
+  let already_ordered = Array.make n_data false in
+  (* sigma_cp_inv in the paper: position -> original location. *)
+  let inv = Array.make n_data 0 in
+  let count = ref 0 in
+  let place loc =
+    if not already_ordered.(loc) then begin
+      inv.(!count) <- loc;
+      already_ordered.(loc) <- true;
+      incr count
+    end
+  in
+  for it = 0 to Access.n_iter access - 1 do
+    Access.iter_touches access it place
+  done;
+  (* Remaining locations in original order, as in the paper's final
+     loop over all nodes. *)
+  for loc = 0 to n_data - 1 do
+    place loc
+  done;
+  Perm.of_inverse inv
+
+(* CPACK over an explicit iteration visit order (used by tilePack and
+   by composed inspectors that traverse an updated data mapping). *)
+let run_in_order (access : Access.t) ~order =
+  let n_data = Access.n_data access in
+  let already_ordered = Array.make n_data false in
+  let inv = Array.make n_data 0 in
+  let count = ref 0 in
+  let place loc =
+    if not already_ordered.(loc) then begin
+      inv.(!count) <- loc;
+      already_ordered.(loc) <- true;
+      incr count
+    end
+  in
+  Array.iter (fun it -> Access.iter_touches access it place) order;
+  for loc = 0 to n_data - 1 do
+    place loc
+  done;
+  Perm.of_inverse inv

@@ -1,0 +1,10 @@
+(** Consecutive packing (CPACK, Ding & Kennedy 1999): data-reordering
+    inspector packing locations in first-touch order (Figure 10 of the
+    paper). *)
+
+(** [run access] traverses iterations in order and returns the data
+    reordering sigma_cp. *)
+val run : Access.t -> Perm.t
+
+(** CPACK over an explicit iteration visit order (used by tilePack). *)
+val run_in_order : Access.t -> order:int array -> Perm.t

@@ -1,0 +1,48 @@
+(* Lexicographical grouping (Ding & Kennedy): iteration-reordering
+   inspector that groups iterations by the first data location they
+   touch, preserving the original order within a group. After a data
+   reordering, iterations touching the same or adjacent locations then
+   execute consecutively (Figure 4 of the paper).
+
+   Implemented as a stable counting sort keyed on the first touch,
+   which is O(n_iter + n_data). Returns delta_lg with
+   [Perm.forward delta old_iter = new_iter]. *)
+
+let run (access : Access.t) =
+  let n_iter = Access.n_iter access in
+  let n_data = Access.n_data access in
+  let key = Array.init n_iter (fun it -> Access.first_touch access it) in
+  let count = Array.make (n_data + 1) 0 in
+  Array.iter (fun k -> count.(k + 1) <- count.(k + 1) + 1) key;
+  for d = 0 to n_data - 1 do
+    count.(d + 1) <- count.(d + 1) + count.(d)
+  done;
+  let forward = Array.make n_iter 0 in
+  for it = 0 to n_iter - 1 do
+    let k = key.(it) in
+    forward.(it) <- count.(k);
+    count.(k) <- count.(k) + 1
+  done;
+  Perm.unsafe_of_forward forward
+
+(* Group by the minimum touched location instead of the first; useful
+   when the touch order within an iteration is not meaningful. *)
+let run_by_min (access : Access.t) =
+  let n_iter = Access.n_iter access in
+  let n_data = Access.n_data access in
+  let key =
+    Array.init n_iter (fun it ->
+        Access.fold_touches access it min (n_data - 1))
+  in
+  let count = Array.make (n_data + 1) 0 in
+  Array.iter (fun k -> count.(k + 1) <- count.(k + 1) + 1) key;
+  for d = 0 to n_data - 1 do
+    count.(d + 1) <- count.(d + 1) + count.(d)
+  done;
+  let forward = Array.make n_iter 0 in
+  for it = 0 to n_iter - 1 do
+    let k = key.(it) in
+    forward.(it) <- count.(k);
+    count.(k) <- count.(k) + 1
+  done;
+  Perm.unsafe_of_forward forward

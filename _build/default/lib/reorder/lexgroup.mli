@@ -1,0 +1,9 @@
+(** Lexicographical grouping (lexGroup, Ding & Kennedy 1999):
+    iteration-reordering inspector grouping iterations by the first
+    location they touch (stable counting sort). *)
+
+(** [run access] returns the iteration reordering delta_lg. *)
+val run : Access.t -> Perm.t
+
+(** Variant keyed on the minimum touched location. *)
+val run_by_min : Access.t -> Perm.t

@@ -1,0 +1,28 @@
+(* Lexicographical sorting (Han & Tseng): iteration-reordering
+   inspector that sorts iterations by the full tuple of locations they
+   touch. Heavier than lexGroup (O(n log n) comparisons) but yields a
+   total order on touch tuples. The sort is made stable by breaking
+   ties on the original iteration id. *)
+
+let compare_tuples (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go k =
+    if k >= la && k >= lb then 0
+    else if k >= la then -1
+    else if k >= lb then 1
+    else
+      let c = Stdlib.compare a.(k) b.(k) in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+let run (access : Access.t) =
+  let n_iter = Access.n_iter access in
+  let keys = Array.init n_iter (fun it -> (Access.touches access it, it)) in
+  Array.sort
+    (fun (ka, ia) (kb, ib) ->
+      let c = compare_tuples ka kb in
+      if c <> 0 then c else Stdlib.compare ia ib)
+    keys;
+  (* keys.(new_pos) = (_, old_iter): that is the inverse mapping. *)
+  Perm.of_inverse (Array.map snd keys)

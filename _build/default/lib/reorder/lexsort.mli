@@ -1,0 +1,7 @@
+(** Lexicographical sorting (lexSort, Han & Tseng 2000): sort
+    iterations by their full tuple of touched locations (stable). *)
+
+val run : Access.t -> Perm.t
+
+(** Lexicographic comparison of touch tuples (exposed for tests). *)
+val compare_tuples : int array -> int array -> int

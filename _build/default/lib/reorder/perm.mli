@@ -1,0 +1,49 @@
+(** Permutations of [0, n): the run-time realization of reordering
+    functions sigma (data) and delta (iteration).
+
+    Convention: [forward old = new]. The paper's inspectors often build
+    the inverse array ([sigma_inv.(new) = old]); use {!of_inverse} for
+    those. *)
+
+type t
+
+val size : t -> int
+
+(** Build from [forward.(old) = new]; validates bijectivity. *)
+val of_forward : int array -> t
+
+(** Build from [inv.(new) = old]; validates bijectivity. *)
+val of_inverse : int array -> t
+
+(** Trusted constructor (no validation); for inspectors whose output is
+    a permutation by construction. The array is not copied. *)
+val unsafe_of_forward : int array -> t
+
+val id : int -> t
+val is_id : t -> bool
+
+(** New position of old index [i]. *)
+val forward : t -> int -> int
+
+(** Old position of new index [j] (allocates the inverse; hoist out of
+    loops). *)
+val backward : t -> int -> int
+
+val invert : t -> t
+
+(** [compose p2 p1] applies [p1] first. *)
+val compose : t -> t -> t
+
+(** Move values to their new positions: [(apply p a).(forward p i) = a.(i)]. *)
+val apply_to_array : t -> 'a array -> 'a array
+
+val apply_to_float_array : t -> float array -> float array
+
+(** Remap index-array *values* after the pointed-to data moved:
+    [new_idx.(k) = forward idx.(k)]. *)
+val remap_values : t -> int array -> int array
+
+val to_forward_array : t -> int array
+val to_inverse_array : t -> int array
+val equal : t -> t -> bool
+val pp : t Fmt.t

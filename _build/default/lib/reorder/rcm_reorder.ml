@@ -1,0 +1,11 @@
+(* Reverse Cuthill-McKee as a run-time data reordering (Cuthill & McKee
+   1969, cited in the paper's related work): number the data by the
+   RCM order of the data-affinity graph. *)
+
+let run (access : Access.t) =
+  let g = Access.to_graph access in
+  Perm.of_inverse (Irgraph.Rcm.rcm_order g)
+
+let run_cm (access : Access.t) =
+  let g = Access.to_graph access in
+  Perm.of_inverse (Irgraph.Rcm.cm_order g)

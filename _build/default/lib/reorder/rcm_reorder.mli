@@ -1,0 +1,7 @@
+(** Reverse Cuthill-McKee as a run-time data reordering. *)
+
+(** RCM order of the data-affinity graph as a data reordering. *)
+val run : Access.t -> Perm.t
+
+(** Plain (non-reversed) Cuthill-McKee variant. *)
+val run_cm : Access.t -> Perm.t

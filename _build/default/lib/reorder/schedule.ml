@@ -1,0 +1,117 @@
+(* Executor schedules for sparse-tiled loop chains: the run-time
+   realization of sched(t, l) from Section 5.4. For each tile, for each
+   loop of the chain, the member iterations in ascending (current)
+   iteration order. The executor walks tiles outermost, loops within a
+   tile, iterations within a loop — Figure 14's
+
+     do t = 1, num_tiles
+       do i4 in sched(t,1) ...
+       do j4 in sched(t,2) ...
+       do k4 in sched(t,3) ...  *)
+
+type t = {
+  n_tiles : int;
+  n_loops : int;
+  items : int array array array; (* items.(tile).(loop) = iterations *)
+}
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+let n_tiles s = s.n_tiles
+let n_loops s = s.n_loops
+let items s ~tile ~loop = s.items.(tile).(loop)
+
+let of_tile_fns (tiles : Sparse_tile.tile_fn array) =
+  let n_loops = Array.length tiles in
+  if n_loops = 0 then invalid "Schedule.of_tile_fns: no loops";
+  let n_tiles = tiles.(0).Sparse_tile.n_tiles in
+  Array.iter
+    (fun (t : Sparse_tile.tile_fn) ->
+      if t.Sparse_tile.n_tiles <> n_tiles then
+        invalid "Schedule.of_tile_fns: inconsistent tile counts")
+    tiles;
+  let items =
+    Array.init n_tiles (fun _ -> Array.make n_loops [||])
+  in
+  Array.iteri
+    (fun l (tf : Sparse_tile.tile_fn) ->
+      let counts = Array.make n_tiles 0 in
+      Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tf.Sparse_tile.tile_of;
+      let arrays = Array.init n_tiles (fun t -> Array.make counts.(t) 0) in
+      let cursor = Array.make n_tiles 0 in
+      Array.iteri
+        (fun it t ->
+          arrays.(t).(cursor.(t)) <- it;
+          cursor.(t) <- cursor.(t) + 1)
+        tf.Sparse_tile.tile_of;
+      Array.iteri (fun t a -> items.(t).(l) <- a) arrays)
+    tiles;
+  { n_tiles; n_loops; items }
+
+(* Execution order of loop [l]'s iterations: the concatenation of its
+   per-tile member lists. *)
+let loop_order s l =
+  let total =
+    Array.fold_left (fun acc per_tile -> acc + Array.length per_tile.(l)) 0 s.items
+  in
+  let out = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun per_tile ->
+      let a = per_tile.(l) in
+      Array.blit a 0 out !pos (Array.length a);
+      pos := !pos + Array.length a)
+    s.items;
+  out
+
+(* The iteration reordering delta induced on loop [l] by tiled
+   execution: forward old_iter = position in the concatenated order. *)
+let perm_of_loop s l =
+  let order = loop_order s l in
+  Perm.of_inverse order
+
+(* Remap the iteration ids of [loop] through a permutation and keep
+   each tile's member list ascending — how tilePack's data reordering
+   renames the identity-mapped loops' iterations (T_{I3->I4}:
+   i4 = tp(i3)). *)
+let remap_loop s ~loop perm =
+  let items =
+    Array.map
+      (fun per_tile ->
+        Array.mapi
+          (fun l a ->
+            if l <> loop then a
+            else begin
+              let a' = Array.map (Perm.forward perm) a in
+              Array.sort Stdlib.compare a';
+              a'
+            end)
+          per_tile)
+      s.items
+  in
+  { s with items }
+
+(* Every iteration of every loop appears exactly once. *)
+let check_coverage s ~loop_sizes =
+  if Array.length loop_sizes <> s.n_loops then
+    invalid "Schedule.check_coverage: loop count";
+  let ok = ref true in
+  Array.iteri
+    (fun l size ->
+      let seen = Array.make size 0 in
+      Array.iter
+        (fun per_tile -> Array.iter (fun it -> seen.(it) <- seen.(it) + 1) per_tile.(l))
+        s.items;
+      if not (Array.for_all (fun c -> c = 1) seen) then ok := false)
+    loop_sizes;
+  !ok
+
+let total_iterations s =
+  Array.fold_left
+    (fun acc per_tile ->
+      Array.fold_left (fun acc a -> acc + Array.length a) acc per_tile)
+    0 s.items
+
+let pp ppf s =
+  Fmt.pf ppf "schedule(%d tiles x %d loops, %d iterations)" s.n_tiles s.n_loops
+    (total_iterations s)

@@ -1,0 +1,34 @@
+(** Executor schedules for sparse-tiled loop chains: sched(t, l) of
+    Section 5.4 / Figure 14. *)
+
+type t = private {
+  n_tiles : int;
+  n_loops : int;
+  items : int array array array;
+}
+
+val n_tiles : t -> int
+val n_loops : t -> int
+
+(** Member iterations of [loop] inside [tile], ascending. *)
+val items : t -> tile:int -> loop:int -> int array
+
+(** Build from per-loop tile functions (which must agree on the number
+    of tiles, as {!Sparse_tile.full} guarantees). *)
+val of_tile_fns : Sparse_tile.tile_fn array -> t
+
+(** Concatenated per-tile execution order of loop [l]. *)
+val loop_order : t -> int -> int array
+
+(** The iteration reordering induced on loop [l] by tiled execution. *)
+val perm_of_loop : t -> int -> Perm.t
+
+(** Remap the iteration ids of one loop through a permutation, keeping
+    tile member lists ascending (tilePack's loop renaming). *)
+val remap_loop : t -> loop:int -> Perm.t -> t
+
+(** Each iteration of each loop appears exactly once. *)
+val check_coverage : t -> loop_sizes:int array -> bool
+
+val total_iterations : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,11 @@
+(** Space-filling-curve (Morton / Z-order) data reordering. Needs
+    spatial coordinates, which the compiler cannot derive — the paper
+    classifies SFC reorderings as not fully automatable; we provide
+    one for ablations. *)
+
+(** Morton key of quantized coordinates ([bits] per dimension). *)
+val morton_key : bits:int -> int -> int -> int -> int
+
+(** Data reordering sorting locations by the Morton key of their
+    coordinates (default 16 bits per dimension). *)
+val run : ?bits:int -> (float * float * float) array -> Perm.t

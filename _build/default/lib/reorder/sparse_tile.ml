@@ -1,0 +1,169 @@
+(* Sparse tiling: run-time iteration-reordering transformations whose
+   inspectors traverse *data dependences* rather than data mappings
+   (Section 2.3). A tile function assigns every iteration of every loop
+   in a subspace to a tile; the executor then runs tiles atomically, in
+   tile order, visiting each loop's member iterations inside the tile.
+
+   Two growth strategies are provided:
+   - full sparse tiling (Strout et al. 2001): tiles grow side-by-side
+     from a seed partitioning of any loop, backward with min and
+     forward with max over the dependence edges;
+   - cache blocking (Douglas et al. 2000): the seed partitioning is on
+     the first loop and later loops' partitions shrink, with all
+     boundary iterations falling into one leftover tile executed last. *)
+
+type tile_fn = {
+  n_tiles : int;
+  tile_of : int array; (* iteration -> tile id *)
+}
+
+let invalid fmt = Fmt.kstr invalid_arg fmt
+
+let tile_fn_of_partition p =
+  {
+    n_tiles = Irgraph.Partition.n_parts p;
+    tile_of = Array.copy (Irgraph.Partition.assignment p);
+  }
+
+let check_tile_fn t =
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= t.n_tiles then invalid "Sparse_tile: tile %d" x)
+    t.tile_of
+
+(* [conn] maps each iteration of the loop being assigned to the
+   already-assigned adjacent loop's iterations it has dependence edges
+   with. Backward growth (this loop runs before the assigned one):
+   every successor's tile is an upper bound, so take the min; an
+   iteration without dependences may go anywhere — tile 0 keeps it
+   earliest. *)
+let grow_backward ~(conn : Access.t) ~(next : tile_fn) =
+  if Access.n_data conn <> Array.length next.tile_of then
+    invalid "grow_backward: conn/next size mismatch";
+  let n = Access.n_iter conn in
+  let tile_of =
+    Array.init n (fun a ->
+        let t =
+          Access.fold_touches conn a
+            (fun acc b -> min acc next.tile_of.(b))
+            max_int
+        in
+        if t = max_int then 0 else t)
+  in
+  { n_tiles = next.n_tiles; tile_of }
+
+(* Forward growth (this loop runs after the assigned one): every
+   predecessor's tile is a lower bound, so take the max. *)
+let grow_forward ~(conn : Access.t) ~(prev : tile_fn) =
+  if Access.n_data conn <> Array.length prev.tile_of then
+    invalid "grow_forward: conn/prev size mismatch";
+  let n = Access.n_iter conn in
+  let tile_of =
+    Array.init n (fun b ->
+        Access.fold_touches conn b (fun acc a -> max acc prev.tile_of.(a)) 0)
+  in
+  { n_tiles = prev.n_tiles; tile_of }
+
+(* Cache-blocking growth: keep an iteration in tile t only when all of
+   its predecessors are in tile t; otherwise it falls into the shared
+   [leftover] tile (executed last). *)
+let grow_cache_block ~leftover ~(conn : Access.t) ~(prev : tile_fn) =
+  if Access.n_data conn <> Array.length prev.tile_of then
+    invalid "grow_cache_block: conn/prev size mismatch";
+  let n = Access.n_iter conn in
+  let tile_of =
+    Array.init n (fun b ->
+        let ts = Access.touches conn b in
+        if Array.length ts = 0 then 0
+        else
+          let t0 = prev.tile_of.(ts.(0)) in
+          if t0 <> leftover && Array.for_all (fun a -> prev.tile_of.(a) = t0) ts
+          then t0
+          else leftover)
+  in
+  { n_tiles = leftover + 1; tile_of }
+
+(* ------------------------------------------------------------------ *)
+(* Loop chains                                                         *)
+
+(* A chain of loops executed in sequence (inside an outer loop), with
+   dependence connectivity between adjacent loops. [conn.(l)] maps each
+   iteration of loop [l+1] to the iterations of loop [l] it depends on
+   (predecessors). *)
+type chain = {
+  loop_sizes : int array;        (* iterations per loop *)
+  conn : Access.t array;         (* length = n_loops - 1 *)
+}
+
+let n_loops chain = Array.length chain.loop_sizes
+
+let make_chain ~loop_sizes ~conn =
+  if Array.length conn <> Array.length loop_sizes - 1 then
+    invalid "Sparse_tile.make_chain: need one conn per adjacent pair";
+  Array.iteri
+    (fun l (a : Access.t) ->
+      if Access.n_iter a <> loop_sizes.(l + 1) then
+        invalid "make_chain: conn %d n_iter" l;
+      if Access.n_data a <> loop_sizes.(l) then
+        invalid "make_chain: conn %d n_data" l)
+    conn;
+  { loop_sizes; conn }
+
+(* Full sparse tiling over a chain from a seed partitioning of loop
+   [seed]. Returns one tile function per loop (all with the same
+   n_tiles). Backward growth needs successor connectivity — the
+   transpose of [conn] — unless [shared_succ] already provides it
+   (the paper's symmetric-dependence overhead reduction, Section 6:
+   when two dependence sets satisfy the same constraints the inspector
+   traverses only one). *)
+let full ?(shared_succ = []) ~chain ~seed ~(seed_tiles : tile_fn) () =
+  let l_count = n_loops chain in
+  if seed < 0 || seed >= l_count then invalid "Sparse_tile.full: seed";
+  if Array.length seed_tiles.tile_of <> chain.loop_sizes.(seed) then
+    invalid "Sparse_tile.full: seed partition size";
+  let tiles = Array.make l_count seed_tiles in
+  for l = seed - 1 downto 0 do
+    let succ_conn =
+      match List.assoc_opt l shared_succ with
+      | Some shared -> shared
+      | None -> Access.transpose chain.conn.(l)
+    in
+    tiles.(l) <- grow_backward ~conn:succ_conn ~next:tiles.(l + 1)
+  done;
+  for l = seed + 1 to l_count - 1 do
+    tiles.(l) <- grow_forward ~conn:chain.conn.(l - 1) ~prev:tiles.(l - 1)
+  done;
+  tiles
+
+(* Cache blocking over a chain: seed on loop 0, shrink forward, one
+   shared leftover tile for the whole chain. *)
+let cache_block ~chain ~(seed_tiles : tile_fn) =
+  let l_count = n_loops chain in
+  let leftover = seed_tiles.n_tiles in
+  let tiles = Array.make l_count seed_tiles in
+  for l = 1 to l_count - 1 do
+    tiles.(l) <-
+      grow_cache_block ~leftover ~conn:chain.conn.(l - 1) ~prev:tiles.(l - 1)
+  done;
+  let n_tiles = leftover + 1 in
+  Array.map (fun t -> { t with n_tiles }) tiles
+
+(* Run-time legality check: every dependence edge a -> b between
+   adjacent loops must satisfy tile(a) <= tile(b). Returns the list of
+   violated (loop_pair, a, b) triples (empty = legal). *)
+let check_legality ~chain ~tiles =
+  let violations = ref [] in
+  Array.iteri
+    (fun l (conn : Access.t) ->
+      let t_src = tiles.(l) and t_dst = tiles.(l + 1) in
+      for b = 0 to Access.n_iter conn - 1 do
+        Access.iter_touches conn b (fun a ->
+            if t_src.tile_of.(a) > t_dst.tile_of.(b) then
+              violations := (l, a, b) :: !violations)
+      done)
+    chain.conn;
+  List.rev !violations
+
+let pp_tile_fn ppf t =
+  Fmt.pf ppf "tile_fn(%d tiles over %d iterations)" t.n_tiles
+    (Array.length t.tile_of)

@@ -1,0 +1,61 @@
+(** Sparse tiling (Section 2.3): iteration-reordering transformations
+    whose inspectors traverse data dependences. Includes full sparse
+    tiling (Strout et al.) and cache blocking (Douglas et al.). *)
+
+type tile_fn = {
+  n_tiles : int;
+  tile_of : int array; (** iteration -> tile id *)
+}
+
+val tile_fn_of_partition : Irgraph.Partition.t -> tile_fn
+
+(** Validate tile ids are in range. *)
+val check_tile_fn : tile_fn -> unit
+
+(** Backward growth: [conn] maps each iteration of the loop being
+    assigned to its *successors* in the already-assigned loop; the
+    result takes the min successor tile (dependence-free iterations go
+    to tile 0). *)
+val grow_backward : conn:Access.t -> next:tile_fn -> tile_fn
+
+(** Forward growth: [conn] maps each iteration to its *predecessors*;
+    takes the max predecessor tile. *)
+val grow_forward : conn:Access.t -> prev:tile_fn -> tile_fn
+
+(** Cache-blocking growth: keep the tile only when all predecessors
+    agree (and none is the leftover), otherwise fall into the shared
+    [leftover] tile (executed last). *)
+val grow_cache_block : leftover:int -> conn:Access.t -> prev:tile_fn -> tile_fn
+
+(** A chain of loops executed in sequence. [conn.(l)] maps each
+    iteration of loop [l+1] to its predecessor iterations in loop [l]. *)
+type chain = private {
+  loop_sizes : int array;
+  conn : Access.t array;
+}
+
+val n_loops : chain -> int
+
+val make_chain : loop_sizes:int array -> conn:Access.t array -> chain
+
+(** Full sparse tiling from a seed partitioning of loop [seed]; one
+    tile function per loop, side-by-side growth (min backward, max
+    forward). [shared_succ] supplies precomputed successor connectivity
+    for backward loops (the Section 6 symmetric-dependence elision). *)
+val full :
+  ?shared_succ:(int * Access.t) list ->
+  chain:chain ->
+  seed:int ->
+  seed_tiles:tile_fn ->
+  unit ->
+  tile_fn array
+
+(** Cache blocking: seed on loop 0, shrink forward, leftover tile
+    last. *)
+val cache_block : chain:chain -> seed_tiles:tile_fn -> tile_fn array
+
+(** All dependence edges a -> b with tile(a) > tile(b); empty = legal. *)
+val check_legality :
+  chain:chain -> tiles:tile_fn array -> (int * int * int) list
+
+val pp_tile_fn : tile_fn Fmt.t

@@ -1,0 +1,8 @@
+(** Tile packing (tilePack): consecutive packing of data over the
+    sparse-tiled execution order, so each tile's data is contiguous. *)
+
+(** [run ~schedule ~accesses ~n_data] traverses tiles in order and,
+    within each tile, the given [(loop, access)] mappings, first-touch
+    packing every location; returns the data reordering sigma_tp. *)
+val run :
+  schedule:Schedule.t -> accesses:(int * Access.t) list -> n_data:int -> Perm.t

@@ -1,0 +1,37 @@
+(** Tile-level parallelism (Sections 2.3 / 4): levelize the tile
+    dependence DAG of a sparse-tiled loop chain; independent tiles
+    share a level and can run concurrently. *)
+
+type t = {
+  n_tiles : int;
+  n_levels : int;
+  level_of : int array;
+  levels : int array array;
+  tile_cost : int array; (** iterations per tile *)
+}
+
+(** Tile DAG edges induced by the chain's dependences (deduplicated). *)
+val tile_edges :
+  chain:Sparse_tile.chain ->
+  tiles:Sparse_tile.tile_fn array ->
+  (int * int) list
+
+(** Levelize; raises [Invalid_argument] if the tiling is illegal
+    (an edge from a later to an earlier tile). *)
+val analyze :
+  chain:Sparse_tile.chain -> tiles:Sparse_tile.tile_fn array -> t
+
+val average_parallelism : t -> float
+
+(** Same-level tile pairs whose interaction iterations touch a common
+    datum (reduction conflicts a parallel runtime must combine); a
+    lower bound — consecutive touchers per datum are compared. *)
+val shared_data_conflicts :
+  t -> access:Access.t -> tile_of_iter:int array -> int
+
+(** Greedy list-scheduled makespan with barriers between levels. *)
+val makespan : t -> processors:int -> int
+
+val serial_cost : t -> int
+val speedup : t -> processors:int -> float
+val pp : t Fmt.t

@@ -1,0 +1,70 @@
+(* Run-time partial parallelization (Rauchwerger, Amato & Padua,
+   cited as [25] in Section 4): an inspector that traverses all data
+   dependences within an iteration subspace and produces a schedule
+   with maximal parallelism — iterations are assigned to wavefronts
+   such that every iteration's predecessors lie in strictly earlier
+   wavefronts. The framework expresses this by mapping parallel
+   iterations to the same point in the unified iteration space.
+
+   [preds] maps each iteration to the iterations it depends on.
+   Dependences must be acyclic in iteration order (preds earlier than
+   the iteration), as loop-carried flow dependences are. *)
+
+type t = {
+  n_levels : int;
+  level_of : int array;  (* iteration -> wavefront *)
+  levels : int array array; (* wavefront -> member iterations *)
+}
+
+let run (preds : Access.t) =
+  let n = Access.n_iter preds in
+  let level_of = Array.make n 0 in
+  let n_levels = ref 1 in
+  for it = 0 to n - 1 do
+    let lvl =
+      Access.fold_touches preds it
+        (fun acc p ->
+          if p >= it then
+            invalid_arg "Wavefront.run: dependence on a later iteration"
+          else max acc (level_of.(p) + 1))
+        0
+    in
+    level_of.(it) <- lvl;
+    if lvl + 1 > !n_levels then n_levels := lvl + 1
+  done;
+  let counts = Array.make !n_levels 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level_of;
+  let levels = Array.map (fun c -> Array.make c 0) counts in
+  let cursor = Array.make !n_levels 0 in
+  Array.iteri
+    (fun it l ->
+      levels.(l).(cursor.(l)) <- it;
+      cursor.(l) <- cursor.(l) + 1)
+    level_of;
+  { n_levels = !n_levels; level_of; levels }
+
+(* Average parallelism: iterations per wavefront. *)
+let average_parallelism t =
+  float_of_int (Array.length t.level_of) /. float_of_int t.n_levels
+
+(* Check the schedule: every predecessor in a strictly earlier level. *)
+let check (preds : Access.t) t =
+  let ok = ref true in
+  for it = 0 to Access.n_iter preds - 1 do
+    Access.iter_touches preds it (fun p ->
+        if t.level_of.(p) >= t.level_of.(it) then ok := false)
+  done;
+  !ok
+
+(* Simulated makespan on [processors] with unit-cost iterations and a
+   barrier between wavefronts (greedy within a level). *)
+let makespan t ~processors =
+  if processors <= 0 then invalid_arg "Wavefront.makespan: processors";
+  Array.fold_left
+    (fun acc members ->
+      acc + ((Array.length members + processors - 1) / processors))
+    0 t.levels
+
+let pp ppf t =
+  Fmt.pf ppf "wavefront(%d iterations in %d levels, avg parallelism %.1f)"
+    (Array.length t.level_of) t.n_levels (average_parallelism t)

@@ -1,0 +1,24 @@
+(** Run-time partial parallelization (Section 4 / Rauchwerger et al.):
+    wavefront schedules with maximal parallelism, built by traversing
+    the data dependences within an iteration subspace. *)
+
+type t = {
+  n_levels : int;
+  level_of : int array;
+  levels : int array array;
+}
+
+(** [run preds] where [preds] maps each iteration to the (earlier)
+    iterations it depends on. Raises [Invalid_argument] on a dependence
+    pointing forward. *)
+val run : Access.t -> t
+
+val average_parallelism : t -> float
+
+(** Every predecessor lies in a strictly earlier level. *)
+val check : Access.t -> t -> bool
+
+(** Barrier-synchronized makespan with unit-cost iterations. *)
+val makespan : t -> processors:int -> int
+
+val pp : t Fmt.t

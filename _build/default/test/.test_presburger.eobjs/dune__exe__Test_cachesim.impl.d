@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Cache Cachesim Hierarchy Layout List Machine QCheck QCheck_alcotest

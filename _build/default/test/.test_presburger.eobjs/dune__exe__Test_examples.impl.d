@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Array Cachesim Compose Datagen Fmt Irgraph Kernels List Option Parser Presburger Rel Reorder Str Ufs_env

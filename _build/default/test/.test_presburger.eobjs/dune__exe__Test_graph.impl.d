@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Csr Datagen Fmt Irgraph List Multilevel Partition Printf QCheck QCheck_alcotest Rcm

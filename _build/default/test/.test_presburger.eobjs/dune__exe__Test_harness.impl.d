@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cachesim Compose Datagen Harness Kernels List Option

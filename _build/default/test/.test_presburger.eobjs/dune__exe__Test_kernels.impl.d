@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Cachesim Datagen Fmt Irgraph Kernels List Printf QCheck QCheck_alcotest Reorder

@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest Constr Fmt Fresh Gen Lexord List Parser Presburger Printf QCheck QCheck_alcotest Rel Set Solve String Term Ufs_env

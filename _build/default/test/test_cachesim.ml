@@ -1,0 +1,233 @@
+(* Tests for the cache simulator: hit/miss behavior against
+   hand-computed traces, LRU eviction, associativity conflicts, machine
+   models, and address layouts. *)
+
+open Cachesim
+
+let test_cold_miss_then_hit () =
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:64 ~assoc:2 in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 32);
+  Alcotest.(check bool) "next line miss" false (Cache.access c 64);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c)
+
+let test_lru_eviction () =
+  (* 2 sets, 2-way, 64B lines: addresses 0, 256, 512 map to set 0. *)
+  let c = Cache.create ~size_bytes:256 ~line_bytes:64 ~assoc:2 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 256);
+  ignore (Cache.access c 512);
+  (* line 0 was LRU and must be gone; 256 and 512 resident. *)
+  Alcotest.(check bool) "512 hit" true (Cache.access c 512);
+  Alcotest.(check bool) "256 hit" true (Cache.access c 256);
+  Alcotest.(check bool) "0 evicted" false (Cache.access c 0)
+
+let test_lru_touch_refreshes () =
+  let c = Cache.create ~size_bytes:256 ~line_bytes:64 ~assoc:2 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 256);
+  ignore (Cache.access c 0); (* refresh 0: now 256 is LRU *)
+  ignore (Cache.access c 512);
+  Alcotest.(check bool) "0 survived" true (Cache.access c 0);
+  Alcotest.(check bool) "256 evicted" false (Cache.access c 256)
+
+let test_direct_mapped_conflict () =
+  let c = Cache.create ~size_bytes:128 ~line_bytes:64 ~assoc:1 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 128); (* same set, evicts 0 *)
+  Alcotest.(check bool) "conflict evicts" false (Cache.access c 0)
+
+let test_full_assoc () =
+  let c = Cache.create ~size_bytes:256 ~line_bytes:64 ~assoc:4 in
+  List.iter (fun a -> ignore (Cache.access c a)) [ 0; 64; 128; 192 ];
+  Alcotest.(check int) "4 cold misses" 4 (Cache.misses c);
+  List.iter
+    (fun a -> Alcotest.(check bool) "resident" true (Cache.access c a))
+    [ 0; 64; 128; 192 ]
+
+let test_reset () =
+  let c = Cache.create ~size_bytes:256 ~line_bytes:64 ~assoc:2 in
+  ignore (Cache.access c 0);
+  Cache.reset c;
+  Alcotest.(check int) "counters zero" 0 (Cache.accesses c);
+  Alcotest.(check bool) "cold again" false (Cache.access c 0);
+  ignore (Cache.access c 0);
+  Cache.reset_counters c;
+  Alcotest.(check bool) "still warm" true (Cache.access c 0)
+
+let test_miss_ratio () =
+  let c = Cache.create ~size_bytes:256 ~line_bytes:64 ~assoc:2 in
+  Alcotest.(check (float 0.0)) "empty ratio" 0.0 (Cache.miss_ratio c);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Cache.miss_ratio c)
+
+let test_create_validation () =
+  Alcotest.check_raises "bad line" (Invalid_argument "Cache.create: line_bytes")
+    (fun () -> ignore (Cache.create ~size_bytes:256 ~line_bytes:48 ~assoc:2))
+
+let test_machines () =
+  Alcotest.(check int) "power3 line" 128 Machine.power3.Machine.l1_line;
+  Alcotest.(check int) "p4 size" 8192 Machine.pentium4.Machine.l1_size;
+  Alcotest.(check bool) "by_name" true (Machine.by_name "power3" = Some Machine.power3);
+  Alcotest.(check bool) "unknown" true (Machine.by_name "vax" = None);
+  let c = Machine.cache Machine.pentium4 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 8);
+  (* 1 miss + 2 accesses: cycles = 2*1 + 1*27. *)
+  Alcotest.(check (float 1e-9)) "modeled cycles" 29.0
+    (Machine.modeled_cycles Machine.pentium4 c)
+
+let test_hierarchy_levels () =
+  let l1 = Cache.create ~size_bytes:128 ~line_bytes:64 ~assoc:1 in
+  let l2 = Cache.create ~size_bytes:512 ~line_bytes:64 ~assoc:2 in
+  let h =
+    Hierarchy.create ~l1 ~l2 ~l1_hit_cycles:1.0 ~l2_hit_cycles:10.0
+      ~mem_cycles:100.0
+  in
+  (* Cold: memory access, fills both levels. *)
+  Hierarchy.access h 0;
+  Alcotest.(check int) "memory" 1 (Hierarchy.mem_accesses h);
+  (* Now an L1 hit. *)
+  Hierarchy.access h 0;
+  Alcotest.(check int) "still one memory access" 1 (Hierarchy.mem_accesses h);
+  (* Evict line 0 from the 2-line direct-mapped L1 via a conflicting
+     line; L2 still holds it -> L2 hit on return. *)
+  Hierarchy.access h 128;
+  Hierarchy.access h 0;
+  Alcotest.(check int) "l2 hit" 1 (Hierarchy.l1_misses h - Hierarchy.mem_accesses h);
+  Alcotest.(check int) "accesses" 4 (Hierarchy.accesses h);
+  (* cycles = 1 L1 hit * 1 + 1 L2 hit * 10 + 2 memory * 100. *)
+  Alcotest.(check (float 1e-9)) "cycles" 211.0 (Hierarchy.modeled_cycles h)
+
+let test_hierarchy_reset () =
+  let h = Machine.hierarchy Machine.pentium4 in
+  Hierarchy.access h 0;
+  Hierarchy.access h 0;
+  Hierarchy.reset_counters h;
+  Alcotest.(check int) "counters cleared" 0 (Hierarchy.accesses h);
+  Hierarchy.access h 0;
+  (* Contents kept: this is an L1 hit after reset_counters. *)
+  Alcotest.(check int) "warm hit" 0 (Hierarchy.l1_misses h);
+  Hierarchy.reset h;
+  Hierarchy.access h 0;
+  Alcotest.(check int) "cold after reset" 1 (Hierarchy.mem_accesses h)
+
+let test_machine_contrast () =
+  (* The P4 model must charge relatively more for a memory-bound
+     stream than the Power3 model: that asymmetry drives Figures 6/7. *)
+  let run machine =
+    let h = Machine.hierarchy machine in
+    (* Stream far beyond both caches, twice. *)
+    for rep = 1 to 2 do
+      ignore rep;
+      for i = 0 to 99_999 do
+        Hierarchy.access h (i * 64)
+      done
+    done;
+    Hierarchy.modeled_cycles h /. float_of_int (Hierarchy.accesses h)
+  in
+  Alcotest.(check bool) "p4 pays more per access on streams" true
+    (run Machine.pentium4 > 2.0 *. run Machine.power3)
+
+let test_layout_separate () =
+  let l = Layout.separate [ ("a", 10); ("b", 10) ] in
+  Alcotest.(check int) "a base" 0 (Layout.address l "a" 0);
+  Alcotest.(check int) "a stride" 8 (Layout.address l "a" 1 - Layout.address l "a" 0);
+  (* b starts at the 128-aligned boundary after a's 80 bytes. *)
+  Alcotest.(check int) "b base" 128 (Layout.address l "b" 0);
+  Alcotest.check_raises "unknown" (Invalid_argument "Layout.field: unknown array c")
+    (fun () -> ignore (Layout.address l "c" 0))
+
+let test_layout_grouped () =
+  let l = Layout.grouped ~groups:[ [ ("x", 4); ("y", 4) ]; [ ("w", 8) ] ] () in
+  (* Interleaved: x0 y0 x1 y1 ... stride 16. *)
+  Alcotest.(check int) "x0" 0 (Layout.address l "x" 0);
+  Alcotest.(check int) "y0" 8 (Layout.address l "y" 0);
+  Alcotest.(check int) "x1" 16 (Layout.address l "x" 1);
+  Alcotest.(check int) "w stride" 8 (Layout.address l "w" 1 - Layout.address l "w" 0)
+
+let test_layout_grouped_length_mismatch () =
+  Alcotest.check_raises "lengths differ"
+    (Invalid_argument "Layout.grouped: lengths differ") (fun () ->
+      ignore (Layout.grouped ~groups:[ [ ("x", 4); ("y", 5) ] ] ()))
+
+(* Grouped layout puts a node's fields on the same line: touching all
+   fields of one node costs at most ceil(72/64)+... lines. *)
+let test_grouping_locality () =
+  let names = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i" ] in
+  let grouped = Layout.grouped ~groups:[ List.map (fun n -> (n, 100)) names ] () in
+  let separate = Layout.separate (List.map (fun n -> (n, 100)) names) in
+  let misses layout =
+    let c = Cache.create ~size_bytes:1024 ~line_bytes:64 ~assoc:4 in
+    (* Touch all 9 fields of nodes 0 and 50, far apart. *)
+    List.iter
+      (fun node ->
+        List.iter (fun n -> ignore (Cache.access c (Layout.address layout n node))) names)
+      [ 0; 50 ];
+    Cache.misses c
+  in
+  (* 72 B per node grouped: 2 lines per node = 4 misses total;
+     separate: 9 arrays x 2 nodes = up to 18 lines. *)
+  Alcotest.(check bool) "grouped fewer misses" true
+    (misses grouped < misses separate)
+
+(* Property: miss count never exceeds accesses; resident set bounded. *)
+let prop_misses_bounded =
+  QCheck.Test.make ~name:"misses <= accesses" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_range 0 10000))
+    (fun addrs ->
+      let c = Cache.create ~size_bytes:512 ~line_bytes:64 ~assoc:2 in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      Cache.misses c <= Cache.accesses c
+      && Cache.accesses c = List.length addrs)
+
+(* Property: repeating a short footprint that fits in cache yields no
+   further misses after the first pass. *)
+let prop_fitting_footprint_hits =
+  QCheck.Test.make ~name:"fitting footprint only cold misses" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 7))
+    (fun lines ->
+      let c = Cache.create ~size_bytes:512 ~line_bytes:64 ~assoc:8 in
+      let addrs = List.map (fun l -> l * 64) lines in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      let cold = Cache.misses c in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      Cache.misses c = cold)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "lru refresh" `Quick test_lru_touch_refreshes;
+          Alcotest.test_case "direct-mapped conflict" `Quick
+            test_direct_mapped_conflict;
+          Alcotest.test_case "full associativity" `Quick test_full_assoc;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "miss ratio" `Quick test_miss_ratio;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "models and cycles" `Quick test_machines;
+          Alcotest.test_case "hierarchy levels" `Quick test_hierarchy_levels;
+          Alcotest.test_case "hierarchy reset" `Quick test_hierarchy_reset;
+          Alcotest.test_case "machine contrast" `Quick test_machine_contrast;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "separate" `Quick test_layout_separate;
+          Alcotest.test_case "grouped" `Quick test_layout_grouped;
+          Alcotest.test_case "grouped mismatch" `Quick
+            test_layout_grouped_length_mismatch;
+          Alcotest.test_case "grouping locality" `Quick test_grouping_locality;
+        ] );
+      ("prop", qsuite [ prop_misses_bounded; prop_fitting_footprint_hits ]);
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the dataset generators: determinism, statistics close to
+   the paper's table, scrambling, and the RNG. *)
+
+let test_rng_deterministic () =
+  let r1 = Datagen.Rng.create 42 in
+  let r2 = Datagen.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Datagen.Rng.next r1) (Datagen.Rng.next r2)
+  done
+
+let test_rng_bounds () =
+  let r = Datagen.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Datagen.Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let f = Datagen.Rng.float r in
+    Alcotest.(check bool) "unit float" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_permutation () =
+  let r = Datagen.Rng.create 3 in
+  let p = Datagen.Rng.permutation r 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_dataset_determinism () =
+  let d1 = Datagen.Generators.mol1 ~scale:64 () in
+  let d2 = Datagen.Generators.mol1 ~scale:64 () in
+  Alcotest.(check (array int)) "same left" d1.Datagen.Dataset.left
+    d2.Datagen.Dataset.left;
+  Alcotest.(check (array int)) "same right" d1.Datagen.Dataset.right
+    d2.Datagen.Dataset.right
+
+let check_degree name d expected tolerance =
+  let deg = Datagen.Dataset.avg_degree d in
+  Alcotest.(check bool)
+    (Fmt.str "%s degree %.1f within %.1f of %.1f" name deg tolerance expected)
+    true
+    (abs_float (deg -. expected) <= tolerance)
+
+let test_mol_statistics () =
+  (* Target degree 18 (boundary effects lower it at small scale). *)
+  let d = Datagen.Generators.mol1 ~scale:32 () in
+  Alcotest.(check bool) "nodes near request" true
+    (d.Datagen.Dataset.n_nodes >= 131072 / 32);
+  check_degree "mol1" d 18.0 3.0
+
+let test_mesh_statistics () =
+  let foil = Datagen.Generators.foil ~scale:32 () in
+  check_degree "foil" foil 14.85 2.5;
+  let auto = Datagen.Generators.auto ~scale:64 () in
+  check_degree "auto" auto 14.85 3.0
+
+let test_edges_valid () =
+  List.iter
+    (fun (d : Datagen.Dataset.t) ->
+      let n = d.Datagen.Dataset.n_nodes in
+      Array.iter
+        (fun v -> Alcotest.(check bool) "left in range" true (v >= 0 && v < n))
+        d.Datagen.Dataset.left;
+      Array.iter
+        (fun v -> Alcotest.(check bool) "right in range" true (v >= 0 && v < n))
+        d.Datagen.Dataset.right;
+      Array.iteri
+        (fun j l ->
+          Alcotest.(check bool) "no self loop" true (l <> d.Datagen.Dataset.right.(j)))
+        d.Datagen.Dataset.left)
+    (Datagen.Generators.all ~scale:128 ())
+
+let test_scramble_destroys_locality () =
+  (* The generator's natural numbering is spatially coherent; after
+     scrambling, the average |left - right| gap must be large. *)
+  let d = Datagen.Generators.mol1 ~scale:64 () in
+  let n = float_of_int d.Datagen.Dataset.n_nodes in
+  let avg_gap =
+    let total = ref 0.0 in
+    Array.iteri
+      (fun j l ->
+        total := !total +. abs_float (float_of_int (l - d.Datagen.Dataset.right.(j))))
+      d.Datagen.Dataset.left;
+    !total /. float_of_int (Datagen.Dataset.n_interactions d)
+  in
+  (* Random endpoints would average ~n/3. *)
+  Alcotest.(check bool) "scrambled gap large" true (avg_gap > n /. 8.0)
+
+let test_scramble_preserves_structure () =
+  let d = Datagen.Generators.foil ~scale:64 () in
+  let d' = Datagen.Dataset.scramble ~seed:99 d in
+  Alcotest.(check int) "same node count" d.Datagen.Dataset.n_nodes
+    d'.Datagen.Dataset.n_nodes;
+  Alcotest.(check int) "same edge count"
+    (Datagen.Dataset.n_interactions d)
+    (Datagen.Dataset.n_interactions d');
+  (* Degree multiset is preserved under relabeling. *)
+  let degrees (x : Datagen.Dataset.t) =
+    let deg = Array.make x.Datagen.Dataset.n_nodes 0 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) x.Datagen.Dataset.left;
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) x.Datagen.Dataset.right;
+    Array.sort compare deg;
+    deg
+  in
+  Alcotest.(check (array int)) "degree multiset" (degrees d) (degrees d')
+
+let test_access_and_graph () =
+  let d = Datagen.Generators.foil ~scale:128 () in
+  let a = Datagen.Dataset.access d in
+  Alcotest.(check int) "access iters"
+    (Datagen.Dataset.n_interactions d)
+    (Reorder.Access.n_iter a);
+  let g = Datagen.Dataset.to_graph d in
+  Alcotest.(check int) "graph nodes" d.Datagen.Dataset.n_nodes
+    (Irgraph.Csr.num_nodes g)
+
+let test_by_name () =
+  Alcotest.(check bool) "mol2" true
+    (Datagen.Generators.by_name ~scale:128 "mol2" <> None);
+  Alcotest.(check bool) "unknown" true
+    (Datagen.Generators.by_name ~scale:128 "qcd" = None)
+
+let test_paper_sizes_recorded () =
+  Alcotest.(check int) "four datasets" 4
+    (List.length Datagen.Generators.paper_sizes);
+  Alcotest.(check (option (pair int int)))
+    "mol1 sizes"
+    (Some (131072, 1179648))
+    (List.assoc_opt "mol1" Datagen.Generators.paper_sizes)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "deterministic" `Quick test_dataset_determinism;
+          Alcotest.test_case "mol statistics" `Quick test_mol_statistics;
+          Alcotest.test_case "mesh statistics" `Quick test_mesh_statistics;
+          Alcotest.test_case "edges valid" `Quick test_edges_valid;
+          Alcotest.test_case "scramble destroys locality" `Quick
+            test_scramble_destroys_locality;
+          Alcotest.test_case "scramble preserves structure" `Quick
+            test_scramble_preserves_structure;
+          Alcotest.test_case "access and graph" `Quick test_access_and_graph;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "paper sizes" `Quick test_paper_sizes_recorded;
+        ] );
+    ]

@@ -1,0 +1,702 @@
+(* Tests for the Presburger-with-UFS layer: terms, constraints, sets,
+   relations, solving, lexicographic order, and the parser. The
+   composition tests mirror the worked example of Section 5 of the
+   paper (simplified moldyn). *)
+
+open Presburger
+
+let term = Alcotest.testable Term.pp Term.equal
+let rel = Alcotest.testable Rel.pp Rel.equal
+
+let check_term = Alcotest.check term
+let check_rel = Alcotest.check rel
+
+(* ------------------------------------------------------------------ *)
+(* Term tests *)
+
+let test_term_normalization () =
+  let t1 = Term.add (Term.var "i") (Term.var "j") in
+  let t2 = Term.add (Term.var "j") (Term.var "i") in
+  check_term "commutative" t1 t2;
+  let z = Term.sub t1 t1 in
+  check_term "self-subtraction" Term.zero z;
+  Alcotest.(check bool) "is_const" true (Term.is_const z)
+
+let test_term_scale () =
+  let t = Term.add (Term.scale 2 (Term.var "i")) (Term.const 3) in
+  let doubled = Term.scale 2 t in
+  check_term "scale distributes"
+    (Term.add (Term.scale 4 (Term.var "i")) (Term.const 6))
+    doubled;
+  check_term "scale by zero" Term.zero (Term.scale 0 t)
+
+let test_term_subst () =
+  (* sigma(left(j)) with j := lg_inv(j1), as in the second CPACK
+     inspector of Figure 12. *)
+  let m = Term.ufs "sigma" [ Term.ufs "left" [ Term.var "j" ] ] in
+  let m' = Term.subst "j" (Term.ufs "lg_inv" [ Term.var "j1" ]) m in
+  check_term "subst inside nested UFS"
+    (Term.ufs "sigma"
+       [ Term.ufs "left" [ Term.ufs "lg_inv" [ Term.var "j1" ] ] ])
+    m';
+  Alcotest.(check (list string)) "vars" [ "j1" ] (Term.vars m')
+
+let test_term_subst_affine () =
+  let t = Term.add (Term.scale 3 (Term.var "x")) (Term.var "y") in
+  let t' = Term.subst "x" (Term.add (Term.var "y") (Term.const 1)) t in
+  check_term "affine substitution"
+    (Term.add (Term.scale 4 (Term.var "y")) (Term.const 3))
+    t'
+
+let test_term_eval () =
+  let t =
+    Term.add
+      (Term.scale 2 (Term.ufs "f" [ Term.var "i" ]))
+      (Term.sub (Term.var "j") (Term.const 5))
+  in
+  let env = function "i" -> 3 | "j" -> 10 | _ -> raise Not_found in
+  let interp f args =
+    match f, args with "f", [ x ] -> x * x | _ -> assert false
+  in
+  Alcotest.(check int) "eval" ((2 * 9) + 10 - 5) (Term.eval ~env ~interp t)
+
+let test_term_as () =
+  Alcotest.(check (option string)) "as_var" (Some "i") (Term.as_var (Term.var "i"));
+  Alcotest.(check (option string)) "as_var no" None
+    (Term.as_var (Term.add (Term.var "i") (Term.const 1)));
+  match Term.as_ufs (Term.ufs "f" [ Term.var "x" ]) with
+  | Some ("f", [ arg ]) -> check_term "ufs arg" (Term.var "x") arg
+  | _ -> Alcotest.fail "as_ufs"
+
+(* ------------------------------------------------------------------ *)
+(* Constraint tests *)
+
+let test_constr_truth () =
+  let tv c = Constr.truth c in
+  Alcotest.(check bool) "0 = 0 true" true (tv (Constr.eq Term.zero Term.zero) = `True);
+  Alcotest.(check bool) "1 = 0 false" true
+    (tv (Constr.eq (Term.const 1) Term.zero) = `False);
+  Alcotest.(check bool) "3 >= 1 true" true
+    (tv (Constr.geq (Term.const 3) (Term.const 1)) = `True);
+  Alcotest.(check bool) "1 >= 3 false" true
+    (tv (Constr.geq (Term.const 1) (Term.const 3)) = `False);
+  Alcotest.(check bool) "i >= 0 unknown" true
+    (tv (Constr.geq (Term.var "i") Term.zero) = `Unknown)
+
+let test_constr_eval () =
+  let c = Constr.lt (Term.var "i") (Term.var "n") in
+  let env = function "i" -> 3 | "n" -> 4 | _ -> raise Not_found in
+  let interp _ _ = 0 in
+  Alcotest.(check bool) "3 < 4" true (Constr.eval ~env ~interp c);
+  let env = function "i" -> 4 | "n" -> 4 | _ -> raise Not_found in
+  Alcotest.(check bool) "4 < 4 fails" false (Constr.eval ~env ~interp c)
+
+let test_constr_normalize () =
+  let c1 = Constr.eq (Term.var "x") (Term.var "y") in
+  let c2 = Constr.eq (Term.var "y") (Term.var "x") in
+  Alcotest.(check bool) "sign-normalized equalities match" true
+    (Constr.equal (Constr.normalize c1) (Constr.normalize c2))
+
+(* ------------------------------------------------------------------ *)
+(* Solve tests *)
+
+let bij_env =
+  Ufs_env.add_bijection "sigma" ~inverse:"sigma_inv" ~arity:1
+    (Ufs_env.add_bijection "lg" ~inverse:"lg_inv" ~arity:1 Ufs_env.empty)
+
+let test_solve_affine () =
+  (* j1 - j - 2 = 0 solved for j gives j1 - 2. *)
+  let t = Term.sub (Term.var "j1") (Term.add (Term.var "j") (Term.const 2)) in
+  match Solve.solve Ufs_env.empty t "j" with
+  | Some s -> check_term "affine solve" (Term.sub (Term.var "j1") (Term.const 2)) s
+  | None -> Alcotest.fail "expected solution"
+
+let test_solve_ufs () =
+  (* j1 - lg(j) = 0 solved for j gives lg_inv(j1). *)
+  let t = Term.sub (Term.var "j1") (Term.ufs "lg" [ Term.var "j" ]) in
+  match Solve.solve bij_env t "j" with
+  | Some s -> check_term "ufs solve" (Term.ufs "lg_inv" [ Term.var "j1" ]) s
+  | None -> Alcotest.fail "expected solution"
+
+let test_solve_nested_ufs () =
+  (* x - sigma(lg(j)) = 0 solved for j gives lg_inv(sigma_inv(x)). *)
+  let t =
+    Term.sub (Term.var "x") (Term.ufs "sigma" [ Term.ufs "lg" [ Term.var "j" ] ])
+  in
+  match Solve.solve bij_env t "j" with
+  | Some s ->
+    check_term "nested solve"
+      (Term.ufs "lg_inv" [ Term.ufs "sigma_inv" [ Term.var "x" ] ])
+      s
+  | None -> Alcotest.fail "expected solution"
+
+let test_solve_no_inverse () =
+  (* x - left(j) = 0: [left] is an index array, not a bijection. *)
+  let t = Term.sub (Term.var "x") (Term.ufs "left" [ Term.var "j" ]) in
+  Alcotest.(check bool) "no inverse registered" true
+    (Solve.solve Ufs_env.empty t "j" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Relation tests *)
+
+let interp_tbl assoc f args =
+  match List.assoc_opt (f, args) assoc with
+  | Some v -> v
+  | None ->
+    Alcotest.fail
+      (Fmt.str "no interpretation for %s(%a)" f Fmt.(list ~sep:comma int) args)
+
+let test_rel_identity () =
+  let id = Rel.identity 3 in
+  Alcotest.(check (list int)) "identity eval" [ 4; 5; 6 ]
+    (Rel.eval_fn id [ 4; 5; 6 ])
+
+let test_rel_compose_functional () =
+  (* {[i] -> [sigma(i)]} then {[m] -> [sigma2(m)]}
+     = {[i] -> [sigma2(sigma(i))]}  (Section 5.3's R_{x0->x2}). *)
+  let r1 = Parser.relation "{[i] -> [sigma(i)]}" in
+  let r2 = Parser.relation "{[m] -> [sigma2(m)]}" in
+  let c = Rel.compose r2 r1 in
+  check_rel "nested" (Parser.relation "{[i] -> [sigma2(sigma(i))]}") c
+
+let test_rel_compose_affine () =
+  let r1 = Parser.relation "{[i] -> [2i + 1]}" in
+  let r2 = Parser.relation "{[m] -> [m - 1]}" in
+  let c = Rel.compose r2 r1 in
+  Alcotest.(check (list int)) "eval composed" [ 10 ] (Rel.eval_fn c [ 5 ])
+
+let test_rel_compose_union () =
+  (* Data mapping for x in the j loop: left and right branches, then a
+     data reordering sigma. *)
+  let m = Parser.relation "{[j] -> [left(j)]} union {[j] -> [right(j)]}" in
+  let r = Parser.relation "{[m] -> [sigma(m)]}" in
+  let c = Rel.compose r m in
+  check_rel "both branches reordered"
+    (Parser.relation
+       "{[j] -> [sigma(left(j))]} union {[j] -> [sigma(right(j))]}")
+    c
+
+let test_rel_inverse_affine () =
+  let r = Parser.relation "{[i] -> [i + 3]}" in
+  let inv = Rel.inverse r in
+  Alcotest.(check (list int)) "inverse eval" [ 7 ] (Rel.eval_fn inv [ 10 ]);
+  Alcotest.(check bool) "functional inverse" true (Rel.is_functional inv)
+
+let test_rel_inverse_ufs () =
+  let r = Parser.relation "{[j] -> [lg(j)]}" in
+  let inv = Rel.inverse ~env:bij_env r in
+  check_rel "inverse via registered bijection"
+    (Rel.rename_in_vars [ "y0" ] (Parser.relation "{[j1] -> [lg_inv(j1)]}"))
+    inv
+
+let test_rel_inverse_no_env () =
+  (* Without a registered inverse the relation stays implicit: an
+     existential constrained by an equality. *)
+  let r = Parser.relation "{[j] -> [lg(j)]}" in
+  let inv = Rel.inverse r in
+  Alcotest.(check bool) "not functional" false (Rel.is_functional inv)
+
+let test_rel_inverse_multidim () =
+  let r = Parser.relation "{[s,i] -> [s, sigma(i)]}" in
+  let inv = Rel.inverse ~env:bij_env r in
+  Alcotest.(check bool) "functional" true (Rel.is_functional inv);
+  let interp = interp_tbl [ (("sigma_inv", [ 9 ]), 4) ] in
+  Alcotest.(check (list int)) "eval" [ 2; 4 ] (Rel.eval_fn ~interp inv [ 2; 9 ])
+
+let test_rel_roundtrip_inverse () =
+  let r = Parser.relation "{[s,i] -> [s, sigma(i)]}" in
+  let rt = Rel.compose ~env:bij_env (Rel.inverse ~env:bij_env r) r in
+  (* sigma_inv(sigma(i)) does not syntactically reduce without rewrite
+     rules, so evaluate instead. *)
+  let interp f args =
+    match f, args with
+    | "sigma", [ x ] -> (x + 3) mod 10
+    | "sigma_inv", [ x ] -> (x + 7) mod 10
+    | _ -> assert false
+  in
+  Alcotest.(check (list int)) "roundtrip" [ 1; 5 ] (Rel.eval_fn ~interp rt [ 1; 5 ])
+
+let test_rel_union_arity_mismatch () =
+  let r1 = Parser.relation "{[i] -> [i]}" in
+  let r2 = Parser.relation "{[i,j] -> [i]}" in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Rel.union: arity mismatch (1x1 vs 2x1)") (fun () ->
+      ignore (Rel.union r1 r2))
+
+let test_rel_eval_constraints () =
+  let r = Parser.relation "{[i] -> [i] : 1 <= i && i <= 10}" in
+  Alcotest.(check (list (list int))) "in range" [ [ 5 ] ] (Rel.eval r [ 5 ]);
+  Alcotest.(check (list (list int))) "out of range" [] (Rel.eval r [ 11 ])
+
+let test_rel_ufs_names () =
+  let r = Parser.relation "{[j] -> [sigma(left(j))] : right(j) >= 1}" in
+  Alcotest.(check (list string)) "ufs names" [ "left"; "right"; "sigma" ]
+    (Rel.ufs_names r)
+
+(* The full Section 5 composition: check the headline formula
+   M_{I0->x1} = R . M_{I0->x0} for the j-loop part. *)
+let test_paper_section5_data_mapping () =
+  let m_j =
+    Parser.relation "{[s,2,j,q] -> [left(j)]} union {[s,2,j,q] -> [right(j)]}"
+  in
+  let r = Parser.relation "{[m] -> [sigma_cp(m)]}" in
+  let m' = Rel.compose r m_j in
+  check_rel "M_{I0->x1} j-loop part"
+    (Parser.relation
+       "{[s,2,j,q] -> [sigma_cp(left(j))]} union {[s,2,j,q] -> \
+        [sigma_cp(right(j))]}")
+    m'
+
+(* T_{I1->I2} . T_{I0->I1} for the j dimensions: j2 = lg2(lg(j)). *)
+let test_paper_section5_iter_composition () =
+  let t01 = Parser.relation "{[s,2,j,q] -> [s,2,lg(j),q]}" in
+  let t12 = Parser.relation "{[s,2,j1,q] -> [s,2,lg2(j1),q]}" in
+  let t02 = Rel.compose t12 t01 in
+  check_rel "T_{I0->I2} j part"
+    (Parser.relation "{[s,2,j,q] -> [s,2,lg2(lg(j)),q]}")
+    t02
+
+(* Updated dependences: apply the k-loop part of an iteration
+   reordering to the target side of d24 (Section 5.2). *)
+let test_paper_dependence_update () =
+  let d24 =
+    Parser.relation "{[s,2,j,q] -> [s,3,left(j),1] : 1 <= q && q <= 2}"
+  in
+  let t_k = Parser.relation "{[s,c,k,w] -> [s,c,sigma_cp(k),w]}" in
+  let d' = Rel.compose t_k d24 in
+  check_rel "target-side update"
+    (Parser.relation
+       "{[s,2,j,q] -> [s,3,sigma_cp(left(j)),1] : 1 <= q && q <= 2}")
+    d'
+
+let test_rel_domain () =
+  let r = Parser.relation "{[i] -> [i + 1] : 1 <= i && i <= 5}" in
+  let d = Rel.domain r in
+  Alcotest.(check bool) "3 in domain" true (Set.mem d [ 3 ]);
+  Alcotest.(check bool) "6 not in domain" false (Set.mem d [ 6 ])
+
+let test_rel_range () =
+  let r = Parser.relation "{[i] -> [i + 10] : 1 <= i && i <= 3}" in
+  let rng = Rel.range r in
+  Alcotest.(check bool) "11 in range" true (Set.mem rng [ 11 ]);
+  Alcotest.(check bool) "13 in range" true (Set.mem rng [ 13 ]);
+  Alcotest.(check bool) "14 not in range" false (Set.mem rng [ 14 ])
+
+let test_rel_restrict_domain () =
+  let r = Parser.relation "{[i] -> [2 i]}" in
+  let s = Parser.set "{[i] : 1 <= i && i <= 3}" in
+  let r' = Rel.restrict_domain r s in
+  Alcotest.(check (list (list int))) "inside" [ [ 4 ] ] (Rel.eval r' [ 2 ]);
+  Alcotest.(check (list (list int))) "outside" [] (Rel.eval r' [ 5 ])
+
+let test_rel_image_union () =
+  (* Image through a union relation collects both branches. *)
+  let r = Parser.relation "{[i] -> [i]} union {[i] -> [i + 10]}" in
+  let s = Parser.set "{[i] : i = 2}" in
+  let img = Rel.image r s in
+  Alcotest.(check bool) "2 in image" true (Set.mem img [ 2 ]);
+  Alcotest.(check bool) "12 in image" true (Set.mem img [ 12 ]);
+  Alcotest.(check bool) "3 not in image" false (Set.mem img [ 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Set tests *)
+
+let test_set_mem () =
+  let s = Parser.set "{[s,i] : 1 <= s && s <= 3 && 1 <= i && i <= 5}" in
+  Alcotest.(check bool) "member" true (Set.mem s [ 2; 4 ]);
+  Alcotest.(check bool) "not member" false (Set.mem s [ 4; 4 ])
+
+let test_set_union_mem () =
+  let s = Parser.set "{[i] : i = 1} union {[i] : i = 5}" in
+  Alcotest.(check bool) "first" true (Set.mem s [ 1 ]);
+  Alcotest.(check bool) "second" true (Set.mem s [ 5 ]);
+  Alcotest.(check bool) "neither" false (Set.mem s [ 3 ])
+
+let test_set_enumerate () =
+  let s = Parser.set "{[i,j] : 1 <= i && i <= 2 && i <= j && j <= 3}" in
+  Alcotest.(check (list (list int)))
+    "triangular enumeration"
+    [ [ 1; 1 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 2 ]; [ 2; 3 ] ]
+    (Set.enumerate ~bounds:[ (0, 4); (0, 4) ] s)
+
+let test_set_apply () =
+  let s = Parser.set "{[i] : 1 <= i && i <= 4}" in
+  let r = Parser.relation "{[i] -> [i + 10]}" in
+  let image = Rel.image r s in
+  Alcotest.(check bool) "11 in image" true (Set.mem image [ 11 ]);
+  Alcotest.(check bool) "14 in image" true (Set.mem image [ 14 ]);
+  Alcotest.(check bool) "15 not in image" false (Set.mem image [ 15 ])
+
+let test_set_intersect () =
+  let s1 = Parser.set "{[i] : 1 <= i && i <= 10}" in
+  let s2 = Parser.set "{[i] : 5 <= i && i <= 15}" in
+  let s = Set.intersect s1 s2 in
+  Alcotest.(check bool) "7 in" true (Set.mem s [ 7 ]);
+  Alcotest.(check bool) "3 out" false (Set.mem s [ 3 ]);
+  Alcotest.(check bool) "12 out" false (Set.mem s [ 12 ])
+
+(* The unified iteration space I0 of the simplified moldyn example
+   (Section 3.1), instantiated with n_steps=2, n_nodes=3, n_inter=4. *)
+let test_unified_iteration_space () =
+  let i0c =
+    Parser.set
+      "{[s,1,i,1] : 1 <= s && s <= 2 && 1 <= i && i <= 3} union {[s,2,j,q] : \
+       1 <= s && s <= 2 && 1 <= j && j <= 4 && 1 <= q && q <= 2} union \
+       {[s,3,k,1] : 1 <= s && s <= 2 && 1 <= k && k <= 3}"
+  in
+  Alcotest.(check int) "arity 4" 4 (Set.arity i0c);
+  Alcotest.(check bool) "S1 iteration" true (Set.mem i0c [ 1; 1; 2; 1 ]);
+  Alcotest.(check bool) "S2/S3 iteration" true (Set.mem i0c [ 2; 2; 4; 2 ]);
+  Alcotest.(check bool) "S4 iteration" true (Set.mem i0c [ 2; 3; 3; 1 ]);
+  Alcotest.(check bool) "bad statement" false (Set.mem i0c [ 1; 4; 1; 1 ]);
+  Alcotest.(check int) "cardinality" (6 + 16 + 6)
+    (List.length (Set.enumerate ~bounds:[ (1, 2); (1, 3); (1, 4); (1, 2) ] i0c))
+
+(* ------------------------------------------------------------------ *)
+(* Lexicographic order *)
+
+let test_lexord_concrete () =
+  Alcotest.(check bool) "prefix lt" true
+    (Lexord.precedes_concrete [ 1; 1; 2; 1 ] [ 1; 2; 1; 1 ]);
+  Alcotest.(check bool) "equal not lt" false
+    (Lexord.precedes_concrete [ 1; 2 ] [ 1; 2 ]);
+  Alcotest.(check bool) "later not lt" false
+    (Lexord.precedes_concrete [ 2; 0 ] [ 1; 9 ])
+
+let test_lexord_symbolic () =
+  let open Lexord in
+  let t v = Term.var v and c k = Term.const k in
+  Alcotest.(check bool) "constant diff" true
+    (compare_symbolic [ t "s"; c 1 ] [ t "s"; c 2 ] = Lt);
+  Alcotest.(check bool) "identical tail" true
+    (compare_symbolic [ t "s"; t "i" ] [ t "s"; t "i" ] = Eq);
+  Alcotest.(check bool) "ufs vs ufs unknown" true
+    (compare_symbolic [ Term.ufs "f" [ t "i" ] ] [ Term.ufs "g" [ t "i" ] ]
+     = Unknown);
+  Alcotest.(check bool) "same ufs prefix decides" true
+    (compare_symbolic
+       [ Term.ufs "f" [ t "i" ]; c 1 ]
+       [ Term.ufs "f" [ t "i" ]; c 3 ]
+     = Lt)
+
+(* ------------------------------------------------------------------ *)
+(* Parser round-trips *)
+
+let test_parser_roundtrip () =
+  let srcs =
+    [
+      "{[i] -> [i]}";
+      "{[s,1,i,1] -> [s,1,sigma(i),1]}";
+      "{[j] -> [left(j)]} union {[j] -> [right(j)]}";
+      "{[i] -> [2 i + 1] : 1 <= i && i <= n}";
+      "{[i,j] -> [j,i] : i < j}";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let r = Parser.relation src in
+      let printed = Rel.to_string r in
+      let r' = Parser.relation printed in
+      Alcotest.(check bool) (Fmt.str "roundtrip %s" src) true (Rel.equal r r'))
+    srcs
+
+let test_parser_errors () =
+  let bad = [ "{[i] -> }"; "{[i]"; "{[i] -> [i] : }" ] in
+  List.iter
+    (fun src ->
+      match Parser.relation src with
+      | exception (Parser.Parse_error _ | Invalid_argument _) -> ()
+      | _ -> Alcotest.fail (Fmt.str "expected failure on %s" src))
+    bad
+
+let test_parser_exists () =
+  let r = Parser.relation "{[j] -> [k] : exists(k : k = left(j))}" in
+  (* k is bound existentially and determined by an equality that cannot
+     be solved (no inverse for left), so the relation is not
+     functional. *)
+  Alcotest.(check bool) "not functional" false (Rel.is_functional r)
+
+let test_parser_chain () =
+  let s = Parser.set "{[i] : 1 <= i <= 10}" in
+  Alcotest.(check bool) "chained in" true (Set.mem s [ 10 ]);
+  Alcotest.(check bool) "chained out" false (Set.mem s [ 11 ])
+
+(* ------------------------------------------------------------------ *)
+(* Ufs_env and Fresh *)
+
+let test_ufs_env () =
+  let env = Ufs_env.add_bijection "f" ~inverse:"f_inv" ~arity:1 Ufs_env.empty in
+  Alcotest.(check (option string)) "inverse" (Some "f_inv") (Ufs_env.inverse "f" env);
+  Alcotest.(check (option string)) "inverse of inverse" (Some "f")
+    (Ufs_env.inverse "f_inv" env);
+  Alcotest.(check (option int)) "arity" (Some 1) (Ufs_env.arity "f" env);
+  Alcotest.(check (option string)) "unknown" None (Ufs_env.inverse "g" env);
+  let env2 = Ufs_env.add ~arity:2 "theta" env in
+  Alcotest.(check (option string)) "non-bijection has no inverse" None
+    (Ufs_env.inverse "theta" env2);
+  Alcotest.(check (list string)) "names" [ "f"; "f_inv"; "theta" ]
+    (Ufs_env.names env2)
+
+let test_fresh_names () =
+  let a = Fresh.var () and b = Fresh.var () in
+  Alcotest.(check bool) "distinct" true (not (String.equal a b));
+  Alcotest.(check bool) "marked fresh" true (Fresh.is_fresh a);
+  Alcotest.(check bool) "user names not fresh" false (Fresh.is_fresh "i");
+  Alcotest.(check int) "vars count" 3 (List.length (Fresh.vars 3))
+
+(* Parser corner cases. *)
+let test_parser_corners () =
+  (* Implicit product [2 i], explicit [2 * i], negation, ==. *)
+  let t1 = Parser.term "2 i + 1" in
+  let t2 = Parser.term "2 * i + 1" in
+  Alcotest.(check bool) "products equal" true (Term.equal t1 t2);
+  let t3 = Parser.term "-i + 3" in
+  Alcotest.(check bool) "negation" true
+    (Term.equal t3 (Term.add (Term.neg (Term.var "i")) (Term.const 3)));
+  let s = Parser.set "{[i] : i == 4}" in
+  Alcotest.(check bool) "== accepted" true (Set.mem s [ 4 ]);
+  (* Multi-argument UFS. *)
+  let t4 = Parser.term "theta(2, j)" in
+  Alcotest.(check bool) "2-arg ufs" true
+    (Term.equal t4 (Term.ufs "theta" [ Term.const 2; Term.var "j" ]))
+
+(* Pretty-printer / parser roundtrip on terms with negative and
+   multi-coefficient monomials. *)
+let test_term_pp_roundtrip () =
+  List.iter
+    (fun src ->
+      let t = Parser.term src in
+      let t' = Parser.term (Term.to_string t) in
+      Alcotest.(check bool) (Fmt.str "roundtrip %s" src) true (Term.equal t t'))
+    [ "i"; "-i"; "2 i - 3 j + 7"; "-2 i - 1"; "f(i) - 2 g(j, k)"; "0" ]
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let small_tuple = QCheck.(list_of_size (Gen.return 3) (int_range (-20) 20))
+
+let prop_lexord_total =
+  QCheck.Test.make ~name:"lexord trichotomy" ~count:200
+    (QCheck.pair small_tuple small_tuple) (fun (a, b) ->
+      let c = Lexord.compare_concrete a b in
+      let c' = Lexord.compare_concrete b a in
+      (c = 0 && c' = 0) || (c < 0 && c' > 0) || (c > 0 && c' < 0))
+
+let prop_lexord_transitive =
+  QCheck.Test.make ~name:"lexord transitive" ~count:200
+    (QCheck.triple small_tuple small_tuple small_tuple) (fun (a, b, c) ->
+      let ( <= ) x y = Lexord.compare_concrete x y <= 0 in
+      if a <= b && b <= c then a <= c else true)
+
+let affine_term_gen =
+  QCheck.Gen.(
+    let* c = int_range (-5) 5 in
+    let* ci = int_range (-3) 3 in
+    let* cj = int_range (-3) 3 in
+    return (Term.make c [ (Term.Var "i", ci); (Term.Var "j", cj) ]))
+
+let arb_term = QCheck.make ~print:Term.to_string affine_term_gen
+
+let prop_term_add_commutative =
+  QCheck.Test.make ~name:"term add commutative" ~count:200
+    (QCheck.pair arb_term arb_term) (fun (a, b) ->
+      Term.equal (Term.add a b) (Term.add b a))
+
+let prop_term_add_associative =
+  QCheck.Test.make ~name:"term add associative" ~count:200
+    (QCheck.triple arb_term arb_term arb_term) (fun (a, b, c) ->
+      Term.equal (Term.add (Term.add a b) c) (Term.add a (Term.add b c)))
+
+let prop_term_sub_self =
+  QCheck.Test.make ~name:"term sub self is zero" ~count:200 arb_term (fun a ->
+      Term.equal Term.zero (Term.sub a a))
+
+let prop_term_eval_homomorphic =
+  QCheck.Test.make ~name:"eval is additive" ~count:200
+    (QCheck.pair arb_term arb_term) (fun (a, b) ->
+      let env = function "i" -> 2 | "j" -> -3 | _ -> raise Not_found in
+      let interp _ _ = 0 in
+      Term.eval ~env ~interp (Term.add a b)
+      = Term.eval ~env ~interp a + Term.eval ~env ~interp b)
+
+let arb_affine_rel =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "x -> %dx + %d" a b)
+    QCheck.Gen.(
+      let* a = int_range (-3) 3 in
+      let* b = int_range (-10) 10 in
+      return (a, b))
+
+let rel_of_pair (a, b) =
+  Rel.make ~in_vars:[ "x" ]
+    ~out_tuple:[ Term.add (Term.scale a (Term.var "x")) (Term.const b) ]
+    ()
+
+let prop_compose_associative =
+  QCheck.Test.make ~name:"compose associative (eval)" ~count:100
+    (QCheck.triple arb_affine_rel arb_affine_rel arb_affine_rel)
+    (fun (p1, p2, p3) ->
+      let r1 = rel_of_pair p1 and r2 = rel_of_pair p2 and r3 = rel_of_pair p3 in
+      let lhs = Rel.compose (Rel.compose r3 r2) r1 in
+      let rhs = Rel.compose r3 (Rel.compose r2 r1) in
+      List.for_all
+        (fun x -> Rel.eval_fn lhs [ x ] = Rel.eval_fn rhs [ x ])
+        [ -5; 0; 1; 7 ])
+
+let prop_compose_matches_eval =
+  QCheck.Test.make ~name:"compose agrees with sequential eval" ~count:100
+    (QCheck.pair arb_affine_rel arb_affine_rel) (fun (p1, p2) ->
+      let r1 = rel_of_pair p1 and r2 = rel_of_pair p2 in
+      let c = Rel.compose r2 r1 in
+      List.for_all
+        (fun x -> Rel.eval_fn c [ x ] = Rel.eval_fn r2 (Rel.eval_fn r1 [ x ]))
+        [ -3; 0; 2; 11 ])
+
+(* Inverse of a random invertible affine map, evaluated: inverse
+   composed with the relation is the identity. Maps x -> x + b (unit
+   coefficient) are always invertible over the integers. *)
+let prop_inverse_cancels =
+  QCheck.Test.make ~name:"inverse . relation = identity (eval)" ~count:200
+    (QCheck.int_range (-50) 50) (fun b ->
+      let r =
+        Rel.make ~in_vars:[ "x" ]
+          ~out_tuple:[ Term.add (Term.var "x") (Term.const b) ]
+          ()
+      in
+      let roundtrip = Rel.compose (Rel.inverse r) r in
+      List.for_all
+        (fun x -> Rel.eval_fn roundtrip [ x ] = [ x ])
+        [ -7; 0; 3; 99 ])
+
+(* Simplification never changes the evaluated meaning of a functional
+   relation. *)
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:200
+    (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-10) 10))
+    (fun (a, b) ->
+      let t = Term.add (Term.scale a (Term.var "x")) (Term.const b) in
+      let r = Rel.make ~in_vars:[ "x" ] ~out_tuple:[ t ] () in
+      let s = Rel.simplify r in
+      List.for_all (fun x -> Rel.eval_fn r [ x ] = Rel.eval_fn s [ x ]) [ -2; 0; 5 ])
+
+(* Union is commutative under evaluation. *)
+let prop_union_commutative_eval =
+  QCheck.Test.make ~name:"union commutative (eval)" ~count:200
+    (QCheck.pair (QCheck.int_range (-5) 5) (QCheck.int_range (-5) 5))
+    (fun (b1, b2) ->
+      let mk b =
+        Rel.make ~in_vars:[ "x" ]
+          ~out_tuple:[ Term.add (Term.var "x") (Term.const b) ]
+          ()
+      in
+      let u1 = Rel.union (mk b1) (mk b2) in
+      let u2 = Rel.union (mk b2) (mk b1) in
+      List.for_all
+        (fun x ->
+          List.sort compare (Rel.eval u1 [ x ])
+          = List.sort compare (Rel.eval u2 [ x ]))
+        [ -1; 0; 4 ])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "presburger"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "normalization" `Quick test_term_normalization;
+          Alcotest.test_case "scale" `Quick test_term_scale;
+          Alcotest.test_case "subst nested ufs" `Quick test_term_subst;
+          Alcotest.test_case "subst affine" `Quick test_term_subst_affine;
+          Alcotest.test_case "eval" `Quick test_term_eval;
+          Alcotest.test_case "as_var/as_ufs" `Quick test_term_as;
+        ] );
+      ( "constr",
+        [
+          Alcotest.test_case "truth" `Quick test_constr_truth;
+          Alcotest.test_case "eval" `Quick test_constr_eval;
+          Alcotest.test_case "normalize" `Quick test_constr_normalize;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "affine" `Quick test_solve_affine;
+          Alcotest.test_case "ufs" `Quick test_solve_ufs;
+          Alcotest.test_case "nested ufs" `Quick test_solve_nested_ufs;
+          Alcotest.test_case "no inverse" `Quick test_solve_no_inverse;
+        ] );
+      ( "rel",
+        [
+          Alcotest.test_case "identity" `Quick test_rel_identity;
+          Alcotest.test_case "compose functional" `Quick
+            test_rel_compose_functional;
+          Alcotest.test_case "compose affine" `Quick test_rel_compose_affine;
+          Alcotest.test_case "compose union" `Quick test_rel_compose_union;
+          Alcotest.test_case "inverse affine" `Quick test_rel_inverse_affine;
+          Alcotest.test_case "inverse ufs" `Quick test_rel_inverse_ufs;
+          Alcotest.test_case "inverse w/o env" `Quick test_rel_inverse_no_env;
+          Alcotest.test_case "inverse multidim" `Quick test_rel_inverse_multidim;
+          Alcotest.test_case "roundtrip inverse" `Quick
+            test_rel_roundtrip_inverse;
+          Alcotest.test_case "union arity mismatch" `Quick
+            test_rel_union_arity_mismatch;
+          Alcotest.test_case "eval constraints" `Quick test_rel_eval_constraints;
+          Alcotest.test_case "ufs names" `Quick test_rel_ufs_names;
+          Alcotest.test_case "paper 5.1 data mapping" `Quick
+            test_paper_section5_data_mapping;
+          Alcotest.test_case "paper 5.3 iter composition" `Quick
+            test_paper_section5_iter_composition;
+          Alcotest.test_case "paper dependence update" `Quick
+            test_paper_dependence_update;
+          Alcotest.test_case "domain" `Quick test_rel_domain;
+          Alcotest.test_case "range" `Quick test_rel_range;
+          Alcotest.test_case "restrict domain" `Quick test_rel_restrict_domain;
+          Alcotest.test_case "image union" `Quick test_rel_image_union;
+        ] );
+      ( "set",
+        [
+          Alcotest.test_case "mem" `Quick test_set_mem;
+          Alcotest.test_case "union mem" `Quick test_set_union_mem;
+          Alcotest.test_case "enumerate" `Quick test_set_enumerate;
+          Alcotest.test_case "apply" `Quick test_set_apply;
+          Alcotest.test_case "intersect" `Quick test_set_intersect;
+          Alcotest.test_case "unified iteration space" `Quick
+            test_unified_iteration_space;
+        ] );
+      ( "lexord",
+        [
+          Alcotest.test_case "concrete" `Quick test_lexord_concrete;
+          Alcotest.test_case "symbolic" `Quick test_lexord_symbolic;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parser_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "exists" `Quick test_parser_exists;
+          Alcotest.test_case "chained comparisons" `Quick test_parser_chain;
+          Alcotest.test_case "corners" `Quick test_parser_corners;
+          Alcotest.test_case "term pp roundtrip" `Quick test_term_pp_roundtrip;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "ufs_env" `Quick test_ufs_env;
+          Alcotest.test_case "fresh" `Quick test_fresh_names;
+        ] );
+      ("prop:lexord", qsuite [ prop_lexord_total; prop_lexord_transitive ]);
+      ( "prop:term",
+        qsuite
+          [
+            prop_term_add_commutative;
+            prop_term_add_associative;
+            prop_term_sub_self;
+            prop_term_eval_homomorphic;
+          ] );
+      ( "prop:rel",
+        qsuite
+          [
+            prop_compose_associative;
+            prop_compose_matches_eval;
+            prop_inverse_cancels;
+            prop_simplify_preserves_eval;
+            prop_union_commutative_eval;
+          ] );
+    ]
