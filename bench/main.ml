@@ -10,10 +10,19 @@
 open Bechamel
 open Toolkit
 
+let default_scale = 24
+
 let scale =
   match Sys.getenv_opt "RTRT_SCALE" with
-  | Some s -> (try int_of_string s with _ -> 24)
-  | None -> 24
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+      Fmt.epr
+        "bench: warning: RTRT_SCALE=%S is not an integer; using default %d@."
+        s default_scale;
+      default_scale)
+  | None -> default_scale
 
 let config = { Harness.Figures.scale; trace_steps = 2; wall_steps = 3 }
 
@@ -105,6 +114,7 @@ let bench_inspectors ~bench_name ~dataset_name =
 let section fmt = Fmt.pr ("@.==== " ^^ fmt ^^ " ====@.")
 
 let () =
+  Rtrt_obs.Config.init ();
   Fmt.pr "rtrt bench harness; dataset scale %d (RTRT_SCALE overrides)@." scale;
 
   section "Section 2.4: datasets";

@@ -12,7 +12,12 @@
      rtrt guide               Section 7 runtime composition selection
      rtrt ablations           design-choice ablations A1-A9
      rtrt raw                 absolute counts for one configuration
-     rtrt all                 the figure suite end to end *)
+     rtrt json                one figure's rows as JSON (jq-ready)
+     rtrt trace-report        span-tree summary of a JSONL trace
+     rtrt all                 the figure suite end to end
+
+   Every command honours RTRT_TRACE (pretty | jsonl[:PATH]) and the
+   --trace flag; see the README's Observability section. *)
 
 open Cmdliner
 
@@ -22,6 +27,18 @@ let config_of ~scale ~steps =
     trace_steps = steps;
     wall_steps = max steps 3;
   }
+
+let trace_arg =
+  let doc =
+    "Trace the run (pretty sink on stderr). The RTRT_TRACE environment \
+     variable (pretty | jsonl[:PATH] | off) takes precedence when set."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let setup_trace cli_trace =
+  Rtrt_obs.Config.init
+    ~default:(if cli_trace then Rtrt_obs.Config.Pretty else Rtrt_obs.Config.Off)
+    ()
 
 let scale_arg =
   let doc =
@@ -113,32 +130,43 @@ let run_symbolic () =
 
 let run_gs scale steps =
   ignore steps;
+  Rtrt_obs.Span.with_ ~name:"gs.run"
+    ~attrs:[ ("scale", Rtrt_obs.Json.Int scale) ]
+  @@ fun () ->
   let dataset = Datagen.Generators.foil ~scale () in
   let graph = Datagen.Dataset.to_graph dataset in
   let n = Irgraph.Csr.num_nodes graph in
   let f = Array.init n (fun i -> 1.0 +. float_of_int (i mod 13)) in
   let slab = 3 and slabs = 8 in
-  let partition = Irgraph.Partition.gpart graph ~part_size:32 in
+  let partition =
+    Rtrt_obs.Span.with_ ~name:"gs.partition" (fun () ->
+        Irgraph.Partition.gpart graph ~part_size:32)
+  in
   let graph', f', _sigma, seed =
-    Kernels.Gauss_seidel.renumber_by_partition graph ~f ~partition
+    Rtrt_obs.Span.with_ ~name:"gs.renumber" (fun () ->
+        Kernels.Gauss_seidel.renumber_by_partition graph ~f ~partition)
   in
   let tiling =
-    Kernels.Gauss_seidel.grow graph' ~seed ~seed_sweep:(slab / 2) ~sweeps:slab
+    Rtrt_obs.Span.with_ ~name:"gs.grow" (fun () ->
+        Kernels.Gauss_seidel.grow graph' ~seed ~seed_sweep:(slab / 2)
+          ~sweeps:slab)
   in
   let machine = Cachesim.Machine.pentium4 in
-  let misses run =
+  let misses name run =
+    Rtrt_obs.Span.with_ ~name @@ fun () ->
     let t = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
     let layout = Kernels.Gauss_seidel.layout t in
     let hierarchy = Cachesim.Machine.hierarchy machine in
     run t ~layout ~access:(Cachesim.Hierarchy.access hierarchy);
+    Cachesim.Hierarchy.publish_metrics hierarchy;
     Cachesim.Hierarchy.l1_misses hierarchy
   in
   let plain =
-    misses (fun t ~layout ~access ->
+    misses "gs.run_plain" (fun t ~layout ~access ->
         Kernels.Gauss_seidel.run_traced t ~sweeps:(slab * slabs) ~layout ~access)
   in
   let tiled =
-    misses (fun t ~layout ~access ->
+    misses "gs.run_tiled" (fun t ~layout ~access ->
         Kernels.Gauss_seidel.run_tiled_traced ~slabs t tiling ~layout ~access)
   in
   Fmt.pr
@@ -202,6 +230,95 @@ let run_export dir scale steps =
        (Harness.Figures.cache_target_sweep ~machine:Cachesim.Machine.pentium4
           ~config ()))
 
+let run_json figure scale steps =
+  let config = config_of ~scale ~steps in
+  let module F = Harness.Figures in
+  let rows =
+    match figure with
+    | "datasets" -> F.json_dataset_rows (F.dataset_table ~config ())
+    | "figure6" ->
+      F.json_exec_rows
+        (F.executor_time ~machine:Cachesim.Machine.power3 ~config ())
+    | "figure7" ->
+      F.json_exec_rows
+        (F.executor_time ~machine:Cachesim.Machine.pentium4 ~config ())
+    | "figure8" ->
+      F.json_amort_rows
+        (F.amortization ~machine:Cachesim.Machine.power3 ~config ())
+    | "figure9" ->
+      F.json_amort_rows
+        (F.amortization ~machine:Cachesim.Machine.pentium4 ~config ())
+    | "figure16" ->
+      F.json_remap_rows
+        (F.remap_overhead ~machine:Cachesim.Machine.pentium4 ~config ())
+    | "figure17" ->
+      F.json_sweep_rows
+        (F.cache_target_sweep ~machine:Cachesim.Machine.pentium4 ~config ())
+    | f ->
+      Fmt.invalid_arg
+        "unknown figure %s (expected datasets | figure6 | figure7 | figure8 \
+         | figure9 | figure16 | figure17)"
+        f
+  in
+  print_endline
+    (Rtrt_obs.Json.to_string
+       (Rtrt_obs.Json.Obj
+          [
+            ("figure", Rtrt_obs.Json.String figure);
+            ("scale", Rtrt_obs.Json.Int scale);
+            ("trace_steps", Rtrt_obs.Json.Int steps);
+            ("rows", rows);
+          ]))
+
+let print_trace_report events =
+  Fmt.pr "Span summary (self = total minus child spans):@.%a"
+    Rtrt_obs.Report.pp_summary
+    (Rtrt_obs.Report.summarize events);
+  let ms = Rtrt_obs.Report.metrics events in
+  if ms <> [] then begin
+    Fmt.pr "@.Counters and gauges:@.";
+    List.iter
+      (fun (m : Rtrt_obs.Sink.metric) ->
+        Fmt.pr "  %-32s %g@." m.Rtrt_obs.Sink.m_name m.Rtrt_obs.Sink.m_value)
+      ms
+  end
+
+let run_trace_report file scale steps =
+  match file with
+  | Some path ->
+    let events =
+      try Rtrt_obs.Report.events_of_jsonl path
+      with Sys_error msg ->
+        Fmt.epr "rtrt: cannot read trace: %s@." msg;
+        exit 1
+    in
+    Fmt.pr "Trace report for %s@.@." path;
+    print_trace_report events
+  | None ->
+    (* No trace file given: capture one instrumented suite run
+       (moldyn/mol1, Pentium 4 model) in memory and report it. *)
+    let config = config_of ~scale ~steps in
+    let sink, events = Rtrt_obs.Sink.memory () in
+    Rtrt_obs.set_sink sink;
+    let kernel =
+      match
+        ( Kernels.by_name "moldyn",
+          Datagen.Generators.by_name ~scale "mol1" )
+      with
+      | Some f, Some d -> f d
+      | _ -> assert false
+    in
+    ignore
+      (Harness.Figures.run_suite ~machine:Cachesim.Machine.pentium4 ~config
+         kernel);
+    Rtrt_obs.Metrics.flush ();
+    Rtrt_obs.disable ();
+    Fmt.pr
+      "Trace report for a fresh moldyn/mol1 suite run (scale %d; pass a \
+       JSONL file to report an existing trace)@.@."
+      scale;
+    print_trace_report (events ())
+
 let run_codegen bench =
   let program =
     match Compose.Symbolic.program_by_name bench with
@@ -229,7 +346,12 @@ let run_all scale steps =
   run_sweep scale steps
 
 let cmd_of ~name ~doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ steps_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun trace scale steps ->
+          setup_trace trace;
+          f scale steps)
+      $ trace_arg $ scale_arg $ steps_arg)
 
 let datasets_cmd = cmd_of ~name:"datasets" ~doc:"Section 2.4 table" run_datasets
 
@@ -265,7 +387,11 @@ let raw_cmd =
   in
   Cmd.v
     (Cmd.info "raw" ~doc:"Raw measurements for one kernel/dataset/machine")
-    Term.(const run_raw $ bench $ ds $ machine $ scale_arg $ steps_arg)
+    Term.(
+      const (fun trace bench ds machine scale steps ->
+          setup_trace trace;
+          run_raw bench ds machine scale steps)
+      $ trace_arg $ bench $ ds $ machine $ scale_arg $ steps_arg)
 
 let ablations_cmd =
   cmd_of ~name:"ablations" ~doc:"Design-choice ablations" run_ablations
@@ -279,7 +405,11 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Write plot-ready CSVs for Figures 6-9 and 17")
-    Term.(const run_export $ dir $ scale_arg $ steps_arg)
+    Term.(
+      const (fun trace dir scale steps ->
+          setup_trace trace;
+          run_export dir scale steps)
+      $ trace_arg $ dir $ scale_arg $ steps_arg)
 
 let guide_cmd =
   let bench =
@@ -292,7 +422,11 @@ let guide_cmd =
   in
   Cmd.v
     (Cmd.info "guide" ~doc:"Section 7 guidance: pick a composition at runtime")
-    Term.(const run_guide $ bench $ ds $ budget $ scale_arg $ steps_arg)
+    Term.(
+      const (fun trace bench ds budget scale steps ->
+          setup_trace trace;
+          run_guide bench ds budget scale steps)
+      $ trace_arg $ bench $ ds $ budget $ scale_arg $ steps_arg)
 
 let codegen_cmd =
   let bench =
@@ -301,12 +435,59 @@ let codegen_cmd =
   Cmd.v
     (Cmd.info "codegen"
        ~doc:"Generated specialized inspector/executor pseudo-code")
-    Term.(const run_codegen $ bench)
+    Term.(
+      const (fun trace bench ->
+          setup_trace trace;
+          run_codegen bench)
+      $ trace_arg $ bench)
 
 let symbolic_cmd =
   Cmd.v
     (Cmd.info "symbolic" ~doc:"Section 5 symbolic composition report")
-    Term.(const run_symbolic $ const ())
+    Term.(
+      const (fun trace () ->
+          setup_trace trace;
+          Rtrt_obs.Span.with_ ~name:"symbolic.report" run_symbolic)
+      $ trace_arg $ const ())
+
+let json_cmd =
+  let figure =
+    let names =
+      [ "datasets"; "figure6"; "figure7"; "figure8"; "figure9"; "figure16";
+        "figure17" ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            "One of: datasets, figure6, figure7, figure8, figure9, figure16, \
+             figure17.")
+  in
+  Cmd.v
+    (Cmd.info "json"
+       ~doc:"Emit one figure's rows as JSON on stdout (pipe into jq)")
+    Term.(
+      const (fun trace figure scale steps ->
+          setup_trace trace;
+          run_json figure scale steps)
+      $ trace_arg $ figure $ scale_arg $ steps_arg)
+
+let trace_report_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:
+            "JSONL trace to summarize (as written by RTRT_TRACE=jsonl:PATH). \
+             When omitted, a fresh instrumented moldyn/mol1 suite run is \
+             captured and reported.")
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:"Summarize a span trace: total vs self time per span name")
+    Term.(const run_trace_report $ file $ scale_arg $ steps_arg)
 
 let all_cmd = cmd_of ~name:"all" ~doc:"Run every experiment" run_all
 
@@ -322,5 +503,6 @@ let () =
        (Cmd.group info
           [
             datasets_cmd; figure6_cmd; figure7_cmd; figure8_cmd; figure9_cmd;
-            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; all_cmd;
+            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; json_cmd;
+            trace_report_cmd; all_cmd;
           ]))

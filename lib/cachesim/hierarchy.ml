@@ -64,3 +64,20 @@ let miss_ratio t =
 let pp ppf t =
   Fmt.pf ppf "hierarchy(L1 hits %d, L2 hits %d, memory %d)" t.l1_hits
     t.l2_hits t.mem_accesses
+
+(* Per-level counts exposed through the metrics registry, published
+   after a counted run (the per-access path stays untouched). *)
+let g_accesses = Rtrt_obs.Metrics.gauge "cachesim.accesses"
+let g_l1_hits = Rtrt_obs.Metrics.gauge "cachesim.l1_hits"
+let g_l1_misses = Rtrt_obs.Metrics.gauge "cachesim.l1_misses"
+let g_l2_hits = Rtrt_obs.Metrics.gauge "cachesim.l2_hits"
+let g_mem_accesses = Rtrt_obs.Metrics.gauge "cachesim.mem_accesses"
+let g_modeled_cycles = Rtrt_obs.Metrics.gauge "cachesim.modeled_cycles"
+
+let publish_metrics t =
+  Rtrt_obs.Metrics.set g_accesses (float_of_int (accesses t));
+  Rtrt_obs.Metrics.set g_l1_hits (float_of_int t.l1_hits);
+  Rtrt_obs.Metrics.set g_l1_misses (float_of_int (l1_misses t));
+  Rtrt_obs.Metrics.set g_l2_hits (float_of_int t.l2_hits);
+  Rtrt_obs.Metrics.set g_mem_accesses (float_of_int t.mem_accesses);
+  Rtrt_obs.Metrics.set g_modeled_cycles (modeled_cycles t)

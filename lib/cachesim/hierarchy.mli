@@ -23,3 +23,9 @@ val mem_accesses : t -> int
 val modeled_cycles : t -> float
 val miss_ratio : t -> float
 val pp : t Fmt.t
+
+(** Publish the per-level counts (cachesim.accesses, .l1_hits,
+    .l1_misses, .l2_hits, .mem_accesses, .modeled_cycles) as gauges in
+    the {!Rtrt_obs.Metrics} registry. Called by the harness after each
+    counted run; a no-op while tracing is disabled. *)
+val publish_metrics : t -> unit

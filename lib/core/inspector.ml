@@ -38,6 +38,9 @@ type result = {
 
 let invalid fmt = Fmt.kstr invalid_arg fmt
 
+let c_data_remaps = Rtrt_obs.Metrics.counter "inspector.data_remaps"
+let c_perms_composed = Rtrt_obs.Metrics.counter "inspector.permutations_composed"
+
 (* Mutable walk state shared by both strategies. *)
 type walk = {
   mutable kern : Kernels.Kernel.t; (* original (Remap_once) or current *)
@@ -58,10 +61,15 @@ let fresh_fn walk base =
   walk.counters <- (base, n + 1) :: List.remove_assoc base walk.counters;
   if n = 0 then base else Fmt.str "%s%d" base (n + 1)
 
+(* Returns the generated function's name so the enclosing span can
+   record it. *)
 let record_fn walk base perm =
-  walk.fns <- (fresh_fn walk base, perm) :: walk.fns
+  let name = fresh_fn walk base in
+  walk.fns <- (name, perm) :: walk.fns;
+  name
 
 let data_perm walk strategy sigma_new =
+  Rtrt_obs.Metrics.incr c_perms_composed;
   walk.work_access <- Access.map_data sigma_new walk.work_access;
   walk.sigma <- Perm.compose sigma_new walk.sigma;
   (match walk.schedule with
@@ -81,10 +89,12 @@ let data_perm walk strategy sigma_new =
   match strategy with
   | Remap_each ->
     walk.kern <- walk.kern.Kernels.Kernel.apply_data_perm sigma_new;
-    walk.remaps <- walk.remaps + 1
+    walk.remaps <- walk.remaps + 1;
+    Rtrt_obs.Metrics.incr c_data_remaps
   | Remap_once -> ()
 
 let iter_perm walk strategy delta_new =
+  Rtrt_obs.Metrics.incr c_perms_composed;
   walk.work_access <- Access.reorder_iters delta_new walk.work_access;
   walk.delta <- Perm.compose delta_new walk.delta;
   match strategy with
@@ -141,6 +151,10 @@ let sparse_tile walk ~share_symmetric_deps growth seed =
     invalid "Inspector: illegal tile function (loop pair %d, %d -> %d)" l a b);
   walk.schedule <- Some (Schedule.of_tile_fns tiles)
 
+let strategy_name = function
+  | Remap_each -> "remap_each"
+  | Remap_once -> "remap_once"
+
 let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
     (kernel : Kernels.Kernel.t) =
   (match Plan.validate plan with
@@ -150,6 +164,13 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
      they touch, so the transformed kernel would otherwise alias (and
      its executor mutate) the caller's arrays. *)
   let kernel = kernel.Kernels.Kernel.copy () in
+  Rtrt_obs.Span.with_span ~name:"inspector.run"
+    ~attrs:
+      [
+        ("plan", Rtrt_obs.Json.String (Plan.name plan));
+        ("strategy", Rtrt_obs.Json.String (strategy_name strategy));
+      ]
+  @@ fun root_span ->
   let t0 = Unix.gettimeofday () in
   let walk =
     {
@@ -164,6 +185,9 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
     }
   in
   let apply (t : Transform.t) =
+    Rtrt_obs.Span.with_span ~name:"inspector.transform"
+      ~attrs:[ ("kind", Rtrt_obs.Json.String (Transform.name t)) ]
+    @@ fun span ->
     match t with
     | Transform.Data_reorder alg ->
       let sigma_new =
@@ -191,7 +215,8 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
         | Transform.Rcm -> "sigma_rcm"
         | Transform.Tile_pack -> "sigma_tp"
       in
-      record_fn walk base sigma_new;
+      let fn = record_fn walk base sigma_new in
+      Rtrt_obs.Span.set_attr span "fn" (Rtrt_obs.Json.String fn);
       data_perm walk strategy sigma_new
     | Transform.Iter_reorder alg ->
       let delta_new =
@@ -207,7 +232,8 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
         | Transform.Lexsort -> "delta_ls"
         | Transform.Bucket_tile _ -> "delta_bt"
       in
-      record_fn walk base delta_new;
+      let fn = record_fn walk base delta_new in
+      Rtrt_obs.Span.set_attr span "fn" (Rtrt_obs.Json.String fn);
       iter_perm walk strategy delta_new
     | Transform.Sparse_tile { growth; seed } ->
       sparse_tile walk ~share_symmetric_deps growth seed
@@ -219,14 +245,20 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
     match strategy with
     | Remap_each -> walk.kern
     | Remap_once ->
+      Rtrt_obs.Span.with_ ~name:"inspector.final_remap" @@ fun () ->
       let k = walk.kern.Kernels.Kernel.apply_iter_perm walk.delta in
       if Perm.is_id walk.sigma then k
       else begin
         walk.remaps <- walk.remaps + 1;
+        Rtrt_obs.Metrics.incr c_data_remaps;
         k.Kernels.Kernel.apply_data_perm walk.sigma
       end
   in
   let seconds = Unix.gettimeofday () -. t0 in
+  Rtrt_obs.Span.set_attr root_span "inspector_seconds"
+    (Rtrt_obs.Json.Float seconds);
+  Rtrt_obs.Span.set_attr root_span "n_data_remaps"
+    (Rtrt_obs.Json.Int walk.remaps);
   {
     kernel = kern;
     schedule = walk.schedule;

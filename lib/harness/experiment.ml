@@ -24,6 +24,9 @@ let time f =
 
 (* Run the inspector and verify the result. *)
 let inspect ?strategy ?share_symmetric_deps plan kernel =
+  Rtrt_obs.Span.with_ ~name:"experiment.inspect"
+    ~attrs:[ ("plan", Rtrt_obs.Json.String (Compose.Plan.name plan)) ]
+  @@ fun () ->
   let result = Compose.Inspector.run ?strategy ?share_symmetric_deps plan kernel in
   (match Compose.Legality.check result with
   | Ok () -> ()
@@ -34,6 +37,13 @@ let inspect ?strategy ?share_symmetric_deps plan kernel =
 
 let trace_steps ?(layout_of = Kernels.Kernel.layout)
     (result : Compose.Inspector.result) ~machine ~warmup ~steps =
+  Rtrt_obs.Span.with_ ~name:"experiment.trace"
+    ~attrs:
+      [
+        ("machine", Rtrt_obs.Json.String machine.Cachesim.Machine.name);
+        ("steps", Rtrt_obs.Json.Int steps);
+      ]
+  @@ fun () ->
   let kernel = result.Compose.Inspector.kernel in
   let layout = layout_of kernel in
   let hierarchy = Cachesim.Machine.hierarchy machine in
@@ -47,6 +57,7 @@ let trace_steps ?(layout_of = Kernels.Kernel.layout)
     kernel.Kernels.Kernel.run_tiled_traced sched ~steps:warmup ~layout ~access;
     Cachesim.Hierarchy.reset_counters hierarchy;
     kernel.Kernels.Kernel.run_tiled_traced sched ~steps ~layout ~access);
+  Cachesim.Hierarchy.publish_metrics hierarchy;
   let misses = float_of_int (Cachesim.Hierarchy.l1_misses hierarchy) in
   let accesses = float_of_int (Cachesim.Hierarchy.accesses hierarchy) in
   let cycles = Cachesim.Hierarchy.modeled_cycles hierarchy in
@@ -56,6 +67,9 @@ let trace_steps ?(layout_of = Kernels.Kernel.layout)
     Cachesim.Hierarchy.miss_ratio hierarchy )
 
 let wall_clock_steps (result : Compose.Inspector.result) ~steps =
+  Rtrt_obs.Span.with_ ~name:"experiment.wall_clock"
+    ~attrs:[ ("steps", Rtrt_obs.Json.Int steps) ]
+  @@ fun () ->
   let kernel = result.Compose.Inspector.kernel in
   let (), seconds =
     time (fun () ->
@@ -67,6 +81,13 @@ let wall_clock_steps (result : Compose.Inspector.result) ~steps =
 
 let measure ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
     ?(trace_steps_n = 2) ?(wall_steps = 5) ~machine ~plan kernel =
+  Rtrt_obs.Span.with_ ~name:"experiment.measure"
+    ~attrs:
+      [
+        ("plan", Rtrt_obs.Json.String (Compose.Plan.name plan));
+        ("machine", Rtrt_obs.Json.String machine.Cachesim.Machine.name);
+      ]
+  @@ fun () ->
   let result = inspect ?strategy ?share_symmetric_deps plan (kernel : Kernels.Kernel.t) in
   let cycles, misses, accesses, ratio =
     trace_steps ?layout_of result ~machine ~warmup ~steps:trace_steps_n

@@ -319,6 +319,102 @@ let cache_target_sweep ?(targets_kb = [ 2; 4; 8; 16; 32; 64; 128; 256 ])
     [ ("irreg", "foil"); ("moldyn", "mol1") ]
 
 (* ------------------------------------------------------------------ *)
+(* JSON export (rtrt json <figure>)                                    *)
+
+module J = Rtrt_obs.Json
+
+let json_dataset_rows rows =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("dataset", J.String r.ds_name);
+             ("nodes", J.Int r.gen_nodes);
+             ("edges", J.Int r.gen_edges);
+             ("paper_nodes", J.Int r.paper_nodes);
+             ("paper_edges", J.Int r.paper_edges);
+             ( "paper_footprint_mb",
+               J.Obj
+                 (List.map (fun (b, mb) -> (b, J.Float mb)) r.footprint_mb) );
+           ])
+       rows)
+
+let json_exec_rows rows =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("bench", J.String r.bench);
+             ("dataset", J.String r.dataset);
+             ( "plans",
+               J.List
+                 (List.map
+                    (fun (plan, cyc, wall) ->
+                      J.Obj
+                        [
+                          ("plan", J.String plan);
+                          ("normalized_cycles", J.Float cyc);
+                          ("normalized_wall", J.Float wall);
+                        ])
+                    r.per_plan) );
+           ])
+       rows)
+
+let json_amort_rows rows =
+  let cell = function Some v -> J.Float v | None -> J.Null in
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("bench", J.String r.a_bench);
+             ("dataset", J.String r.a_dataset);
+             ( "plans",
+               J.List
+                 (List.map
+                    (fun (plan, modeled, wall) ->
+                      J.Obj
+                        [
+                          ("plan", J.String plan);
+                          ("amortize_modeled", cell modeled);
+                          ("amortize_wall", cell wall);
+                        ])
+                    r.a_per_plan) );
+           ])
+       rows)
+
+let json_remap_rows rows =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("bench", J.String r.r_bench);
+             ("dataset", J.String r.r_dataset);
+             ("plan", J.String r.r_plan);
+             ("seconds_remap_each", J.Float r.seconds_each);
+             ("seconds_remap_once", J.Float r.seconds_once);
+             ("reduction_pct", J.Float r.reduction_pct);
+           ])
+       rows)
+
+let json_sweep_rows rows =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("bench", J.String r.s_bench);
+             ("dataset", J.String r.s_dataset);
+             ("target_kb", J.Int r.s_target_kb);
+             ("gl", J.Float r.s_gl);
+             ("cl_fst", J.Float r.s_fst);
+           ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* CSV export (plot-ready)                                             *)
 
 let csv_exec_rows rows =

@@ -112,3 +112,12 @@ val pp_sweep_rows : sweep_row list Fmt.t
 val csv_exec_rows : exec_row list -> string
 val csv_amort_rows : amort_row list -> string
 val csv_sweep_rows : sweep_row list -> string
+
+(** Machine-readable renderings of the figure tables ([rtrt json]);
+    amortization cells that never pay off render as JSON null. *)
+
+val json_dataset_rows : dataset_row list -> Rtrt_obs.Json.t
+val json_exec_rows : exec_row list -> Rtrt_obs.Json.t
+val json_amort_rows : amort_row list -> Rtrt_obs.Json.t
+val json_remap_rows : remap_row list -> Rtrt_obs.Json.t
+val json_sweep_rows : sweep_row list -> Rtrt_obs.Json.t

@@ -1,0 +1,64 @@
+(* Environment/CLI configuration surface:
+
+     RTRT_TRACE=pretty            indented trace on stderr
+     RTRT_TRACE=jsonl             JSONL trace to ./rtrt_trace.jsonl
+     RTRT_TRACE=jsonl:PATH        JSONL trace to PATH
+     RTRT_TRACE=off|0|none|""     disabled (the default)
+
+   `rtrt --trace` passes [~default:Pretty] so the env var still wins
+   when both are given. An at_exit hook flushes the metrics registry
+   and closes the sink, so JSONL traces always end with the counter
+   and gauge totals. *)
+
+type mode = Off | Pretty | Jsonl of string
+
+let default_jsonl_path = "rtrt_trace.jsonl"
+
+let parse spec =
+  match spec with
+  | "" | "0" | "off" | "none" -> Ok Off
+  | "pretty" -> Ok Pretty
+  | "jsonl" -> Ok (Jsonl default_jsonl_path)
+  | s when String.length s > 6 && String.sub s 0 6 = "jsonl:" ->
+    Ok (Jsonl (String.sub s 6 (String.length s - 6)))
+  | s ->
+    Error
+      (Fmt.str "unknown RTRT_TRACE value %S (expected pretty | jsonl[:PATH] | off)"
+         s)
+
+let exit_hook_registered = ref false
+
+let register_exit_hook () =
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    at_exit (fun () ->
+        if Runtime.is_enabled () then begin
+          Metrics.flush ();
+          Runtime.disable () (* flushes and closes the sink *)
+        end)
+  end
+
+let install = function
+  | Off -> Runtime.disable ()
+  | Pretty ->
+    register_exit_hook ();
+    Runtime.set_sink (Sink.pretty Fmt.stderr)
+  | Jsonl path -> (
+    match Sink.jsonl_file path with
+    | sink ->
+      register_exit_hook ();
+      Runtime.set_sink sink;
+      Fmt.epr "rtrt: writing jsonl trace to %s@." path
+    | exception Sys_error msg ->
+      Fmt.epr "rtrt: cannot open jsonl trace (%s); tracing disabled@." msg;
+      Runtime.disable ())
+
+let init ?(default = Off) () =
+  match Sys.getenv_opt "RTRT_TRACE" with
+  | None -> install default
+  | Some spec -> (
+    match parse spec with
+    | Ok m -> install m
+    | Error msg ->
+      Fmt.epr "rtrt: %s; tracing disabled@." msg;
+      install Off)

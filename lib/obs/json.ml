@@ -1,0 +1,262 @@
+(* Minimal JSON values with a printer and a recursive-descent parser.
+   The tracing layer must not pull in external dependencies, and the
+   repo's exports (JSONL traces, `rtrt json <figure>`) only need plain
+   values — so this is deliberately small: no streaming, no full
+   unicode decoding (we only ever *emit* \u escapes for control
+   characters). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Shortest representation that round-trips; non-finite floats have no
+   JSON spelling and become null. *)
+let float_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+    Buffer.add_char b '"';
+    escape_into b s;
+    Buffer.add_char b '"'
+  | List vs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        write b v)
+      vs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape_into b k;
+        Buffer.add_string b "\":";
+        write b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of string
+
+let of_string_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "truncated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'; incr pos
+        | '\\' -> Buffer.add_char b '\\'; incr pos
+        | '/' -> Buffer.add_char b '/'; incr pos
+        | 'n' -> Buffer.add_char b '\n'; incr pos
+        | 't' -> Buffer.add_char b '\t'; incr pos
+        | 'r' -> Buffer.add_char b '\r'; incr pos
+        | 'b' -> Buffer.add_char b '\b'; incr pos
+        | 'f' -> Buffer.add_char b '\012'; incr pos
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
+          (* We only emit \u for control characters; anything outside
+             the byte range is replaced rather than UTF-8 encoded. *)
+          if code < 0x100 then Buffer.add_char b (Char.chr code)
+          else Buffer.add_char b '?';
+          pos := !pos + 5
+        | _ -> fail "unknown escape");
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then incr pos;
+    let continue = ref true in
+    while !continue && !pos < n do
+      match s.[!pos] with
+      | '0' .. '9' -> incr pos
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        incr pos
+      | '+' | '-' when !is_float -> incr pos (* exponent sign *)
+      | _ -> continue := false
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+          | Some ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input after JSON value";
+  v
+
+let of_string s =
+  match of_string_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int n -> Some n | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_list_opt = function List vs -> Some vs | _ -> None
+
+let pp ppf v = Fmt.string ppf (to_string v)

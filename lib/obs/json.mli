@@ -1,0 +1,31 @@
+(** Minimal JSON values: printer, parser, accessors. Backs the JSONL
+    trace sink and the [rtrt json <figure>] export; deliberately tiny
+    so the observability layer stays dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering. Non-finite floats print as
+    [null]. *)
+val to_string : t -> string
+
+exception Parse_error of string
+
+val of_string_exn : string -> t
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+
+(** Accepts [Int] too (JSON numbers are untyped). *)
+val to_float_opt : t -> float option
+
+val to_list_opt : t -> t list option
+val pp : t Fmt.t

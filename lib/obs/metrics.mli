@@ -1,0 +1,26 @@
+(** Named counters and gauges. Create handles once at module load;
+    [add]/[incr]/[set] cost one branch when tracing is disabled and do
+    not accumulate. *)
+
+type counter
+type gauge
+
+(** Idempotent per name: returns the existing handle if registered. *)
+val counter : string -> counter
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float option
+
+(** Zero every counter and unset every gauge. *)
+val reset : unit -> unit
+
+(** Touched handles as (name, value), sorted by name. *)
+val dump : unit -> (string * float) list
+
+(** Emit one Metric event per touched handle to the active sink. *)
+val flush : unit -> unit

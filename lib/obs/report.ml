@@ -1,0 +1,111 @@
+(* Offline analysis of an event stream (in-memory or parsed back from
+   a JSONL trace): rebuild the span forest and aggregate total vs self
+   time per span name. Self time is a span's duration minus its direct
+   children's durations — the quantity `rtrt trace-report` prints per
+   inspector phase. *)
+
+type node = { span : Sink.span; dur : float; children : node list }
+
+(* Children always close before their parent, so when a Span_end
+   arrives every child node is complete. *)
+let tree_of_events events =
+  let pending : (int, node list ref) Hashtbl.t = Hashtbl.create 32 in
+  let roots = ref [] in
+  let children_of id =
+    match Hashtbl.find_opt pending id with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add pending id r;
+      r
+  in
+  List.iter
+    (function
+      | Sink.Span_start _ | Sink.Metric _ -> ()
+      | Sink.Span_end (s, dur) -> (
+        let kids =
+          match Hashtbl.find_opt pending s.Sink.id with
+          | Some r ->
+            Hashtbl.remove pending s.Sink.id;
+            List.rev !r
+          | None -> []
+        in
+        let node = { span = s; dur; children = kids } in
+        match s.Sink.parent with
+        | Some p ->
+          let r = children_of p in
+          r := node :: !r
+        | None -> roots := node :: !roots))
+    events;
+  (* Orphans whose parent never closed (truncated trace) become
+     roots. *)
+  Hashtbl.iter (fun _ r -> List.iter (fun n -> roots := n :: !roots) !r)
+    pending;
+  List.rev !roots
+
+let child_seconds n = List.fold_left (fun acc c -> acc +. c.dur) 0.0 n.children
+let self_seconds n = n.dur -. child_seconds n
+
+type agg = { agg_name : string; count : int; total_s : float; self_s : float }
+
+let summarize events =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let rec visit n =
+    let name = n.span.Sink.name in
+    let cur =
+      match Hashtbl.find_opt tbl name with
+      | Some a -> a
+      | None -> { agg_name = name; count = 0; total_s = 0.0; self_s = 0.0 }
+    in
+    Hashtbl.replace tbl name
+      {
+        cur with
+        count = cur.count + 1;
+        total_s = cur.total_s +. n.dur;
+        self_s = cur.self_s +. self_seconds n;
+      };
+    List.iter visit n.children
+  in
+  List.iter visit (tree_of_events events);
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let metrics events =
+  List.filter_map (function Sink.Metric m -> Some m | _ -> None) events
+
+let events_of_jsonl path =
+  let ic = open_in path in
+  let fail fmt = Fmt.kstr (fun m -> close_in ic; invalid_arg m) fmt in
+  let rec go acc line_no =
+    match input_line ic with
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+    | line when String.trim line = "" -> go acc (line_no + 1)
+    | line -> (
+      match Json.of_string line with
+      | Error msg -> fail "%s:%d: %s" path line_no msg
+      | Ok j -> (
+        match Sink.event_of_json j with
+        | Ok e -> go (e :: acc) (line_no + 1)
+        | Error msg -> fail "%s:%d: %s" path line_no msg))
+  in
+  go [] 1
+
+let pp_summary ppf aggs =
+  Fmt.pf ppf "%-26s %6s %12s %12s %6s@." "span" "count" "total s" "self s"
+    "self%";
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "%-26s %6d %12.6f %12.6f %5.1f%%@." a.agg_name a.count
+        a.total_s a.self_s
+        (if a.total_s > 0.0 then 100.0 *. a.self_s /. a.total_s else 100.0))
+    aggs
+
+let rec pp_node ppf n =
+  Fmt.pf ppf "%s%s %.6fs (self %.6fs)%a@."
+    (String.make (2 * n.span.Sink.depth) ' ')
+    n.span.Sink.name n.dur (self_seconds n) Sink.pp_attrs n.span.Sink.attrs;
+  List.iter (pp_node ppf) n.children
+
+let pp_tree ppf roots = List.iter (pp_node ppf) roots

@@ -1,0 +1,30 @@
+(** Offline analysis of a trace event stream: span-forest
+    reconstruction, per-name total/self-time aggregation, and JSONL
+    re-reading. *)
+
+type node = { span : Sink.span; dur : float; children : node list }
+
+(** Rebuild the span forest from Span_end events (children close
+    before parents; orphans of never-closed parents become roots). *)
+val tree_of_events : Sink.event list -> node list
+
+(** Sum of the direct children's durations. *)
+val child_seconds : node -> float
+
+(** Duration minus direct children's durations. *)
+val self_seconds : node -> float
+
+type agg = { agg_name : string; count : int; total_s : float; self_s : float }
+
+(** Per-span-name aggregates, sorted by descending total time. *)
+val summarize : Sink.event list -> agg list
+
+(** The Metric events of the stream, in order. *)
+val metrics : Sink.event list -> Sink.metric list
+
+(** Parse a JSONL trace file back into events; raises
+    [Invalid_argument] on a malformed line. *)
+val events_of_jsonl : string -> Sink.event list
+
+val pp_summary : agg list Fmt.t
+val pp_tree : node list Fmt.t

@@ -1,0 +1,36 @@
+(** [Rtrt_obs]: zero-dependency structured tracing and metrics for the
+    inspector/executor pipeline.
+
+    - {!Span}: hierarchical timed spans ([Span.with_ ~name f]);
+    - {!Metrics}: named counters and gauges for domain events;
+    - {!Sink}: pluggable event consumers (null / pretty / JSONL /
+      in-memory);
+    - {!Config}: the [RTRT_TRACE] env + CLI surface;
+    - {!Report}: span-tree reconstruction and self-time aggregation;
+    - {!Json}: the minimal JSON layer backing JSONL export.
+
+    Tracing is off by default; every instrumented hot path is guarded
+    by a single enabled-branch, so the disabled cost is unmeasurable
+    (verified by test_obs). *)
+
+module Json = Json
+module Sink = Sink
+module Span = Span
+module Metrics = Metrics
+module Report = Report
+module Config = Config
+
+(** Is tracing currently enabled? *)
+let enabled = Runtime.is_enabled
+
+(** Route events to [sink] and enable tracing (closes the previous
+    sink). *)
+let set_sink = Runtime.set_sink
+
+(** Disable tracing, closing the active sink. *)
+let disable = Runtime.disable
+
+(** Flush metrics (as Metric events) and the sink. *)
+let flush () =
+  Metrics.flush ();
+  Runtime.flush ()

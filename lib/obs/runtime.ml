@@ -1,0 +1,25 @@
+(* Global tracing state. Everything the hot paths touch funnels through
+   [is_enabled]: with tracing off, a span is one branch and a counter
+   add is one branch — no allocation, no clock read. *)
+
+let enabled = ref false
+let sink = ref Sink.null
+let stack : Sink.span list ref = ref []
+let next_id = ref 0
+
+let now () = Unix.gettimeofday ()
+let is_enabled () = !enabled
+let emit e = !sink.Sink.emit e
+let flush () = !sink.Sink.flush ()
+
+let set_sink s =
+  !sink.Sink.close ();
+  sink := s;
+  stack := [];
+  enabled := true
+
+let disable () =
+  !sink.Sink.close ();
+  sink := Sink.null;
+  stack := [];
+  enabled := false

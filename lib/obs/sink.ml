@@ -1,0 +1,178 @@
+(* Trace events and pluggable sinks.
+
+   A sink consumes the event stream produced by spans and the metrics
+   registry. Three implementations ship: [null] (the default — with
+   tracing disabled no event is ever built, so this is only reached if
+   someone emits while enabled with no sink), [pretty] (indented
+   human-readable lines), and [jsonl] (one JSON object per line, the
+   machine-readable export the harness's analysis scripts consume).
+   [memory] collects events in-process for tests and trace-report. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  depth : int;
+  start : float; (* Unix.gettimeofday at open *)
+  mutable attrs : (string * Json.t) list;
+}
+
+type metric_kind = Counter | Gauge
+
+type metric = {
+  m_name : string;
+  m_kind : metric_kind;
+  m_value : float;
+  m_time : float;
+}
+
+type event =
+  | Span_start of span
+  | Span_end of span * float (* duration in seconds *)
+  | Metric of metric
+
+type t = {
+  emit : event -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null =
+  { emit = (fun _ -> ()); flush = (fun () -> ()); close = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty sink                                                         *)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+    Fmt.pf ppf " {%a}"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) ->
+           Fmt.pf ppf "%s=%s" k (Json.to_string v)))
+      attrs
+
+let pretty ppf =
+  let emit = function
+    | Span_start s ->
+      Fmt.pf ppf "%s> %s%a@."
+        (String.make (2 * s.depth) ' ')
+        s.name pp_attrs s.attrs
+    | Span_end (s, dur) ->
+      Fmt.pf ppf "%s< %s %.6fs%a@."
+        (String.make (2 * s.depth) ' ')
+        s.name dur pp_attrs s.attrs
+    | Metric m ->
+      Fmt.pf ppf "# %s %s = %g@."
+        (match m.m_kind with Counter -> "counter" | Gauge -> "gauge")
+        m.m_name m.m_value
+  in
+  { emit; flush = (fun () -> Fmt.flush ppf ()); close = (fun () -> Fmt.flush ppf ()) }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink                                                          *)
+
+let json_of_event =
+  let open Json in
+  function
+  | Span_start s ->
+    Obj
+      [
+        ("ev", String "span_start");
+        ("id", Int s.id);
+        ("parent", (match s.parent with Some p -> Int p | None -> Null));
+        ("name", String s.name);
+        ("depth", Int s.depth);
+        ("t", Float s.start);
+        ("attrs", Obj s.attrs);
+      ]
+  | Span_end (s, dur) ->
+    Obj
+      [
+        ("ev", String "span_end");
+        ("id", Int s.id);
+        ("parent", (match s.parent with Some p -> Int p | None -> Null));
+        ("name", String s.name);
+        ("depth", Int s.depth);
+        ("t", Float s.start);
+        ("dur_s", Float dur);
+        ("attrs", Obj s.attrs);
+      ]
+  | Metric m ->
+    Obj
+      [
+        ( "ev",
+          String (match m.m_kind with Counter -> "counter" | Gauge -> "gauge")
+        );
+        ("name", String m.m_name);
+        ("value", Float m.m_value);
+        ("t", Float m.m_time);
+      ]
+
+let event_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let num k = Option.bind (Json.member k j) Json.to_float_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match str "ev" with
+  | Some (("span_start" | "span_end") as ev) -> (
+    match (str "name", int "id", int "depth", num "t") with
+    | Some name, Some id, Some depth, Some t -> (
+      let parent =
+        match Json.member "parent" j with
+        | Some (Json.Int p) -> Some p
+        | _ -> None
+      in
+      let attrs =
+        match Json.member "attrs" j with Some (Json.Obj kvs) -> kvs | _ -> []
+      in
+      let span = { id; parent; name; depth; start = t; attrs } in
+      if ev = "span_start" then Ok (Span_start span)
+      else
+        match num "dur_s" with
+        | Some d -> Ok (Span_end (span, d))
+        | None -> Error "span_end without dur_s")
+    | _ -> Error "span event missing name/id/depth/t")
+  | Some (("counter" | "gauge") as ev) -> (
+    match (str "name", num "value") with
+    | Some name, Some v ->
+      Ok
+        (Metric
+           {
+             m_name = name;
+             m_kind = (if ev = "counter" then Counter else Gauge);
+             m_value = v;
+             m_time = Option.value ~default:0.0 (num "t");
+           })
+    | _ -> Error "metric event missing name/value")
+  | Some ev -> Error ("unknown event type " ^ ev)
+  | None -> Error "event without \"ev\" field"
+
+let jsonl oc =
+  let emit e =
+    output_string oc (Json.to_string (json_of_event e));
+    output_char oc '\n'
+  in
+  {
+    emit;
+    flush = (fun () -> Stdlib.flush oc);
+    close = (fun () -> Stdlib.flush oc);
+  }
+
+let jsonl_file path =
+  let oc = open_out path in
+  let emit e =
+    output_string oc (Json.to_string (json_of_event e));
+    output_char oc '\n'
+  in
+  { emit; flush = (fun () -> Stdlib.flush oc); close = (fun () -> close_out oc) }
+
+(* ------------------------------------------------------------------ *)
+(* In-memory sink                                                      *)
+
+let memory () =
+  let events = ref [] in
+  ( {
+      emit = (fun e -> events := e :: !events);
+      flush = (fun () -> ());
+      close = (fun () -> ());
+    },
+    fun () -> List.rev !events )

@@ -1,0 +1,55 @@
+(** Trace events and pluggable sinks (null, pretty, JSONL, in-memory). *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  depth : int;
+  start : float;
+  mutable attrs : (string * Json.t) list;
+      (** attributes may still be added while the span is open; the
+          [Span_end] event carries the final set *)
+}
+
+type metric_kind = Counter | Gauge
+
+type metric = {
+  m_name : string;
+  m_kind : metric_kind;
+  m_value : float;
+  m_time : float;
+}
+
+type event =
+  | Span_start of span
+  | Span_end of span * float  (** duration in seconds *)
+  | Metric of metric
+
+type t = {
+  emit : event -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+(** Discards everything. *)
+val null : t
+
+(** Indented human-readable lines ([> name] on open, [< name dur] on
+    close, [# kind name = v] for metrics). *)
+val pretty : Format.formatter -> t
+
+(** One JSON object per line on an existing channel (not closed by
+    [close]). *)
+val jsonl : out_channel -> t
+
+(** One JSON object per line; the file is created now and closed by
+    [close]. *)
+val jsonl_file : string -> t
+
+(** Collects events in memory; the second component returns them in
+    emission order. *)
+val memory : unit -> t * (unit -> event list)
+
+val json_of_event : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+val pp_attrs : (string * Json.t) list Fmt.t

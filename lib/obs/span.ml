@@ -1,0 +1,59 @@
+(* Hierarchical spans. [with_] is the common form; [with_span] hands
+   the open span to the body so it can attach attributes computed
+   during the work (e.g. the reordering-function name an inspector
+   step produced). *)
+
+type t = Sink.span
+
+let dummy =
+  { Sink.id = -1; parent = None; name = ""; depth = 0; start = 0.0; attrs = [] }
+
+let set_attr (s : t) key v =
+  if s.Sink.id >= 0 then
+    s.Sink.attrs <- (key, v) :: List.remove_assoc key s.Sink.attrs
+
+let start ?(attrs = []) name =
+  let parent, depth =
+    match !Runtime.stack with
+    | [] -> (None, 0)
+    | p :: _ -> (Some p.Sink.id, p.Sink.depth + 1)
+  in
+  incr Runtime.next_id;
+  let s =
+    {
+      Sink.id = !Runtime.next_id;
+      parent;
+      name;
+      depth;
+      start = Runtime.now ();
+      attrs;
+    }
+  in
+  Runtime.stack := s :: !Runtime.stack;
+  Runtime.emit (Sink.Span_start s);
+  s
+
+let finish (s : t) =
+  (* Drop any spans an exception left open below us before popping. *)
+  let rec pop = function
+    | top :: rest when top == s -> Runtime.stack := rest
+    | _ :: rest -> pop rest
+    | [] -> ()
+  in
+  pop !Runtime.stack;
+  Runtime.emit (Sink.Span_end (s, Runtime.now () -. s.Sink.start))
+
+let with_span ?attrs ~name f =
+  if not (Runtime.is_enabled ()) then f dummy
+  else begin
+    let s = start ?attrs name in
+    match f s with
+    | y ->
+      finish s;
+      y
+    | exception e ->
+      finish s;
+      raise e
+  end
+
+let with_ ?attrs ~name f = with_span ?attrs ~name (fun _ -> f ())

@@ -1,0 +1,16 @@
+(** Hierarchical timed spans. With tracing disabled both entry points
+    cost a single branch. *)
+
+type t = Sink.span
+
+(** Run [f] inside a span. *)
+val with_ : ?attrs:(string * Json.t) list -> name:string -> (unit -> 'a) -> 'a
+
+(** Like {!with_}, but hands the open span to the body so attributes
+    computed during the work can be attached with {!set_attr}. *)
+val with_span :
+  ?attrs:(string * Json.t) list -> name:string -> (t -> 'a) -> 'a
+
+(** Attach/replace an attribute on an open span (no-op on the dummy
+    span passed when tracing is disabled). *)
+val set_attr : t -> string -> Json.t -> unit

@@ -8,6 +8,13 @@
    Returns the data reordering sigma_cp with
    [Perm.forward sigma old = new]. *)
 
+let c_runs = Rtrt_obs.Metrics.counter "cpack.runs"
+let c_touches_scanned = Rtrt_obs.Metrics.counter "cpack.touches_scanned"
+
+(* Locations placed by the iteration scan (the rest keep their
+   relative order in the trailing catch-all loop). *)
+let c_first_touch = Rtrt_obs.Metrics.counter "cpack.first_touch_placements"
+
 let run (access : Access.t) =
   let n_data = Access.n_data access in
   let already_ordered = Array.make n_data false in
@@ -24,6 +31,9 @@ let run (access : Access.t) =
   for it = 0 to Access.n_iter access - 1 do
     Access.iter_touches access it place
   done;
+  Rtrt_obs.Metrics.incr c_runs;
+  Rtrt_obs.Metrics.add c_touches_scanned (Access.n_touches access);
+  Rtrt_obs.Metrics.add c_first_touch !count;
   (* Remaining locations in original order, as in the paper's final
      loop over all nodes. *)
   for loc = 0 to n_data - 1 do
@@ -46,6 +56,9 @@ let run_in_order (access : Access.t) ~order =
     end
   in
   Array.iter (fun it -> Access.iter_touches access it place) order;
+  Rtrt_obs.Metrics.incr c_runs;
+  Rtrt_obs.Metrics.add c_touches_scanned (Access.n_touches access);
+  Rtrt_obs.Metrics.add c_first_touch !count;
   for loc = 0 to n_data - 1 do
     place loc
   done;

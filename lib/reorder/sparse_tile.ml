@@ -19,6 +19,17 @@ type tile_fn = {
 
 let invalid fmt = Fmt.kstr invalid_arg fmt
 
+(* Inspector-cost accounting (per growth pass; one branch each when
+   tracing is off). *)
+let c_growth_passes = Rtrt_obs.Metrics.counter "sparse_tile.growth_passes"
+let c_deps_traversed = Rtrt_obs.Metrics.counter "sparse_tile.deps_traversed"
+let c_tiles_grown = Rtrt_obs.Metrics.counter "sparse_tile.tiles_grown"
+
+let count_growth ~(conn : Access.t) n_tiles =
+  Rtrt_obs.Metrics.incr c_growth_passes;
+  Rtrt_obs.Metrics.add c_deps_traversed (Access.n_touches conn);
+  Rtrt_obs.Metrics.add c_tiles_grown n_tiles
+
 let tile_fn_of_partition p =
   {
     n_tiles = Irgraph.Partition.n_parts p;
@@ -50,6 +61,7 @@ let grow_backward ~(conn : Access.t) ~(next : tile_fn) =
         in
         if t = max_int then 0 else t)
   in
+  count_growth ~conn next.n_tiles;
   { n_tiles = next.n_tiles; tile_of }
 
 (* Forward growth (this loop runs after the assigned one): every
@@ -62,6 +74,7 @@ let grow_forward ~(conn : Access.t) ~(prev : tile_fn) =
     Array.init n (fun b ->
         Access.fold_touches conn b (fun acc a -> max acc prev.tile_of.(a)) 0)
   in
+  count_growth ~conn prev.n_tiles;
   { n_tiles = prev.n_tiles; tile_of }
 
 (* Cache-blocking growth: keep an iteration in tile t only when all of
@@ -81,6 +94,7 @@ let grow_cache_block ~leftover ~(conn : Access.t) ~(prev : tile_fn) =
           then t0
           else leftover)
   in
+  count_growth ~conn (leftover + 1);
   { n_tiles = leftover + 1; tile_of }
 
 (* ------------------------------------------------------------------ *)

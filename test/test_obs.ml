@@ -1,0 +1,363 @@
+(* Tests for the Rtrt_obs observability layer: span nesting and
+   self-time arithmetic, counter accumulation (and the disabled-path
+   no-op), JSONL sink round-trips through the parser, figure JSON
+   export validity, and the guarantee that instrumentation does not
+   change Experiment.measure results. *)
+
+let with_memory_sink f =
+  let sink, events = Rtrt_obs.Sink.memory () in
+  Rtrt_obs.set_sink sink;
+  Fun.protect ~finally:Rtrt_obs.disable f;
+  events ()
+
+let span_name (n : Rtrt_obs.Report.node) = n.Rtrt_obs.Report.span.Rtrt_obs.Sink.name
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let busy () = ignore (Sys.opaque_identity (Array.init 4096 (fun i -> i * i)))
+
+let test_span_nesting () =
+  let events =
+    with_memory_sink (fun () ->
+        Rtrt_obs.Span.with_ ~name:"root" (fun () ->
+            Rtrt_obs.Span.with_ ~name:"child" busy;
+            Rtrt_obs.Span.with_ ~name:"child" (fun () ->
+                Rtrt_obs.Span.with_ ~name:"grandchild" busy)))
+  in
+  (* 4 spans, each with a start and an end event. *)
+  Alcotest.(check int) "eight events" 8 (List.length events);
+  match Rtrt_obs.Report.tree_of_events events with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "root" (span_name root);
+    Alcotest.(check int) "root depth" 0 root.span.Rtrt_obs.Sink.depth;
+    Alcotest.(check bool) "root has no parent" true
+      (root.span.Rtrt_obs.Sink.parent = None);
+    Alcotest.(check int) "two children" 2 (List.length root.children);
+    List.iter
+      (fun (c : Rtrt_obs.Report.node) ->
+        Alcotest.(check string) "child name" "child" (span_name c);
+        Alcotest.(check int) "child depth" 1 c.span.Rtrt_obs.Sink.depth;
+        Alcotest.(check bool) "child parent is root" true
+          (c.span.Rtrt_obs.Sink.parent = Some root.span.Rtrt_obs.Sink.id))
+      root.children;
+    (* Self-time arithmetic: self + children = total, exactly. *)
+    let self = Rtrt_obs.Report.self_seconds root in
+    let kids = Rtrt_obs.Report.child_seconds root in
+    Alcotest.(check (float 1e-12)) "self + children = total" root.dur
+      (self +. kids);
+    Alcotest.(check bool) "children fit in parent" true (kids <= root.dur)
+  | roots -> Alcotest.fail (Fmt.str "expected 1 root, got %d" (List.length roots))
+
+let test_span_disabled_is_transparent () =
+  (* Tracing off: with_ must run the body and emit nothing. *)
+  Alcotest.(check bool) "disabled" false (Rtrt_obs.enabled ());
+  let hit = ref 0 in
+  let y = Rtrt_obs.Span.with_ ~name:"ignored" (fun () -> incr hit; 42) in
+  Alcotest.(check int) "body ran" 1 !hit;
+  Alcotest.(check int) "value through" 42 y
+
+let test_span_exception_pops_stack () =
+  let events =
+    with_memory_sink (fun () ->
+        (try
+           Rtrt_obs.Span.with_ ~name:"outer" (fun () ->
+               Rtrt_obs.Span.with_ ~name:"thrower" (fun () -> failwith "boom"))
+         with Failure _ -> ());
+        Rtrt_obs.Span.with_ ~name:"after" (fun () -> ()))
+  in
+  match Rtrt_obs.Report.tree_of_events events with
+  | [ outer; after ] ->
+    Alcotest.(check string) "outer closed" "outer" (span_name outer);
+    Alcotest.(check string) "after is a root" "after" (span_name after);
+    Alcotest.(check int) "after at depth 0" 0 after.span.Rtrt_obs.Sink.depth
+  | roots -> Alcotest.fail (Fmt.str "expected 2 roots, got %d" (List.length roots))
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+
+let test_counter_accumulation () =
+  let c = Rtrt_obs.Metrics.counter "test.counter" in
+  let g = Rtrt_obs.Metrics.gauge "test.gauge" in
+  Rtrt_obs.Metrics.reset ();
+  (* Disabled: adds are no-ops. *)
+  Rtrt_obs.Metrics.add c 5;
+  Rtrt_obs.Metrics.set g 1.5;
+  Alcotest.(check int) "disabled add is a no-op" 0 (Rtrt_obs.Metrics.value c);
+  Alcotest.(check bool) "disabled set is a no-op" true
+    (Rtrt_obs.Metrics.gauge_value g = None);
+  let events =
+    with_memory_sink (fun () ->
+        Rtrt_obs.Metrics.add c 3;
+        Rtrt_obs.Metrics.incr c;
+        Rtrt_obs.Metrics.set g 2.5;
+        Alcotest.(check int) "accumulated" 4 (Rtrt_obs.Metrics.value c);
+        Rtrt_obs.Metrics.flush ())
+  in
+  let ms = Rtrt_obs.Report.metrics events in
+  let find name =
+    List.find_opt (fun (m : Rtrt_obs.Sink.metric) -> m.m_name = name) ms
+  in
+  (match find "test.counter" with
+  | Some m ->
+    Alcotest.(check (float 0.0)) "counter flushed" 4.0 m.Rtrt_obs.Sink.m_value;
+    Alcotest.(check bool) "kind counter" true
+      (m.Rtrt_obs.Sink.m_kind = Rtrt_obs.Sink.Counter)
+  | None -> Alcotest.fail "counter event missing");
+  (match find "test.gauge" with
+  | Some m ->
+    Alcotest.(check (float 0.0)) "gauge flushed" 2.5 m.Rtrt_obs.Sink.m_value
+  | None -> Alcotest.fail "gauge event missing");
+  Rtrt_obs.Metrics.reset ();
+  Alcotest.(check int) "reset" 0 (Rtrt_obs.Metrics.value c);
+  (* Same name returns the same handle. *)
+  Alcotest.(check bool) "registry is idempotent" true
+    (Rtrt_obs.Metrics.counter "test.counter" == c)
+
+(* ------------------------------------------------------------------ *)
+(* JSON / JSONL                                                        *)
+
+let test_json_roundtrip () =
+  let v =
+    Rtrt_obs.Json.(
+      Obj
+        [
+          ("s", String "a \"quoted\"\nline");
+          ("i", Int (-42));
+          ("f", Float 0.1);
+          ("b", Bool true);
+          ("n", Null);
+          ("l", List [ Int 1; Float 2.5; String "x" ]);
+          ("o", Obj [ ("nested", Bool false) ]);
+        ])
+  in
+  let s = Rtrt_obs.Json.to_string v in
+  (match Rtrt_obs.Json.of_string s with
+  | Ok v' -> Alcotest.(check bool) "value round-trips" true (v = v')
+  | Error msg -> Alcotest.fail msg);
+  (* Malformed inputs are rejected. *)
+  List.iter
+    (fun bad ->
+      match Rtrt_obs.Json.of_string bad with
+      | Ok _ -> Alcotest.fail (Fmt.str "accepted malformed %S" bad)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "rtrt_obs" ".jsonl" in
+  Rtrt_obs.set_sink (Rtrt_obs.Sink.jsonl_file path);
+  let c = Rtrt_obs.Metrics.counter "jsonl.test" in
+  Rtrt_obs.Metrics.reset ();
+  Rtrt_obs.Span.with_ ~name:"a"
+    ~attrs:[ ("k", Rtrt_obs.Json.String "v") ]
+    (fun () ->
+      Rtrt_obs.Metrics.add c 7;
+      Rtrt_obs.Span.with_ ~name:"b" busy);
+  Rtrt_obs.Metrics.flush ();
+  Rtrt_obs.disable () (* closes the file *);
+  let events = Rtrt_obs.Report.events_of_jsonl path in
+  Sys.remove path;
+  (* 2 span starts + 2 span ends + 1 counter. *)
+  Alcotest.(check int) "five events" 5 (List.length events);
+  (match Rtrt_obs.Report.tree_of_events events with
+  | [ a ] ->
+    Alcotest.(check string) "root is a" "a" (span_name a);
+    Alcotest.(check int) "one child" 1 (List.length a.children);
+    Alcotest.(check string) "child is b" "b" (span_name (List.hd a.children));
+    Alcotest.(check bool) "attr survives the round-trip" true
+      (List.assoc_opt "k" a.span.Rtrt_obs.Sink.attrs
+      = Some (Rtrt_obs.Json.String "v"));
+    Alcotest.(check bool) "durations nest" true
+      ((List.hd a.children).dur <= a.dur)
+  | roots -> Alcotest.fail (Fmt.str "expected 1 root, got %d" (List.length roots)));
+  match Rtrt_obs.Report.metrics events with
+  | [ m ] ->
+    Alcotest.(check string) "counter name" "jsonl.test" m.Rtrt_obs.Sink.m_name;
+    Alcotest.(check (float 0.0)) "counter value" 7.0 m.Rtrt_obs.Sink.m_value
+  | ms -> Alcotest.fail (Fmt.str "expected 1 metric, got %d" (List.length ms))
+
+(* ------------------------------------------------------------------ *)
+(* Figure JSON export                                                  *)
+
+let tiny = { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1 }
+
+let test_figure_json_parses () =
+  (* The same payloads `rtrt json datasets` / `rtrt json figure6`
+     print, parsed back through our own parser. *)
+  let check_roundtrip label j =
+    let s = Rtrt_obs.Json.to_string j in
+    match Rtrt_obs.Json.of_string s with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail (Fmt.str "%s: %s" label msg)
+  in
+  let datasets =
+    Harness.Figures.json_dataset_rows
+      (Harness.Figures.dataset_table ~config:tiny ())
+  in
+  (match
+     Rtrt_obs.Json.to_list_opt (check_roundtrip "datasets" datasets)
+   with
+  | Some rows -> Alcotest.(check int) "four dataset rows" 4 (List.length rows)
+  | None -> Alcotest.fail "datasets: expected a JSON list");
+  let exec =
+    Harness.Figures.json_exec_rows
+      (Harness.Figures.executor_time ~machine:Cachesim.Machine.pentium4
+         ~config:tiny ())
+  in
+  match Rtrt_obs.Json.to_list_opt (check_roundtrip "figure7" exec) with
+  | Some rows ->
+    Alcotest.(check int) "six exec rows" 6 (List.length rows);
+    List.iter
+      (fun row ->
+        match
+          Option.bind (Rtrt_obs.Json.member "plans" row) Rtrt_obs.Json.to_list_opt
+        with
+        | Some plans ->
+          Alcotest.(check int) "eight plans" 8 (List.length plans);
+          List.iter
+            (fun p ->
+              match
+                Option.bind
+                  (Rtrt_obs.Json.member "normalized_cycles" p)
+                  Rtrt_obs.Json.to_float_opt
+              with
+              | Some v ->
+                Alcotest.(check bool) "finite normalized cycles" true
+                  (Float.is_finite v && v > 0.0)
+              | None -> Alcotest.fail "plan without normalized_cycles")
+            plans
+        | None -> Alcotest.fail "row without plans")
+      rows
+  | None -> Alcotest.fail "figure7: expected a JSON list"
+
+(* ------------------------------------------------------------------ *)
+(* Inspector span coverage and self-time consistency                   *)
+
+let test_inspector_span_coverage () =
+  let d = Datagen.Generators.mol1 ~scale:512 () in
+  let kernel = Kernels.Moldyn.of_dataset d in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:16 Compose.Plan.cpack_lexgroup_twice
+  in
+  let n_transforms = List.length (Compose.Plan.transforms plan) in
+  let result = ref None in
+  let events =
+    with_memory_sink (fun () ->
+        result := Some (Harness.Experiment.inspect plan kernel))
+  in
+  let result = Option.get !result in
+  let ends =
+    List.filter_map
+      (function Rtrt_obs.Sink.Span_end (s, d) -> Some (s, d) | _ -> None)
+      events
+  in
+  (* One span per transformation in the composed plan... *)
+  let transforms =
+    List.filter (fun (s, _) -> s.Rtrt_obs.Sink.name = "inspector.transform") ends
+  in
+  Alcotest.(check int) "a span per transformation" n_transforms
+    (List.length transforms);
+  (* ...tagged with the reordering-function name the step produced. *)
+  let tagged =
+    List.filter
+      (fun (s, _) -> List.mem_assoc "fn" s.Rtrt_obs.Sink.attrs)
+      transforms
+  in
+  Alcotest.(check int) "fn attribute on every reordering step"
+    (List.length result.Compose.Inspector.reordering_fns)
+    (List.length tagged);
+  (* Phase times sum back to the reported inspector_seconds. *)
+  let root =
+    match
+      List.find_opt (fun (s, _) -> s.Rtrt_obs.Sink.name = "inspector.run") ends
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no inspector.run span"
+  in
+  let roots = Rtrt_obs.Report.tree_of_events events in
+  let rec find_node name = function
+    | [] -> None
+    | (n : Rtrt_obs.Report.node) :: rest ->
+      if span_name n = name then Some n
+      else (
+        match find_node name n.children with
+        | Some hit -> Some hit
+        | None -> find_node name rest)
+  in
+  let run_node = Option.get (find_node "inspector.run" roots) in
+  let phase_sum =
+    Rtrt_obs.Report.child_seconds run_node
+    +. Rtrt_obs.Report.self_seconds run_node
+  in
+  Alcotest.(check (float 1e-12)) "phases sum to the span" (snd root) phase_sum;
+  let reported = result.Compose.Inspector.inspector_seconds in
+  Alcotest.(check bool)
+    (Fmt.str "span duration %.6f matches inspector_seconds %.6f" (snd root)
+       reported)
+    true
+    (Float.abs (snd root -. reported) <= 0.05 *. reported +. 0.005)
+
+(* ------------------------------------------------------------------ *)
+(* No-op guarantee: instrumentation doesn't change results             *)
+
+let test_noop_measure_unchanged () =
+  let d = Datagen.Generators.foil ~scale:512 () in
+  let kernel = Kernels.Irreg.of_dataset d in
+  let measure () =
+    Harness.Experiment.measure ~trace_steps_n:1 ~wall_steps:1
+      ~machine:Cachesim.Machine.pentium4 ~plan:Compose.Plan.cpack_lexgroup
+      kernel
+  in
+  Alcotest.(check bool) "tracing starts disabled" false (Rtrt_obs.enabled ());
+  let plain = measure () in
+  let traced = ref None in
+  ignore (with_memory_sink (fun () -> traced := Some (measure ())));
+  let traced = Option.get !traced in
+  (* Every deterministic field must be identical (wall-clock fields
+     vary run to run, instrumented or not). *)
+  let open Harness.Experiment in
+  Alcotest.(check string) "plan" plain.plan_name traced.plan_name;
+  Alcotest.(check (float 0.0)) "modeled cycles" plain.modeled_cycles_per_step
+    traced.modeled_cycles_per_step;
+  Alcotest.(check (float 0.0)) "misses" plain.misses_per_step
+    traced.misses_per_step;
+  Alcotest.(check (float 0.0)) "accesses" plain.accesses_per_step
+    traced.accesses_per_step;
+  Alcotest.(check (float 0.0)) "miss ratio" plain.miss_ratio traced.miss_ratio;
+  Alcotest.(check int) "remaps" plain.n_data_remaps traced.n_data_remaps;
+  Alcotest.(check int) "tiles" plain.n_tiles traced.n_tiles
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting and self-time" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_span_disabled_is_transparent;
+          Alcotest.test_case "exception pops the stack" `Quick
+            test_span_exception_pops_stack;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter accumulation" `Quick
+            test_counter_accumulation;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "jsonl sink round-trip" `Quick
+            test_jsonl_sink_roundtrip;
+          Alcotest.test_case "figure export parses" `Quick
+            test_figure_json_parses;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "inspector span coverage" `Quick
+            test_inspector_span_coverage;
+          Alcotest.test_case "measure unchanged by tracing" `Quick
+            test_noop_measure_unchanged;
+        ] );
+    ]
