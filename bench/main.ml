@@ -24,7 +24,12 @@ let scale =
       default_scale)
   | None -> default_scale
 
-let config = { Harness.Figures.scale; trace_steps = 2; wall_steps = 3 }
+let config =
+  { Harness.Figures.scale; trace_steps = 2; wall_steps = 3; domains = 1 }
+
+(* Domain count for the parallel-speedup table: RTRT_DOMAINS, but at
+   least 2 so the table always measures an actual pool. *)
+let par_domains = max 2 (Rtrt_par.Pool.domains_from_env ~default:2 ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
@@ -111,11 +116,92 @@ let bench_inspectors ~bench_name ~dataset_name =
 (* ------------------------------------------------------------------ *)
 (* Figure tables via the cache model                                   *)
 
-let section fmt = Fmt.pr ("@.==== " ^^ fmt ^^ " ====@.")
+(* Every table re-seeds the global RNG from its own title so each
+   section is run-to-run stable (and independent of section order) —
+   serial/parallel comparisons must not drift between invocations. *)
+let section title =
+  Random.init (Hashtbl.hash ("rtrt-bench", title));
+  Fmt.pr "@.==== %s ====@." title
+
+(* ------------------------------------------------------------------ *)
+(* Parallel speedup table: serial vs pool execution of the Full-growth
+   tiled executors, with the Tile_par makespan model's prediction
+   alongside (writes BENCH_PAR.json for the CI perf trajectory). *)
+
+let bench_par_json_path =
+  Option.value
+    (Sys.getenv_opt "RTRT_BENCH_PAR_JSON")
+    ~default:"BENCH_PAR.json"
+
+let par_speedup_table () =
+  let config = { config with Harness.Figures.domains = par_domains } in
+  let rows =
+    Harness.Figures.executor_time ~machine:Cachesim.Machine.pentium4 ~config ()
+  in
+  Fmt.pr "domains %d, scale %d@." par_domains scale;
+  let flat =
+    List.concat_map
+      (fun (r : Harness.Figures.exec_row) ->
+        List.map
+          (fun (plan, p) -> (r.Harness.Figures.bench, r.dataset, plan, p))
+          r.Harness.Figures.per_plan_par)
+      rows
+  in
+  List.iter
+    (fun (bench, dataset, plan, (p : Harness.Experiment.par_measurement)) ->
+      Fmt.pr "  %-8s %-6s %-24s %5.2fx measured (modeled %5.2fx, makespan %d) %s@."
+        bench dataset plan p.Harness.Experiment.measured_speedup
+        p.modeled_speedup p.modeled_makespan
+        (if p.bitwise_equal then "bitwise equal" else "OUTPUT DIFFERS"))
+    flat;
+  if flat = [] then
+    Fmt.pr "  (no Full-growth sparse-tiled plans produced a schedule)@.";
+  let json =
+    Rtrt_obs.Json.(
+      Obj
+        [
+          ("domains", Int par_domains);
+          ("scale", Int scale);
+          ( "rows",
+            List
+              (List.map
+                 (fun ( bench,
+                        dataset,
+                        plan,
+                        (p : Harness.Experiment.par_measurement) ) ->
+                   Obj
+                     [
+                       ("bench", String bench);
+                       ("dataset", String dataset);
+                       ("plan", String plan);
+                       ("domains", Int p.Harness.Experiment.domains);
+                       ( "serial_seconds_per_step",
+                         Float p.serial_seconds_per_step );
+                       ("par_seconds_per_step", Float p.par_seconds_per_step);
+                       ("measured_speedup", Float p.measured_speedup);
+                       ("modeled_speedup", Float p.modeled_speedup);
+                       ("modeled_makespan", Int p.modeled_makespan);
+                       ("bitwise_equal", Bool p.bitwise_equal);
+                     ])
+                 flat) );
+        ])
+  in
+  Out_channel.with_open_text bench_par_json_path (fun oc ->
+      output_string oc (Rtrt_obs.Json.to_string json);
+      output_char oc '\n');
+  Fmt.pr "wrote %s@." bench_par_json_path
+
+let par_only = Sys.getenv_opt "RTRT_BENCH_PAR_ONLY" = Some "1"
 
 let () =
   Rtrt_obs.Config.init ();
   Fmt.pr "rtrt bench harness; dataset scale %d (RTRT_SCALE overrides)@." scale;
+
+  if par_only then (
+    (* Fast mode for the CI bench job: only the speedup table + JSON. *)
+    section "Parallel speedup (serial vs domain pool)";
+    par_speedup_table ();
+    exit 0);
 
   section "Section 2.4: datasets";
   Fmt.pr "%a" Harness.Figures.pp_dataset_table
@@ -189,6 +275,9 @@ let () =
      (100.0 *. (1.0 -. (float_of_int tiled /. float_of_int plain)))
      tiling.Kernels.Gauss_seidel.n_tiles
      (Kernels.Gauss_seidel.check_constraints graph' tiling = []));
+
+  section "Parallel speedup (serial vs domain pool)";
+  par_speedup_table ();
 
   section "Wall-clock executor benchmarks (Figures 6/7 cross-check)";
   List.iter

@@ -21,11 +21,12 @@
 
 open Cmdliner
 
-let config_of ~scale ~steps =
+let config_of ?(domains = 1) ~scale ~steps () =
   {
     Harness.Figures.scale;
     trace_steps = steps;
     wall_steps = max steps 3;
+    domains;
   }
 
 let trace_arg =
@@ -51,43 +52,54 @@ let steps_arg =
   let doc = "Time steps measured by the cache model." in
   Arg.(value & opt int 2 & info [ "steps" ] ~docv:"S" ~doc)
 
-let run_datasets scale steps =
-  let config = config_of ~scale ~steps in
+let domains_arg =
+  let doc =
+    "OCaml domains for parallel tiled execution (default: RTRT_DOMAINS or \
+     1). With more than one, Full-growth sparse-tiled plans also run on a \
+     domain pool and report measured speedup next to the modeled makespan."
+  in
+  Arg.(
+    value
+    & opt int (Rtrt_par.Pool.domains_from_env ())
+    & info [ "domains" ] ~docv:"D" ~doc)
+
+let run_datasets domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   let rows = Harness.Figures.dataset_table ~config () in
   Fmt.pr "Section 2.4 dataset table (generated at scale %d):@." scale;
   Fmt.pr "%a@." Harness.Figures.pp_dataset_table rows
 
-let run_exec ~machine ~label scale steps =
-  let config = config_of ~scale ~steps in
+let run_exec ~machine ~label domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   Fmt.pr "%s: normalized executor time without overhead on %a@." label
     Cachesim.Machine.pp machine;
   let rows = Harness.Figures.executor_time ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_exec_rows rows
 
-let run_amort ~machine ~label scale steps =
-  let config = config_of ~scale ~steps in
+let run_amort ~machine ~label domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   Fmt.pr "%s: inspector amortization on %a@." label Cachesim.Machine.pp machine;
   let rows = Harness.Figures.amortization ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_amort_rows rows
 
-let run_remap scale steps =
-  let config = config_of ~scale ~steps in
+let run_remap domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   Fmt.pr "Figure 16: inspector overhead reduction from remapping once@.";
   let rows =
     Harness.Figures.remap_overhead ~machine:Cachesim.Machine.pentium4 ~config ()
   in
   Fmt.pr "%a@." Harness.Figures.pp_remap_rows rows
 
-let run_sweep scale steps =
-  let config = config_of ~scale ~steps in
+let run_sweep domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   let machine = Cachesim.Machine.pentium4 in
   Fmt.pr "Figure 17: executor time vs cache-size target on %a@."
     Cachesim.Machine.pp machine;
   let rows = Harness.Figures.cache_target_sweep ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_sweep_rows rows
 
-let run_raw bench ds machine_name scale steps =
-  let config = config_of ~scale ~steps in
+let run_raw bench ds machine_name domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   let machine =
     match Cachesim.Machine.by_name machine_name with
     | Some m -> m
@@ -108,8 +120,9 @@ let run_raw bench ds machine_name scale steps =
   let ms = Harness.Figures.run_suite ~machine ~config kernel in
   List.iter (fun m -> Fmt.pr "%a@." Harness.Experiment.pp_measurement m) ms
 
-let run_ablations scale steps =
-  let config = config_of ~scale ~steps in
+let run_ablations domains scale steps =
+  ignore domains;
+  let config = config_of ~scale ~steps () in
   Fmt.pr "Ablations (see DESIGN.md section 5):@.";
   List.iter
     (Fmt.pr "%a" Harness.Ablations.pp_rows)
@@ -128,7 +141,7 @@ let run_symbolic () =
   in
   Fmt.pr "%a@." Compose.Symbolic.pp_report st
 
-let run_gs scale steps =
+let run_gs domains scale steps =
   ignore steps;
   Rtrt_obs.Span.with_ ~name:"gs.run"
     ~attrs:[ ("scale", Rtrt_obs.Json.Int scale) ]
@@ -177,7 +190,31 @@ let run_gs scale steps =
     plain tiled
     (100.0 *. (1.0 -. (float_of_int tiled /. float_of_int plain)))
     tiling.Kernels.Gauss_seidel.n_tiles
-    (Kernels.Gauss_seidel.check_constraints graph' tiling = [])
+    (Kernels.Gauss_seidel.check_constraints graph' tiling = []);
+  if domains > 1 then
+    Rtrt_par.Pool.with_pool ~domains @@ fun pool ->
+    let dag = Kernels.Gauss_seidel.tile_dag graph' tiling in
+    let serial = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+    let par_t = Kernels.Gauss_seidel.copy serial in
+    Kernels.Gauss_seidel.run_tiled serial tiling;
+    Kernels.Gauss_seidel.run_tiled_par ~pool par_t tiling dag;
+    let tiled_eq = par_t.Kernels.Gauss_seidel.u = serial.Kernels.Gauss_seidel.u in
+    Fmt.pr
+      "  parallel tiles on %d domains: %a, modeled speedup %.2fx, bitwise \
+       equal: %b@."
+      domains Reorder.Tile_par.pp dag
+      (Reorder.Tile_par.speedup dag ~processors:domains)
+      tiled_eq;
+    let w =
+      Reorder.Wavefront.run (Kernels.Gauss_seidel.wavefront_preds graph')
+    in
+    let plain_t = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+    let wave_t = Kernels.Gauss_seidel.copy plain_t in
+    Kernels.Gauss_seidel.run_plain plain_t ~sweeps:slab;
+    Kernels.Gauss_seidel.run_wavefront_par ~pool wave_t w ~sweeps:slab;
+    Fmt.pr "  parallel wavefront: %a, bitwise equal: %b@." Reorder.Wavefront.pp
+      w
+      (wave_t.Kernels.Gauss_seidel.u = plain_t.Kernels.Gauss_seidel.u)
 
 let run_guide bench ds budget scale steps =
   let machine = Cachesim.Machine.pentium4 in
@@ -203,8 +240,8 @@ let run_guide bench ds budget scale steps =
   in
   Fmt.pr "%a" Harness.Guidance.pp_ranking ranking
 
-let run_export dir scale steps =
-  let config = config_of ~scale ~steps in
+let run_export dir domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let write name contents =
     let path = Filename.concat dir name in
@@ -230,8 +267,8 @@ let run_export dir scale steps =
        (Harness.Figures.cache_target_sweep ~machine:Cachesim.Machine.pentium4
           ~config ()))
 
-let run_json figure scale steps =
-  let config = config_of ~scale ~steps in
+let run_json figure domains scale steps =
+  let config = config_of ~domains ~scale ~steps () in
   let module F = Harness.Figures in
   let rows =
     match figure with
@@ -297,7 +334,7 @@ let run_trace_report file scale steps =
   | None ->
     (* No trace file given: capture one instrumented suite run
        (moldyn/mol1, Pentium 4 model) in memory and report it. *)
-    let config = config_of ~scale ~steps in
+    let config = config_of ~scale ~steps () in
     let sink, events = Rtrt_obs.Sink.memory () in
     Rtrt_obs.set_sink sink;
     let kernel =
@@ -335,23 +372,26 @@ let run_codegen bench =
   let st = Compose.Symbolic.apply (Compose.Symbolic.create program) plan in
   print_string (Compose.Codegen.full_report st ~program)
 
-let run_all scale steps =
-  run_datasets scale steps;
+let run_all domains scale steps =
+  run_datasets domains scale steps;
   run_symbolic ();
-  run_exec ~machine:Cachesim.Machine.power3 ~label:"Figure 6" scale steps;
-  run_exec ~machine:Cachesim.Machine.pentium4 ~label:"Figure 7" scale steps;
-  run_amort ~machine:Cachesim.Machine.power3 ~label:"Figure 8" scale steps;
-  run_amort ~machine:Cachesim.Machine.pentium4 ~label:"Figure 9" scale steps;
-  run_remap scale steps;
-  run_sweep scale steps
+  run_exec ~machine:Cachesim.Machine.power3 ~label:"Figure 6" domains scale steps;
+  run_exec ~machine:Cachesim.Machine.pentium4 ~label:"Figure 7" domains scale
+    steps;
+  run_amort ~machine:Cachesim.Machine.power3 ~label:"Figure 8" domains scale
+    steps;
+  run_amort ~machine:Cachesim.Machine.pentium4 ~label:"Figure 9" domains scale
+    steps;
+  run_remap domains scale steps;
+  run_sweep domains scale steps
 
 let cmd_of ~name ~doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun trace scale steps ->
+      const (fun trace domains scale steps ->
           setup_trace trace;
-          f scale steps)
-      $ trace_arg $ scale_arg $ steps_arg)
+          f domains scale steps)
+      $ trace_arg $ domains_arg $ scale_arg $ steps_arg)
 
 let datasets_cmd = cmd_of ~name:"datasets" ~doc:"Section 2.4 table" run_datasets
 
@@ -388,10 +428,10 @@ let raw_cmd =
   Cmd.v
     (Cmd.info "raw" ~doc:"Raw measurements for one kernel/dataset/machine")
     Term.(
-      const (fun trace bench ds machine scale steps ->
+      const (fun trace bench ds machine domains scale steps ->
           setup_trace trace;
-          run_raw bench ds machine scale steps)
-      $ trace_arg $ bench $ ds $ machine $ scale_arg $ steps_arg)
+          run_raw bench ds machine domains scale steps)
+      $ trace_arg $ bench $ ds $ machine $ domains_arg $ scale_arg $ steps_arg)
 
 let ablations_cmd =
   cmd_of ~name:"ablations" ~doc:"Design-choice ablations" run_ablations
@@ -406,10 +446,10 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Write plot-ready CSVs for Figures 6-9 and 17")
     Term.(
-      const (fun trace dir scale steps ->
+      const (fun trace dir domains scale steps ->
           setup_trace trace;
-          run_export dir scale steps)
-      $ trace_arg $ dir $ scale_arg $ steps_arg)
+          run_export dir domains scale steps)
+      $ trace_arg $ dir $ domains_arg $ scale_arg $ steps_arg)
 
 let guide_cmd =
   let bench =
@@ -468,10 +508,10 @@ let json_cmd =
     (Cmd.info "json"
        ~doc:"Emit one figure's rows as JSON on stdout (pipe into jq)")
     Term.(
-      const (fun trace figure scale steps ->
+      const (fun trace figure domains scale steps ->
           setup_trace trace;
-          run_json figure scale steps)
-      $ trace_arg $ figure $ scale_arg $ steps_arg)
+          run_json figure domains scale steps)
+      $ trace_arg $ figure $ domains_arg $ scale_arg $ steps_arg)
 
 let trace_report_cmd =
   let file =

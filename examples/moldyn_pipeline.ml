@@ -13,7 +13,9 @@ let () =
   Fmt.pr "kernel: moldyn, %d bytes per molecule (the paper's 72)@.@."
     (Kernels.Kernel.bytes_per_node kernel);
 
-  let config = { Harness.Figures.scale = 48; trace_steps = 2; wall_steps = 3 } in
+  let config =
+    { Harness.Figures.scale = 48; trace_steps = 2; wall_steps = 3; domains = 2 }
+  in
   List.iter
     (fun machine ->
       Fmt.pr "--- %a ---@." Cachesim.Machine.pp machine;

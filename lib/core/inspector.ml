@@ -155,8 +155,15 @@ let strategy_name = function
   | Remap_each -> "remap_each"
   | Remap_once -> "remap_once"
 
-let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
+let run ?pool ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
     (kernel : Kernels.Kernel.t) =
+  (* Pool-backed substitutions are bit-identical to the serial
+     algorithms, so inspector output never depends on the domain
+     count. *)
+  let pool = match pool with
+    | Some p when Rtrt_par.Pool.size p > 1 -> Some p
+    | _ -> None
+  in
   (match Plan.validate plan with
   | Ok () -> ()
   | Error msg -> invalid "Inspector: %s" msg);
@@ -193,8 +200,10 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
       let sigma_new =
         match alg with
         | Transform.Cpack -> Cpack.run walk.work_access
-        | Transform.Gpart { part_size } ->
-          Gpart_reorder.run walk.work_access ~part_size
+        | Transform.Gpart { part_size } -> (
+          match pool with
+          | Some pool -> Rtrt_par.Inspect.gpart ~pool walk.work_access ~part_size
+          | None -> Gpart_reorder.run walk.work_access ~part_size)
         | Transform.Multilevel { part_size } ->
           Multilevel_reorder.run walk.work_access ~part_size
         | Transform.Rcm -> Rcm_reorder.run walk.work_access
@@ -221,7 +230,10 @@ let run ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
     | Transform.Iter_reorder alg ->
       let delta_new =
         match alg with
-        | Transform.Lexgroup -> Lexgroup.run walk.work_access
+        | Transform.Lexgroup -> (
+          match pool with
+          | Some pool -> Rtrt_par.Inspect.lexgroup ~pool walk.work_access
+          | None -> Lexgroup.run walk.work_access)
         | Transform.Lexsort -> Lexsort.run walk.work_access
         | Transform.Bucket_tile { bucket_size } ->
           (Bucket_tile.run walk.work_access ~bucket_size).Bucket_tile.delta

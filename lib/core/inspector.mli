@@ -29,8 +29,12 @@ type result = {
     first; the caller's arrays are never aliased.
     [share_symmetric_deps] enables the Section 6 symmetric-dependence
     elision during sparse-tile growth (default true). Default strategy
-    is [Remap_once]. *)
+    is [Remap_once]. When [pool] is given (and has more than one
+    domain), the Lexgroup and Gpart inspector hot paths run on the
+    pool; their output is bit-identical to the serial algorithms, so
+    results never depend on the domain count. *)
 val run :
+  ?pool:Rtrt_par.Pool.t ->
   ?strategy:strategy ->
   ?share_symmetric_deps:bool ->
   Plan.t ->

@@ -5,6 +5,20 @@
    then counts over [steps] steps, mirroring the paper's reporting of
    executor time per outer-loop iteration with overhead excluded. *)
 
+(* Multicore execution of the tiled schedule, measured against the
+   serial executor on the identical (level-major renumbered) schedule.
+   [modeled_*] come from the Tile_par DAG makespan model, so figure
+   tables can show measured next to modeled. *)
+type par_measurement = {
+  domains : int;
+  serial_seconds_per_step : float;
+  par_seconds_per_step : float;
+  measured_speedup : float;
+  modeled_speedup : float;
+  modeled_makespan : int;
+  bitwise_equal : bool;
+}
+
 type measurement = {
   plan_name : string;
   inspector_seconds : float;
@@ -15,6 +29,7 @@ type measurement = {
   miss_ratio : float;
   n_data_remaps : int;
   n_tiles : int; (* 1 when not sparse tiled *)
+  par : par_measurement option; (* parallel run, when a pool was given *)
 }
 
 let time f =
@@ -23,11 +38,13 @@ let time f =
   (y, Unix.gettimeofday () -. t0)
 
 (* Run the inspector and verify the result. *)
-let inspect ?strategy ?share_symmetric_deps plan kernel =
+let inspect ?pool ?strategy ?share_symmetric_deps plan kernel =
   Rtrt_obs.Span.with_ ~name:"experiment.inspect"
     ~attrs:[ ("plan", Rtrt_obs.Json.String (Compose.Plan.name plan)) ]
   @@ fun () ->
-  let result = Compose.Inspector.run ?strategy ?share_symmetric_deps plan kernel in
+  let result =
+    Compose.Inspector.run ?pool ?strategy ?share_symmetric_deps plan kernel
+  in
   (match Compose.Legality.check result with
   | Ok () -> ()
   | Error msg ->
@@ -79,7 +96,67 @@ let wall_clock_steps (result : Compose.Inspector.result) ~steps =
   in
   seconds /. float_of_int steps
 
-let measure ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
+(* Only Full growth guarantees that same-level tiles at non-adjacent
+   chain positions never share data (conn-path transitivity), which the
+   phase-major parallel executor's bitwise claim rests on; Cache_block
+   tilings are excluded from parallel measurement. *)
+let plan_full_growth plan =
+  List.exists
+    (function
+      | Compose.Transform.Sparse_tile { growth = Compose.Transform.Full; _ } ->
+        true
+      | _ -> false)
+    (Compose.Plan.transforms plan)
+
+(* Derive the tile DAG post-hoc from the schedule, build the parallel
+   executor, and time it against the serial executor running the SAME
+   (level-major renumbered) schedule on an identical kernel copy. *)
+let measure_par ~pool (result : Compose.Inspector.result) sched ~wall_steps =
+  let domains = Rtrt_par.Pool.size pool in
+  Rtrt_obs.Span.with_ ~name:"experiment.measure_par"
+    ~attrs:
+      [
+        ("domains", Rtrt_obs.Json.Int domains);
+        ("steps", Rtrt_obs.Json.Int wall_steps);
+      ]
+  @@ fun () ->
+  let k = result.Compose.Inspector.kernel in
+  let tiles =
+    Compose.Legality.tile_fns_of_schedule sched
+      ~loop_sizes:k.Kernels.Kernel.loop_sizes
+  in
+  let chain = k.Kernels.Kernel.chain_of_access k.Kernels.Kernel.access in
+  let par = Reorder.Tile_par.analyze ~chain ~tiles in
+  let k_ser = k.Kernels.Kernel.copy () in
+  let k_par = k.Kernels.Kernel.copy () in
+  let pe =
+    k_par.Kernels.Kernel.plan_par ~pool sched
+      ~level_of:par.Reorder.Tile_par.level_of
+  in
+  let (), ser_seconds =
+    time (fun () ->
+        k_ser.Kernels.Kernel.run_tiled pe.Kernels.Kernel.par_sched
+          ~steps:wall_steps)
+  in
+  let (), par_seconds = time (fun () -> pe.Kernels.Kernel.par_run ~steps:wall_steps) in
+  let bitwise_equal =
+    Kernels.Kernel.snapshots_equal_bits
+      (k_ser.Kernels.Kernel.snapshot ())
+      (k_par.Kernels.Kernel.snapshot ())
+  in
+  let steps_f = float_of_int wall_steps in
+  {
+    domains;
+    serial_seconds_per_step = ser_seconds /. steps_f;
+    par_seconds_per_step = par_seconds /. steps_f;
+    measured_speedup =
+      (if par_seconds > 0.0 then ser_seconds /. par_seconds else 1.0);
+    modeled_speedup = Reorder.Tile_par.speedup par ~processors:domains;
+    modeled_makespan = Reorder.Tile_par.makespan par ~processors:domains;
+    bitwise_equal;
+  }
+
+let measure ?pool ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
     ?(trace_steps_n = 2) ?(wall_steps = 5) ~machine ~plan kernel =
   Rtrt_obs.Span.with_ ~name:"experiment.measure"
     ~attrs:
@@ -88,11 +165,21 @@ let measure ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
         ("machine", Rtrt_obs.Json.String machine.Cachesim.Machine.name);
       ]
   @@ fun () ->
-  let result = inspect ?strategy ?share_symmetric_deps plan (kernel : Kernels.Kernel.t) in
+  let result =
+    inspect ?pool ?strategy ?share_symmetric_deps plan
+      (kernel : Kernels.Kernel.t)
+  in
   let cycles, misses, accesses, ratio =
     trace_steps ?layout_of result ~machine ~warmup ~steps:trace_steps_n
   in
   let exec_seconds = wall_clock_steps result ~steps:wall_steps in
+  let par =
+    match (pool, result.Compose.Inspector.schedule) with
+    | Some pool, Some sched
+      when Rtrt_par.Pool.size pool > 1 && plan_full_growth plan ->
+      Some (measure_par ~pool result sched ~wall_steps)
+    | _ -> None
+  in
   {
     plan_name = Compose.Plan.name plan;
     inspector_seconds = result.Compose.Inspector.inspector_seconds;
@@ -106,6 +193,7 @@ let measure ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
       (match result.Compose.Inspector.schedule with
       | None -> 1
       | Some s -> Reorder.Schedule.n_tiles s);
+    par;
   }
 
 (* Normalized against the first (base) measurement, as Figures 6-7. *)
@@ -143,10 +231,21 @@ let amortization_modeled ~base m =
     Some (m.inspector_seconds *. cycles_per_second /. savings)
   end
 
+let pp_par_measurement ppf p =
+  Fmt.pf ppf
+    "%d domains: %.2fx speedup (modeled %.2fx, makespan %d)  %.2e -> %.2e \
+     s/step  bitwise %s"
+    p.domains p.measured_speedup p.modeled_speedup p.modeled_makespan
+    p.serial_seconds_per_step p.par_seconds_per_step
+    (if p.bitwise_equal then "equal" else "DIFFERS")
+
 let pp_measurement ppf m =
   Fmt.pf ppf
     "%-12s cycles/step %.3e  misses/step %.3e  miss%% %5.2f  insp %.3fs  \
      exec/step %.2e s  tiles %d"
     m.plan_name m.modeled_cycles_per_step m.misses_per_step
     (100.0 *. m.miss_ratio) m.inspector_seconds m.executor_seconds_per_step
-    m.n_tiles
+    m.n_tiles;
+  match m.par with
+  | None -> ()
+  | Some p -> Fmt.pf ppf "@,  par: %a" pp_par_measurement p

@@ -2,6 +2,19 @@
     cost, executor wall clock, and modeled cycles from the cache
     simulator. *)
 
+(** Multicore execution of the tiled schedule vs. the serial executor
+    on the identical (level-major renumbered) schedule, plus the
+    Tile_par makespan model's prediction. *)
+type par_measurement = {
+  domains : int;
+  serial_seconds_per_step : float;
+  par_seconds_per_step : float;
+  measured_speedup : float;
+  modeled_speedup : float;
+  modeled_makespan : int;
+  bitwise_equal : bool;
+}
+
 type measurement = {
   plan_name : string;
   inspector_seconds : float;
@@ -12,11 +25,15 @@ type measurement = {
   miss_ratio : float;
   n_data_remaps : int;
   n_tiles : int; (** 1 when not sparse tiled *)
+  par : par_measurement option;
+      (** parallel run, when a multi-domain pool was given and the plan
+          sparse-tiles with Full growth *)
 }
 
 (** Run the inspector and verify the result (raises on an illegal
     plan/result). *)
 val inspect :
+  ?pool:Rtrt_par.Pool.t ->
   ?strategy:Compose.Inspector.strategy ->
   ?share_symmetric_deps:bool ->
   Compose.Plan.t ->
@@ -24,8 +41,12 @@ val inspect :
   Compose.Inspector.result
 
 (** Measure one plan: [warmup] steps warm the modeled cache,
-    [trace_steps_n] steps are counted, [wall_steps] steps are timed. *)
+    [trace_steps_n] steps are counted, [wall_steps] steps are timed.
+    When [pool] has more than one domain and the plan sparse-tiles
+    with Full growth, the tiled executor additionally runs on the
+    pool and the serial-vs-parallel comparison lands in [par]. *)
 val measure :
+  ?pool:Rtrt_par.Pool.t ->
   ?strategy:Compose.Inspector.strategy ->
   ?share_symmetric_deps:bool ->
   ?layout_of:(Kernels.Kernel.t -> Cachesim.Layout.t) ->
@@ -50,4 +71,5 @@ val amortization : base:measurement -> measurement -> float option
 (** Modeled-cycles variant of {!amortization}. *)
 val amortization_modeled : base:measurement -> measurement -> float option
 
+val pp_par_measurement : par_measurement Fmt.t
 val pp_measurement : measurement Fmt.t

@@ -17,9 +17,10 @@ type config = {
   scale : int;       (* dataset node-count divisor; 1 = paper size *)
   trace_steps : int; (* time steps counted by the cache model *)
   wall_steps : int;  (* time steps for wall-clock measurement *)
+  domains : int;     (* OCaml domains; > 1 runs tiled executors in parallel *)
 }
 
-let default_config = { scale = 16; trace_steps = 2; wall_steps = 5 }
+let default_config = { scale = 16; trace_steps = 2; wall_steps = 5; domains = 1 }
 
 (* The paper's benchmark/dataset pairings (Figures 6-9). *)
 let pairings =
@@ -114,15 +115,23 @@ type exec_row = {
   dataset : string;
   per_plan : (string * float * float) list;
       (* plan, normalized modeled cycles, normalized wall clock *)
+  per_plan_par : (string * Experiment.par_measurement) list;
+      (* plans that additionally ran on a domain pool *)
 }
 
 let run_suite ~machine ~config kernel =
-  let plans = suite_for ~machine kernel in
-  List.map
-    (fun plan ->
-      Experiment.measure ~trace_steps_n:config.trace_steps
-        ~wall_steps:config.wall_steps ~machine ~plan kernel)
-    plans
+  let measure_all pool =
+    let plans = suite_for ~machine kernel in
+    List.map
+      (fun plan ->
+        Experiment.measure ?pool ~trace_steps_n:config.trace_steps
+          ~wall_steps:config.wall_steps ~machine ~plan kernel)
+      plans
+  in
+  if config.domains > 1 then
+    Rtrt_par.Pool.with_pool ~domains:config.domains (fun pool ->
+        measure_all (Some pool))
+  else measure_all None
 
 let executor_time ~machine ~config () =
   List.concat_map
@@ -140,6 +149,13 @@ let executor_time ~machine ~config () =
                 (fun ((m : Experiment.measurement), cyc, wall) ->
                   (m.Experiment.plan_name, cyc, wall))
                 normalized;
+            per_plan_par =
+              List.filter_map
+                (fun (m : Experiment.measurement) ->
+                  Option.map
+                    (fun p -> (m.Experiment.plan_name, p))
+                    m.Experiment.par)
+                ms;
           })
         datasets)
     pairings
@@ -153,6 +169,10 @@ let pp_exec_rows ppf rows =
         (fun (plan, cyc, wall) ->
           Fmt.pf ppf "%-10s %6.3f | %6.3f@," plan cyc wall)
         r.per_plan;
+      List.iter
+        (fun (plan, p) ->
+          Fmt.pf ppf "%-10s %a@," plan Experiment.pp_par_measurement p)
+        r.per_plan_par;
       Fmt.pf ppf "@]@.")
     rows
 
@@ -340,6 +360,18 @@ let json_dataset_rows rows =
            ])
        rows)
 
+let json_par_measurement (p : Experiment.par_measurement) =
+  J.Obj
+    [
+      ("domains", J.Int p.Experiment.domains);
+      ("serial_seconds_per_step", J.Float p.Experiment.serial_seconds_per_step);
+      ("par_seconds_per_step", J.Float p.Experiment.par_seconds_per_step);
+      ("measured_speedup", J.Float p.Experiment.measured_speedup);
+      ("modeled_speedup", J.Float p.Experiment.modeled_speedup);
+      ("modeled_makespan", J.Int p.Experiment.modeled_makespan);
+      ("bitwise_equal", J.Bool p.Experiment.bitwise_equal);
+    ]
+
 let json_exec_rows rows =
   J.List
     (List.map
@@ -359,6 +391,16 @@ let json_exec_rows rows =
                           ("normalized_wall", J.Float wall);
                         ])
                     r.per_plan) );
+             ( "parallel",
+               J.List
+                 (List.map
+                    (fun (plan, p) ->
+                      J.Obj
+                        [
+                          ("plan", J.String plan);
+                          ("par", json_par_measurement p);
+                        ])
+                    r.per_plan_par) );
            ])
        rows)
 

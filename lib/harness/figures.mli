@@ -5,6 +5,9 @@ type config = {
   scale : int;       (** dataset node-count divisor; 1 = paper size *)
   trace_steps : int; (** time steps counted by the cache model *)
   wall_steps : int;  (** time steps for wall-clock measurement *)
+  domains : int;
+      (** OCaml domains; > 1 additionally runs Full-growth tiled
+          executors on a domain pool and reports measured speedup *)
 }
 
 val default_config : config
@@ -50,6 +53,8 @@ type exec_row = {
   dataset : string;
   per_plan : (string * float * float) list;
       (** plan, normalized modeled cycles, normalized wall clock *)
+  per_plan_par : (string * Experiment.par_measurement) list;
+      (** plans that additionally ran on a domain pool *)
 }
 
 val executor_time :

@@ -174,6 +174,84 @@ let run_tiled_slabbed t tiling ~total_sweeps =
     run_tiled t tiling
   done
 
+(* Tile dependence DAG of a tiling, levelized. Edges follow the three
+   constraint families, which all ascend in tile id when the tiling is
+   legal (an illegal tiling makes [Tile_par.of_edges] raise): C1 links
+   within-sweep adjacent nodes in different tiles, C2 links a node's
+   sweep-s neighbors to its sweep-(s+1) tile, C3 links a node's own
+   consecutive-sweep tiles. Any two tiles that share any value version
+   of u are therefore connected, so same-level tiles are fully
+   independent and may run concurrently with bitwise-serial results. *)
+let tile_dag graph tiling =
+  let n = Irgraph.Csr.num_nodes graph in
+  let n_tiles = tiling.n_tiles in
+  let edges : (int, unit) Hashtbl.t =
+    Hashtbl.create (max 64 (tiling.sweeps * n))
+  in
+  let add ta tb = if ta <> tb then Hashtbl.replace edges ((ta * n_tiles) + tb) () in
+  for s = 0 to tiling.sweeps - 1 do
+    let th = tiling.theta.(s) in
+    for v = 0 to n - 1 do
+      Irgraph.Csr.iter_neighbors graph v (fun w ->
+          if v < w then add th.(v) th.(w));
+      if s + 1 < tiling.sweeps then begin
+        let th' = tiling.theta.(s + 1) in
+        add th.(v) th'.(v);
+        Irgraph.Csr.iter_neighbors graph v (fun w -> add th.(w) th'.(v))
+      end
+    done
+  done;
+  let tile_cost = Array.make n_tiles 0 in
+  Array.iter
+    (fun th -> Array.iter (fun t -> tile_cost.(t) <- tile_cost.(t) + 1) th)
+    tiling.theta;
+  let edge_list =
+    Hashtbl.fold
+      (fun key () acc -> (key / n_tiles, key mod n_tiles) :: acc)
+      edges []
+  in
+  Reorder.Tile_par.of_edges ~n_tiles ~tile_cost edge_list
+
+(* Run the tiling with same-level tiles concurrent (tiles atomic:
+   sweeps in order, member nodes in numbering order, exactly as
+   [run_tiled]). Bitwise equal to [run_tiled]: conflicting tile pairs
+   all have DAG edges and execute in the same relative order, and
+   edge-free pairs touch disjoint value versions. *)
+let run_tiled_par ~pool t tiling (par : Reorder.Tile_par.t) =
+  let items = schedule tiling in
+  Rtrt_par.Exec.run_levels ~pool ~levels:par.Reorder.Tile_par.levels
+    ~weight:(fun tile -> par.Reorder.Tile_par.tile_cost.(tile))
+    ~exec:(fun tile ->
+      Array.iter (fun nodes -> Array.iter (update t) nodes) items.(tile))
+
+(* Dependences of one Gauss-Seidel sweep for wavefront scheduling:
+   node [v] depends on its lower-numbered neighbors (whose
+   current-sweep values it reads). Higher-numbered neighbors list [v]
+   as a predecessor in turn, so adjacent nodes never share a wavefront
+   level and in-place parallel execution of a level is exact. *)
+let wavefront_preds graph =
+  let n = Irgraph.Csr.num_nodes graph in
+  let preds =
+    Array.init n (fun v ->
+        let acc = ref [] in
+        Irgraph.Csr.iter_neighbors graph v (fun w ->
+            if w < v then acc := w :: !acc);
+        List.sort compare !acc)
+  in
+  Reorder.Access.of_lists ~n_data:n preds
+
+(* [sweeps] plain sweeps with each wavefront level's nodes updated
+   concurrently; bitwise equal to [run_plain] because a level never
+   contains two adjacent nodes (each reads only values written in
+   earlier or later levels, the same versions the serial sweep
+   reads). *)
+let run_wavefront_par ~pool t (w : Reorder.Wavefront.t) ~sweeps =
+  let weight v = Irgraph.Csr.degree t.graph v in
+  for _s = 1 to sweeps do
+    Rtrt_par.Exec.run_levels ~pool ~levels:w.Reorder.Wavefront.levels ~weight
+      ~exec:(update t)
+  done
+
 (* Traced executors for the cache model: u and f are the two arrays. *)
 let trace_update graph ~touch_u ~touch_f v =
   touch_f v;

@@ -56,6 +56,43 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
     done
   done
 
+(* Parallel tiled executor: the flux positions (c mod 2 = 0) are
+   reductions over y. The stashed flux w*(x[l]-x[r]) is a pure
+   function of w and x, read-only during the position, so the ordered
+   apply reproduces the serial float operations bit for bit. *)
+let plan_par_st st ~pool sched ~level_of =
+  let dj = Array.make st.m 0.0 in
+  let exec =
+    Rtrt_par.Exec.make ~pool ~sched ~level_of
+      ~is_reduction:(fun c -> c mod 2 = 0)
+      ~left:st.left ~right:st.right ~n_data:st.n
+  in
+  let body ~pos iters =
+    if pos mod 2 = 0 then Array.iter (flux_j st) iters
+    else Array.iter (update_k st) iters
+  in
+  let stash ~pos:_ iters =
+    for idx = 0 to Array.length iters - 1 do
+      let j = iters.(idx) in
+      let l = st.left.(j) and r = st.right.(j) in
+      dj.(j) <- st.w.(j) *. (st.x.(l) -. st.x.(r))
+    done
+  in
+  let apply ~pos:_ ~datum refs lo hi =
+    let y = st.y in
+    for k = lo to hi - 1 do
+      let rv = refs.(k) in
+      let j = rv lsr 1 in
+      if rv land 1 = 0 then y.(datum) <- y.(datum) +. dj.(j)
+      else y.(datum) <- y.(datum) -. dj.(j)
+    done
+  in
+  {
+    Kernel.par_sched = Rtrt_par.Exec.schedule exec;
+    par_run =
+      (fun ~steps -> Rtrt_par.Exec.run exec ~steps ~body ~stash ~apply);
+  }
+
 let trace_j ~touch ~touch_inter left right j =
   touch_inter 0 j;
   touch_inter 1 j;
@@ -149,6 +186,8 @@ let rec make st =
     run_tiled_traced =
       (fun sched ~steps ~layout ~access ->
         run_tiled_traced_st st sched ~steps ~layout ~access);
+    plan_par =
+      (fun ~pool sched ~level_of -> plan_par_st st ~pool sched ~level_of);
     snapshot =
       (fun () -> [ ("x", Array.copy st.x); ("y", Array.copy st.y) ]);
     copy =

@@ -15,6 +15,14 @@
    bodies deliberately: the plain executors must stay allocation- and
    closure-free for wall-clock measurements. *)
 
+(* A parallel tiled executor instance: the level-major renumbered
+   schedule it executes (the serial twin for comparison) plus the run
+   function, built by [plan_par] over an Exec engine. *)
+type par_exec = {
+  par_sched : Reorder.Schedule.t;
+  par_run : steps:int -> unit;
+}
+
 type t = {
   name : string;
   n_nodes : int;
@@ -55,6 +63,13 @@ type t = {
     layout:Cachesim.Layout.t ->
     access:(int -> unit) ->
     unit;
+  (* Parallel executor over a tiled schedule; [par_run] is bitwise
+     identical to [run_tiled] on the renumbered [par_sched]. *)
+  plan_par :
+    pool:Rtrt_par.Pool.t ->
+    Reorder.Schedule.t ->
+    level_of:int array ->
+    par_exec;
   (* Current node arrays, for correctness comparison. *)
   snapshot : unit -> (string * float array) list;
   (* Deep copy (fresh arrays, same values). *)
@@ -92,6 +107,19 @@ let snapshots_close ?(rtol = 1e-9) s1 s2 =
              abs_float (x -. y) <= rtol *. max scale 1.0)
            a1 a2)
     s1 s2
+
+(* Bitwise equality via IEEE bit patterns, so NaN payloads and signed
+   zeros also have to match — the standard parallel executions claim. *)
+let snapshots_equal_bits s1 s2 =
+  List.length s1 = List.length s2
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) ->
+         String.equal n1 n2
+         && Array.length a1 = Array.length a2
+         && Array.for_all2
+              (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+              a1 a2)
+       s1 s2
 
 (* Un-permute a snapshot taken after a data reordering [sigma] back to
    original numbering, for comparison against an untransformed run. *)

@@ -7,6 +7,14 @@
     (Figure 14) forms, each with a traced twin feeding the cache
     model. *)
 
+(** A parallel tiled executor instance: the level-major renumbered
+    schedule it executes (the serial twin for comparison) and the
+    run function. *)
+type par_exec = {
+  par_sched : Reorder.Schedule.t;
+  par_run : steps:int -> unit;
+}
+
 type t = {
   name : string;
   n_nodes : int;
@@ -38,6 +46,14 @@ type t = {
     layout:Cachesim.Layout.t ->
     access:(int -> unit) ->
     unit;
+  plan_par :
+    pool:Rtrt_par.Pool.t ->
+    Reorder.Schedule.t ->
+    level_of:int array ->
+    par_exec;
+      (** Build a parallel executor for a tiled schedule from the tile
+          DAG levelization [level_of]; [par_run] is bitwise identical
+          to [run_tiled] on [par_sched]. *)
   snapshot : unit -> (string * float array) list;
   copy : unit -> t;
 }
@@ -59,6 +75,12 @@ val snapshots_close :
   (string * float array) list ->
   (string * float array) list ->
   bool
+
+(** Bitwise snapshot equality (NaN-safe: compares IEEE bit patterns),
+    for checking that parallel execution reproduces serial execution
+    exactly. *)
+val snapshots_equal_bits :
+  (string * float array) list -> (string * float array) list -> bool
 
 (** Un-permute a snapshot taken after data reordering [sigma] back to
     original numbering. *)

@@ -113,6 +113,94 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
     done
   done
 
+(* Parallel tiled executor: chain positions with c mod 3 = 1 are the
+   pairwise-force reductions. [stash] computes each interaction's
+   contribution g*dx (etc.) into per-interaction scratch — a pure
+   function of x/y/z, which are read-only during the position — and
+   [apply] folds the contributions into fx/fy/fz per datum in the
+   serial order, so the result is bitwise the serial executor's. *)
+let plan_par_st st ~pool sched ~level_of =
+  let x = st.x and y = st.y and z = st.z in
+  let vx = st.vx and vy = st.vy and vz = st.vz in
+  let fx = st.fx and fy = st.fy and fz = st.fz in
+  let left = st.left and right = st.right in
+  let gx = Array.make st.m 0.0 in
+  let gy = Array.make st.m 0.0 in
+  let gz = Array.make st.m 0.0 in
+  let exec =
+    Rtrt_par.Exec.make ~pool ~sched ~level_of
+      ~is_reduction:(fun c -> c mod 3 = 1)
+      ~left ~right ~n_data:st.n
+  in
+  let body ~pos iters =
+    match pos mod 3 with
+    | 0 ->
+      for idx = 0 to Array.length iters - 1 do
+        let i = iters.(idx) in
+        x.(i) <- x.(i) +. (dt *. (vx.(i) +. fx.(i)));
+        y.(i) <- y.(i) +. (dt *. (vy.(i) +. fy.(i)));
+        z.(i) <- z.(i) +. (dt *. (vz.(i) +. fz.(i)))
+      done
+    | 1 ->
+      for idx = 0 to Array.length iters - 1 do
+        let j = iters.(idx) in
+        let l = left.(j) and r = right.(j) in
+        let dx = x.(l) -. x.(r) in
+        let dy = y.(l) -. y.(r) in
+        let dz = z.(l) -. z.(r) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+        let g = 1.0 /. r2 in
+        fx.(l) <- fx.(l) +. (g *. dx);
+        fx.(r) <- fx.(r) -. (g *. dx);
+        fy.(l) <- fy.(l) +. (g *. dy);
+        fy.(r) <- fy.(r) -. (g *. dy);
+        fz.(l) <- fz.(l) +. (g *. dz);
+        fz.(r) <- fz.(r) -. (g *. dz)
+      done
+    | _ ->
+      for idx = 0 to Array.length iters - 1 do
+        let k = iters.(idx) in
+        vx.(k) <- vx.(k) +. (dt *. fx.(k));
+        vy.(k) <- vy.(k) +. (dt *. fy.(k));
+        vz.(k) <- vz.(k) +. (dt *. fz.(k))
+      done
+  in
+  let stash ~pos:_ iters =
+    for idx = 0 to Array.length iters - 1 do
+      let j = iters.(idx) in
+      let l = left.(j) and r = right.(j) in
+      let dx = x.(l) -. x.(r) in
+      let dy = y.(l) -. y.(r) in
+      let dz = z.(l) -. z.(r) in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+      let g = 1.0 /. r2 in
+      gx.(j) <- g *. dx;
+      gy.(j) <- g *. dy;
+      gz.(j) <- g *. dz
+    done
+  in
+  let apply ~pos:_ ~datum refs lo hi =
+    for k = lo to hi - 1 do
+      let rv = refs.(k) in
+      let j = rv lsr 1 in
+      if rv land 1 = 0 then begin
+        fx.(datum) <- fx.(datum) +. gx.(j);
+        fy.(datum) <- fy.(datum) +. gy.(j);
+        fz.(datum) <- fz.(datum) +. gz.(j)
+      end
+      else begin
+        fx.(datum) <- fx.(datum) -. gx.(j);
+        fy.(datum) <- fy.(datum) -. gy.(j);
+        fz.(datum) <- fz.(datum) -. gz.(j)
+      end
+    done
+  in
+  {
+    Kernel.par_sched = Rtrt_par.Exec.schedule exec;
+    par_run =
+      (fun ~steps -> Rtrt_par.Exec.run exec ~steps ~body ~stash ~apply);
+  }
+
 (* Traced executors: the reference stream is data-independent given the
    index arrays, so no arithmetic is performed. One touch per distinct
    array-element reference in the loop body. *)
@@ -228,6 +316,8 @@ let rec make st =
     run_tiled_traced =
       (fun sched ~steps ~layout ~access ->
         run_tiled_traced_st st sched ~steps ~layout ~access);
+    plan_par =
+      (fun ~pool sched ~level_of -> plan_par_st st ~pool sched ~level_of);
     snapshot =
       (fun () ->
         [

@@ -71,6 +71,62 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
     done
   done
 
+(* Parallel tiled executor: the force positions (c mod 2 = 1) are
+   reductions over fx/fy/fz. The stashed contribution g*dx is a pure
+   function of x/y/z, read-only during the position, so the ordered
+   apply reproduces the serial float operations bit for bit. *)
+let plan_par_st st ~pool sched ~level_of =
+  let gx = Array.make st.m 0.0 in
+  let gy = Array.make st.m 0.0 in
+  let gz = Array.make st.m 0.0 in
+  let exec =
+    Rtrt_par.Exec.make ~pool ~sched ~level_of
+      ~is_reduction:(fun c -> c mod 2 = 1)
+      ~left:st.left ~right:st.right ~n_data:st.n
+  in
+  let body ~pos iters =
+    if pos mod 2 = 0 then Array.iter (update_i st) iters
+    else Array.iter (force_j st) iters
+  in
+  let stash ~pos:_ iters =
+    for idx = 0 to Array.length iters - 1 do
+      let j = iters.(idx) in
+      let l = st.left.(j) and r = st.right.(j) in
+      let dx = st.x.(l) -. st.x.(r) in
+      let dy = st.y.(l) -. st.y.(r) in
+      let dz = st.z.(l) -. st.z.(r) in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+      let ir2 = 1.0 /. r2 in
+      let ir6 = ir2 *. ir2 *. ir2 in
+      let g = ((2.0 *. ir6 *. ir6) -. ir6) *. ir2 in
+      gx.(j) <- g *. dx;
+      gy.(j) <- g *. dy;
+      gz.(j) <- g *. dz
+    done
+  in
+  let apply ~pos:_ ~datum refs lo hi =
+    let fx = st.fx and fy = st.fy and fz = st.fz in
+    for k = lo to hi - 1 do
+      let rv = refs.(k) in
+      let j = rv lsr 1 in
+      if rv land 1 = 0 then begin
+        fx.(datum) <- fx.(datum) +. gx.(j);
+        fy.(datum) <- fy.(datum) +. gy.(j);
+        fz.(datum) <- fz.(datum) +. gz.(j)
+      end
+      else begin
+        fx.(datum) <- fx.(datum) -. gx.(j);
+        fy.(datum) <- fy.(datum) -. gy.(j);
+        fz.(datum) <- fz.(datum) -. gz.(j)
+      end
+    done
+  in
+  {
+    Kernel.par_sched = Rtrt_par.Exec.schedule exec;
+    par_run =
+      (fun ~steps -> Rtrt_par.Exec.run exec ~steps ~body ~stash ~apply);
+  }
+
 let trace_i ~touch i =
   touch 0 i; touch 1 i; touch 2 i;
   touch 3 i; touch 4 i; touch 5 i
@@ -163,6 +219,8 @@ let rec make st =
     run_tiled_traced =
       (fun sched ~steps ~layout ~access ->
         run_tiled_traced_st st sched ~steps ~layout ~access);
+    plan_par =
+      (fun ~pool sched ~level_of -> plan_par_st st ~pool sched ~level_of);
     snapshot =
       (fun () ->
         [

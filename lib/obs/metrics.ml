@@ -2,66 +2,87 @@
    dependences traversed, tiles grown, cache accesses per level, ...).
 
    Handles are created once at module-initialization time; the hot-path
-   operations ([add], [incr], [set]) are a single enabled-branch plus a
-   field write, so instrumented code pays nothing measurable when
-   tracing is off. [flush] emits one Metric event per touched handle
-   to the active sink (and is called automatically at exit by
-   Config). *)
+   operations ([add], [incr], [set]) are a single enabled-branch plus
+   an atomic update, so instrumented code pays nothing measurable when
+   tracing is off. Values live in [Atomic.t] cells so instrumented
+   code may run inside worker domains without losing increments;
+   handle registration is serialized by a mutex so pool lanes may
+   create handles concurrently. [flush] emits one Metric event per
+   touched handle to the active sink (and is called automatically at
+   exit by Config). *)
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+type counter = { c_name : string; c_value : int Atomic.t }
 
+type gauge = {
+  g_name : string;
+  g_value : float Atomic.t;
+  g_set : bool Atomic.t;
+}
+
+let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add counters name c;
-    c
+let registered tbl name make =
+  Mutex.lock registry_mutex;
+  let handle =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+      let h = make () in
+      Hashtbl.add tbl name h;
+      h
+  in
+  Mutex.unlock registry_mutex;
+  handle
 
-let add c n = if Runtime.is_enabled () then c.c_value <- c.c_value + n
+let counter name =
+  registered counters name (fun () ->
+      { c_name = name; c_value = Atomic.make 0 })
+
+let add c n =
+  if Runtime.is_enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+
 let incr c = add c 1
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; g_value = 0.0; g_set = false } in
-    Hashtbl.add gauges name g;
-    g
+  registered gauges name (fun () ->
+      { g_name = name; g_value = Atomic.make 0.0; g_set = Atomic.make false })
 
 let set g v =
   if Runtime.is_enabled () then begin
-    g.g_value <- v;
-    g.g_set <- true
+    Atomic.set g.g_value v;
+    Atomic.set g.g_set true
   end
 
-let gauge_value g = if g.g_set then Some g.g_value else None
+let gauge_value g =
+  if Atomic.get g.g_set then Some (Atomic.get g.g_value) else None
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
   Hashtbl.iter
     (fun _ g ->
-      g.g_value <- 0.0;
-      g.g_set <- false)
-    gauges
+      Atomic.set g.g_value 0.0;
+      Atomic.set g.g_set false)
+    gauges;
+  Mutex.unlock registry_mutex
 
 (* Touched handles only, sorted by name for deterministic output. *)
 let dump () =
   let cs =
     Hashtbl.fold
       (fun _ c acc ->
-        if c.c_value <> 0 then (c.c_name, float_of_int c.c_value) :: acc
-        else acc)
+        let v = Atomic.get c.c_value in
+        if v <> 0 then (c.c_name, float_of_int v) :: acc else acc)
       counters []
   in
   let gs =
     Hashtbl.fold
-      (fun _ g acc -> if g.g_set then (g.g_name, g.g_value) :: acc else acc)
+      (fun _ g acc ->
+        if Atomic.get g.g_set then (g.g_name, Atomic.get g.g_value) :: acc
+        else acc)
       gauges []
   in
   List.sort compare (cs @ gs)
@@ -75,16 +96,18 @@ let flush () =
     in
     let cs =
       Hashtbl.fold
-        (fun _ c acc -> if c.c_value <> 0 then c :: acc else acc)
+        (fun _ c acc -> if Atomic.get c.c_value <> 0 then c :: acc else acc)
         counters []
     in
     List.iter
-      (fun c -> emit Sink.Counter c.c_name (float_of_int c.c_value))
+      (fun c -> emit Sink.Counter c.c_name (float_of_int (Atomic.get c.c_value)))
       (List.sort (fun a b -> compare a.c_name b.c_name) cs);
     let gs =
-      Hashtbl.fold (fun _ g acc -> if g.g_set then g :: acc else acc) gauges []
+      Hashtbl.fold
+        (fun _ g acc -> if Atomic.get g.g_set then g :: acc else acc)
+        gauges []
     in
     List.iter
-      (fun g -> emit Sink.Gauge g.g_name g.g_value)
+      (fun g -> emit Sink.Gauge g.g_name (Atomic.get g.g_value))
       (List.sort (fun a b -> compare a.g_name b.g_name) gs)
   end

@@ -1,6 +1,8 @@
 (** Named counters and gauges. Create handles once at module load;
     [add]/[incr]/[set] cost one branch when tracing is disabled and do
-    not accumulate. *)
+    not accumulate. Values are atomic, so handles may be updated from
+    worker domains without losing increments; registration is
+    mutex-serialized. *)
 
 type counter
 type gauge

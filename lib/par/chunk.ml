@@ -1,0 +1,45 @@
+(* Static chunking of an index range across pool lanes. Contiguous
+   chunks keep each lane's accesses streaming, and the weighted split
+   balances uneven tile costs without any run-time work queue. *)
+
+(* [even ~n ~lanes] splits [0, n) into [lanes] contiguous (start, len)
+   ranges differing by at most one element. *)
+let even ~n ~lanes =
+  if lanes < 1 then invalid_arg "Chunk.even: lanes";
+  let base = n / lanes and rem = n mod lanes in
+  let start = ref 0 in
+  Array.init lanes (fun l ->
+      let len = base + if l < rem then 1 else 0 in
+      let s = !start in
+      start := s + len;
+      (s, len))
+
+(* [weighted ~weights ~lanes] splits [0, length weights) into [lanes]
+   contiguous ranges whose weight sums are approximately balanced: a
+   greedy sweep closes a chunk once it reaches the ideal share. The
+   split depends only on [weights] and [lanes], never on timing, so
+   parallel runs are deterministic for a given lane count. *)
+let weighted ~weights ~lanes =
+  if lanes < 1 then invalid_arg "Chunk.weighted: lanes";
+  let n = Array.length weights in
+  let total = Array.fold_left ( + ) 0 weights in
+  let chunks = Array.make lanes (0, 0) in
+  let start = ref 0 in
+  let consumed = ref 0 in
+  for l = 0 to lanes - 1 do
+    let remaining_lanes = lanes - l in
+    let target = (total - !consumed + remaining_lanes - 1) / remaining_lanes in
+    let stop = ref !start in
+    let acc = ref 0 in
+    (* Leave at least one item per remaining lane when possible. *)
+    let hard_stop = n - (remaining_lanes - 1) in
+    while !stop < max !start hard_stop && (!acc < target || !stop = !start) do
+      acc := !acc + weights.(!stop);
+      incr stop
+    done;
+    let stop = if l = lanes - 1 then n else !stop in
+    chunks.(l) <- (!start, stop - !start);
+    consumed := !consumed + !acc;
+    start := stop
+  done;
+  chunks

@@ -1,0 +1,10 @@
+(** Static contiguous chunking of index ranges across pool lanes. *)
+
+(** [even ~n ~lanes] splits [0, n) into [lanes] contiguous
+    (start, len) ranges differing by at most one element. *)
+val even : n:int -> lanes:int -> (int * int) array
+
+(** [weighted ~weights ~lanes] splits [0, length weights) into [lanes]
+    contiguous (start, len) ranges with approximately balanced weight
+    sums; deterministic in [weights] and [lanes]. *)
+val weighted : weights:int array -> lanes:int -> (int * int) array

@@ -1,0 +1,269 @@
+(* The parallel tiled-executor engine shared by moldyn/nbf/irreg.
+
+   Given a tile schedule and the levelization of its tile dependence
+   DAG (Tile_par), [make] renumbers the tiles level-major and builds a
+   static execution plan; [run] then executes each level's tiles
+   concurrently on a domain pool. The design goal is output that is
+   BITWISE identical to the serial tiled executor on the (renumbered)
+   schedule, not merely close:
+
+   - Tiles are renumbered level-major (levels ascending, ascending tile
+     id within a level), so the serial execution order of the
+     renumbered schedule coincides with the parallel (level, tile)
+     order. [schedule] exposes the renumbered schedule for the serial
+     twin.
+
+   - Within a level, chain positions execute phase-major: position 0
+     of every tile (in parallel), barrier, position 1 of every tile,
+     and so on. Dependences between adjacent chain positions always
+     point to the same or an earlier tile (tiling legality), and both
+     ends of a same-level cross-tile pair therefore commute — except
+     for reductions.
+
+   - Interaction-loop positions are reductions: same-level tiles may
+     update the same datum (fx[left], fx[right]), and float addition
+     does not reassociate. Those positions run in two phases:
+     [stash] computes each iteration's contribution into per-iteration
+     scratch (a pure function of data that is read-only during the
+     position), then after a barrier [apply] folds the contributions
+     into each datum in exactly the serial order — tiles ascending,
+     iterations ascending, left before right — using a prebuilt
+     per-datum reference list. Each datum is owned by exactly one
+     lane, so the fold order per datum is the serial one and the
+     result is bit-exact.
+
+   References are packed as [(iter lsl 1) lor slot] with slot 0 =
+   left endpoint, slot 1 = right endpoint. *)
+
+type red = {
+  r_data : int array;            (* touched data, discovery order *)
+  r_ptr : int array;             (* CSR offsets into r_refs *)
+  r_refs : int array;            (* (iter lsl 1) lor slot, serial order *)
+  r_lane_data : (int * int) array; (* per-lane (start, len) into r_data *)
+}
+
+type level = {
+  l_first : int;                 (* first renumbered tile id *)
+  l_count : int;
+  l_par : bool;                  (* run tiles concurrently *)
+  l_lane_tiles : (int * int) array; (* per-lane (offset, len) in level *)
+  l_red : red option array;      (* per chain position *)
+}
+
+type t = {
+  pool : Pool.t;
+  sched : Reorder.Schedule.t;    (* level-major renumbered *)
+  n_chain : int;
+  levels : level array;
+  c_lane_iters : Rtrt_obs.Metrics.counter array;
+}
+
+let schedule t = t.sched
+let n_levels t = Array.length t.levels
+
+let lane_counters pool =
+  Array.init (Pool.size pool) (fun l ->
+      Rtrt_obs.Metrics.counter (Fmt.str "par.domain%d.iterations" l))
+
+(* Level-major tile order: levels ascending, tile ids ascending within
+   a level (Tile_par builds levels ascending already, but recompute
+   from [level_of] so any levelization source works). *)
+let level_major_order level_of =
+  let n_tiles = Array.length level_of in
+  let n_levels = Array.fold_left (fun acc l -> max acc (l + 1)) 1 level_of in
+  let counts = Array.make n_levels 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level_of;
+  let first = Array.make n_levels 0 in
+  for l = 1 to n_levels - 1 do
+    first.(l) <- first.(l - 1) + counts.(l - 1)
+  done;
+  let order = Array.make n_tiles 0 in
+  let cursor = Array.copy first in
+  for tile = 0 to n_tiles - 1 do
+    let l = level_of.(tile) in
+    order.(cursor.(l)) <- tile;
+    cursor.(l) <- cursor.(l) + 1
+  done;
+  (order, first, counts)
+
+let tile_weight sched tile =
+  let w = ref 0 in
+  for c = 0 to Reorder.Schedule.n_loops sched - 1 do
+    w := !w + Array.length (Reorder.Schedule.items sched ~tile ~loop:c)
+  done;
+  !w
+
+(* Per-datum reference lists for one (level, position): scan the
+   level's interaction iterations in serial order twice — once to
+   discover touched data and count references, once to fill them.
+   [count] and [index_of] are caller-provided scratch of size n_data,
+   zeroed/reset between builds so construction stays linear in the
+   level size, not the data size. *)
+let build_red sched ~l_first ~l_count ~pos ~left ~right ~lanes ~count ~index_of
+    =
+  let data_rev = ref [] in
+  let n_data = ref 0 in
+  let n_refs = ref 0 in
+  let touch d =
+    if count.(d) = 0 then begin
+      index_of.(d) <- !n_data;
+      data_rev := d :: !data_rev;
+      incr n_data
+    end;
+    count.(d) <- count.(d) + 1;
+    incr n_refs
+  in
+  for i = 0 to l_count - 1 do
+    let iters = Reorder.Schedule.items sched ~tile:(l_first + i) ~loop:pos in
+    Array.iter
+      (fun j ->
+        touch left.(j);
+        touch right.(j))
+      iters
+  done;
+  let r_data = Array.make !n_data 0 in
+  List.iteri
+    (fun i d -> r_data.(!n_data - 1 - i) <- d)
+    !data_rev;
+  let r_ptr = Array.make (!n_data + 1) 0 in
+  for i = 0 to !n_data - 1 do
+    r_ptr.(i + 1) <- r_ptr.(i) + count.(r_data.(i))
+  done;
+  let cursor = Array.make !n_data 0 in
+  let r_refs = Array.make !n_refs 0 in
+  let emit d refv =
+    let i = index_of.(d) in
+    r_refs.(r_ptr.(i) + cursor.(i)) <- refv;
+    cursor.(i) <- cursor.(i) + 1
+  in
+  for i = 0 to l_count - 1 do
+    let iters = Reorder.Schedule.items sched ~tile:(l_first + i) ~loop:pos in
+    Array.iter
+      (fun j ->
+        emit left.(j) (j lsl 1);
+        emit right.(j) ((j lsl 1) lor 1))
+      iters
+  done;
+  (* Reset scratch for the next build. *)
+  Array.iter (fun d -> count.(d) <- 0) r_data;
+  let weights = Array.init !n_data (fun i -> r_ptr.(i + 1) - r_ptr.(i)) in
+  { r_data; r_ptr; r_refs; r_lane_data = Chunk.weighted ~weights ~lanes }
+
+let make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data =
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  if Array.length level_of <> n_tiles then
+    invalid_arg "Exec.make: level_of size mismatch";
+  let order, first, counts = level_major_order level_of in
+  let sched = Reorder.Schedule.permute_tiles sched ~order in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  let lanes = Pool.size pool in
+  let count = Array.make n_data 0 in
+  let index_of = Array.make n_data 0 in
+  let levels =
+    Array.init (Array.length first) (fun l ->
+        let l_first = first.(l) and l_count = counts.(l) in
+        let l_par = l_count > 1 && lanes > 1 in
+        let l_lane_tiles =
+          if not l_par then [||]
+          else
+            let weights =
+              Array.init l_count (fun i -> tile_weight sched (l_first + i))
+            in
+            Chunk.weighted ~weights ~lanes
+        in
+        let l_red =
+          Array.init n_chain (fun pos ->
+              if l_par && is_reduction pos then
+                Some
+                  (build_red sched ~l_first ~l_count ~pos ~left ~right ~lanes
+                     ~count ~index_of)
+              else None)
+        in
+        { l_first; l_count; l_par; l_lane_tiles; l_red })
+  in
+  { pool; sched; n_chain; levels; c_lane_iters = lane_counters pool }
+
+let run t ~steps ~body ~stash ~apply =
+  Rtrt_obs.Span.with_ ~name:"par.run_tiled"
+    ~attrs:
+      [
+        ("domains", Rtrt_obs.Json.Int (Pool.size t.pool));
+        ("levels", Rtrt_obs.Json.Int (Array.length t.levels));
+        ("steps", Rtrt_obs.Json.Int steps);
+      ]
+  @@ fun () ->
+  let sched = t.sched in
+  let items tile pos = Reorder.Schedule.items sched ~tile ~loop:pos in
+  let counters = t.c_lane_iters in
+  for _s = 1 to steps do
+    Array.iter
+      (fun lv ->
+        if not lv.l_par then
+          (* Serial path, in exactly the serial executor's tile-major
+             order (also taken by singleton levels, where no other
+             tile can race). *)
+          for i = 0 to lv.l_count - 1 do
+            let tile = lv.l_first + i in
+            for pos = 0 to t.n_chain - 1 do
+              let iters = items tile pos in
+              Rtrt_obs.Metrics.add counters.(0) (Array.length iters);
+              body ~pos iters
+            done
+          done
+        else
+          for pos = 0 to t.n_chain - 1 do
+            match lv.l_red.(pos) with
+            | None ->
+              Pool.parallel t.pool (fun lane ->
+                  let s, len = lv.l_lane_tiles.(lane) in
+                  for i = s to s + len - 1 do
+                    let iters = items (lv.l_first + i) pos in
+                    Rtrt_obs.Metrics.add counters.(lane) (Array.length iters);
+                    body ~pos iters
+                  done)
+            | Some red ->
+              Pool.parallel t.pool (fun lane ->
+                  let s, len = lv.l_lane_tiles.(lane) in
+                  for i = s to s + len - 1 do
+                    let iters = items (lv.l_first + i) pos in
+                    Rtrt_obs.Metrics.add counters.(lane) (Array.length iters);
+                    stash ~pos iters
+                  done);
+              Pool.parallel t.pool (fun lane ->
+                  let s, len = red.r_lane_data.(lane) in
+                  for di = s to s + len - 1 do
+                    apply ~pos ~datum:red.r_data.(di) red.r_refs
+                      red.r_ptr.(di)
+                      red.r_ptr.(di + 1)
+                  done)
+          done)
+      t.levels
+  done
+
+(* Level-by-level parallel driver for executors that are not
+   Schedule-based (Gauss-Seidel tiles, wavefront iterations): run each
+   level's items concurrently, weighted by [weight], with a barrier
+   between levels. Items of one level must be pairwise independent —
+   then any per-lane order is bit-exact, and we keep ascending order
+   within each lane. *)
+let run_levels ~pool ~levels ~weight ~exec =
+  let lanes = Pool.size pool in
+  let counters = lane_counters pool in
+  Array.iter
+    (fun members ->
+      let n = Array.length members in
+      if lanes = 1 || n <= 1 then begin
+        Rtrt_obs.Metrics.add counters.(0) n;
+        Array.iter exec members
+      end
+      else begin
+        let weights = Array.map weight members in
+        let chunks = Chunk.weighted ~weights ~lanes in
+        Pool.parallel pool (fun lane ->
+            let s, len = chunks.(lane) in
+            Rtrt_obs.Metrics.add counters.(lane) len;
+            for i = s to s + len - 1 do
+              exec members.(i)
+            done)
+      end)
+    levels

@@ -1,0 +1,54 @@
+(** The parallel tiled-executor engine: level-major tile renumbering,
+    phase-major execution with barriers per (level, chain position),
+    and stash/apply reduction combining that reproduces the serial
+    executor's float operations bit for bit. *)
+
+type t
+
+(** [make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data]
+    renumbers [sched] level-major (per [level_of], the tile dependence
+    DAG levelization) and precomputes per-level lane assignments plus,
+    for every chain position where [is_reduction pos] holds, the
+    per-datum combine lists derived from the [left]/[right] endpoint
+    arrays ([n_data] data locations). *)
+val make :
+  pool:Pool.t ->
+  sched:Reorder.Schedule.t ->
+  level_of:int array ->
+  is_reduction:(int -> bool) ->
+  left:int array ->
+  right:int array ->
+  n_data:int ->
+  t
+
+(** The level-major renumbered schedule; the serial twin to compare a
+    parallel run against (also a legal schedule). *)
+val schedule : t -> Reorder.Schedule.t
+
+val n_levels : t -> int
+
+(** [run t ~steps ~body ~stash ~apply] executes the plan. [body ~pos
+    iters] is the serial loop body for chain position [pos] (used for
+    serial levels and non-reduction positions). For reduction
+    positions of parallel levels, [stash ~pos iters] computes each
+    iteration's contribution into per-iteration scratch, and
+    [apply ~pos ~datum refs lo hi] folds [refs.(lo..hi-1)] — packed as
+    [(iter lsl 1) lor slot], slot 0 = left (+), 1 = right (-) — into
+    [datum] in serial order. *)
+val run :
+  t ->
+  steps:int ->
+  body:(pos:int -> int array -> unit) ->
+  stash:(pos:int -> int array -> unit) ->
+  apply:(pos:int -> datum:int -> int array -> int -> int -> unit) ->
+  unit
+
+(** [run_levels ~pool ~levels ~weight ~exec] runs each level's items
+    concurrently (weighted static chunks, barrier between levels).
+    Items within one level must be pairwise independent. *)
+val run_levels :
+  pool:Pool.t ->
+  levels:int array array ->
+  weight:(int -> int) ->
+  exec:(int -> unit) ->
+  unit

@@ -1,0 +1,21 @@
+(** Parallel inspector hot paths. Each function computes a result that
+    is independent of the pool's domain count: [lexgroup] and [gpart]
+    are bit-identical to their serial counterparts, [gpart_cpack] is a
+    deterministic Gpart/CPACK fusion. *)
+
+(** Identical to [Reorder.Lexgroup.run]: parallel stable counting sort
+    (per-lane bucket counting, serial offset merge, parallel
+    scatter). *)
+val lexgroup : pool:Pool.t -> Reorder.Access.t -> Reorder.Perm.t
+
+(** Identical to [Reorder.Gpart_reorder.run]: serial BFS partitioning,
+    parallel per-part member layout. *)
+val gpart :
+  pool:Pool.t -> Reorder.Access.t -> part_size:int -> Reorder.Perm.t
+
+(** Gpart partitioning with CPACK ordering applied independently
+    inside every partition (processed concurrently): members are laid
+    out by global first-touch rank within their part, untouched
+    members last in ascending order. *)
+val gpart_cpack :
+  pool:Pool.t -> Reorder.Access.t -> part_size:int -> Reorder.Perm.t

@@ -1,0 +1,122 @@
+(* A reusable pool of OCaml 5 domains for SPMD execution.
+
+   Workers are spawned once (domain spawn costs ~10us, far too much to
+   pay per tile level) and woken for each [parallel] call through a
+   mutex/condition pair. The mutex hand-off on both sides of a call
+   establishes the happens-before edges that make plain float/int
+   array writes from one lane visible to every other lane after the
+   barrier — the executors rely on exactly this for their per-level
+   phases.
+
+   Lane 0 is the calling domain itself, so [create ~domains:n] spawns
+   n-1 workers and a pool of 1 degenerates to plain serial calls. *)
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int;           (* bumped once per parallel call *)
+  mutable pending : int;         (* workers still inside the job *)
+  mutable failure : exn option;  (* first exception of the round *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = t.domains
+
+let record_failure t exn =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some exn;
+  Mutex.unlock t.mutex
+
+let rec worker_loop t lane seen_epoch =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.epoch = seen_epoch do
+    Condition.wait t.cond t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let job = Option.get t.job in
+    Mutex.unlock t.mutex;
+    (try job lane with exn -> record_failure t exn);
+    Mutex.lock t.mutex;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    worker_loop t lane epoch
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      epoch = 0;
+      pending = 0;
+      failure = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let parallel t f =
+  if t.domains = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.parallel: pool is shut down"
+    end;
+    t.job <- Some f;
+    t.failure <- None;
+    t.pending <- t.domains - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    (* Lane 0 works too; its exception must still wait for the
+       barrier so no worker is left running inside freed state. *)
+    (try f 0 with exn -> record_failure t exn);
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    let failure = t.failure in
+    t.job <- None;
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with None -> () | Some exn -> raise exn
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.cond
+  end;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let domains_from_env ?(default = 1) () =
+  match Sys.getenv_opt "RTRT_DOMAINS" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Fmt.epr "rtrt: warning: RTRT_DOMAINS=%S is not a positive integer; \
+               using %d@." s default;
+      default)

@@ -1,0 +1,31 @@
+(** A reusable pool of OCaml 5 domains: workers are spawned once and
+    woken per call through a mutex/condition pair. The barrier at the
+    end of {!parallel} establishes happens-before, so array writes
+    made by one lane are visible to every lane afterwards. *)
+
+type t
+
+(** [create ~domains] spawns [domains - 1] workers; the calling domain
+    is lane 0. Raises [Invalid_argument] when [domains < 1]. *)
+val create : domains:int -> t
+
+(** Total number of lanes (including the caller). *)
+val size : t -> int
+
+(** [parallel t f] runs [f lane] on every lane in [0, size t) and
+    returns once all lanes finish (full barrier). The first exception
+    raised by any lane is re-raised on the caller after the barrier.
+    A pool of size 1 runs [f 0] inline. *)
+val parallel : t -> (int -> unit) -> unit
+
+(** Join the workers. The pool must not be used afterwards;
+    idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] creates a pool, runs [f], and shuts the
+    pool down even on exceptions. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** Domain count from the RTRT_DOMAINS environment variable
+    ([default], default 1, when unset or invalid). *)
+val domains_from_env : ?default:int -> unit -> int

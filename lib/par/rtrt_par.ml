@@ -1,0 +1,9 @@
+(** Multicore execution for the run-time reordering framework: a
+    spawn-once domain {!Pool}, static {!Chunk}ing, the bit-exact
+    parallel tiled-executor engine {!Exec}, and parallel inspector
+    paths {!Inspect}. *)
+
+module Pool = Pool
+module Chunk = Chunk
+module Exec = Exec
+module Inspect = Inspect

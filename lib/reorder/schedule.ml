@@ -91,6 +91,23 @@ let remap_loop s ~loop perm =
   in
   { s with items }
 
+(* Renumber tiles: new tile [t] is old tile [order.(t)]. Used by the
+   parallel engine to make tile ids level-major, so that serial
+   execution order of the result coincides with the per-level parallel
+   order. [order] must be a permutation of [0, n_tiles). *)
+let permute_tiles s ~order =
+  if Array.length order <> s.n_tiles then
+    invalid "Schedule.permute_tiles: order size %d <> %d tiles"
+      (Array.length order) s.n_tiles;
+  let seen = Array.make s.n_tiles false in
+  Array.iter
+    (fun t ->
+      if t < 0 || t >= s.n_tiles || seen.(t) then
+        invalid "Schedule.permute_tiles: order is not a permutation";
+      seen.(t) <- true)
+    order;
+  { s with items = Array.map (fun t -> s.items.(t)) order }
+
 (* Every iteration of every loop appears exactly once. *)
 let check_coverage s ~loop_sizes =
   if Array.length loop_sizes <> s.n_loops then

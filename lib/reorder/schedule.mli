@@ -27,6 +27,11 @@ val perm_of_loop : t -> int -> Perm.t
     tile member lists ascending (tilePack's loop renaming). *)
 val remap_loop : t -> loop:int -> Perm.t -> t
 
+(** Renumber tiles: new tile [t] is old tile [order.(t)]; raises
+    [Invalid_argument] unless [order] is a permutation of the tile
+    ids. *)
+val permute_tiles : t -> order:int array -> t
+
 (** Each iteration of each loop appears exactly once. *)
 val check_coverage : t -> loop_sizes:int array -> bool
 

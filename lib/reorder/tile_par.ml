@@ -19,9 +19,16 @@ type t = {
   tile_cost : int array;     (* iterations per tile *)
 }
 
-(* Tile DAG edges from the chain's dependences. *)
+(* Tile DAG edges from the chain's dependences, deduplicated through a
+   table keyed on the int [ta * n_tiles + tb] (tuple keys would box an
+   allocation per touch) and sized from the dependence count. *)
 let tile_edges ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array) =
-  let edges = Hashtbl.create 64 in
+  let n_tiles = tiles.(0).Sparse_tile.n_tiles in
+  let n_touches =
+    Array.fold_left (fun acc conn -> acc + Access.n_touches conn) 0
+      chain.Sparse_tile.conn
+  in
+  let edges : (int, unit) Hashtbl.t = Hashtbl.create (max 64 n_touches) in
   Array.iteri
     (fun l (conn : Access.t) ->
       let t_src = tiles.(l) and t_dst = tiles.(l + 1) in
@@ -29,21 +36,24 @@ let tile_edges ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array)
         Access.iter_touches conn b (fun a ->
             let ta = t_src.Sparse_tile.tile_of.(a)
             and tb = t_dst.Sparse_tile.tile_of.(b) in
-            if ta <> tb then Hashtbl.replace edges (ta, tb) ())
+            if ta <> tb then
+              Hashtbl.replace edges ((ta * n_tiles) + tb) ())
       done)
     chain.Sparse_tile.conn;
-  Hashtbl.fold (fun e () acc -> e :: acc) edges []
+  Hashtbl.fold (fun key () acc -> (key / n_tiles, key mod n_tiles) :: acc)
+    edges []
 
-let analyze ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array) =
-  let n_tiles = tiles.(0).Sparse_tile.n_tiles in
-  let edges = tile_edges ~chain ~tiles in
-  (* Legality guarantees ta <= tb on every dependence, so the DAG's
-     edges all point from lower to higher tile ids and a single
-     ascending pass levelizes it. *)
+(* Levelize an explicit (deduplicated) edge list over [n_tiles] tiles.
+   Legality guarantees ta <= tb on every dependence, so the DAG's
+   edges all point from lower to higher tile ids and a single
+   ascending pass levelizes it. *)
+let of_edges ~n_tiles ~tile_cost edges =
+  if Array.length tile_cost <> n_tiles then
+    invalid_arg "Tile_par.of_edges: tile_cost size";
   let preds = Array.make n_tiles [] in
   List.iter
     (fun (ta, tb) ->
-      if ta > tb then invalid_arg "Tile_par.analyze: illegal tiling";
+      if ta > tb then invalid_arg "Tile_par.of_edges: illegal tiling";
       preds.(tb) <- ta :: preds.(tb))
     edges;
   let level_of = Array.make n_tiles 0 in
@@ -64,6 +74,11 @@ let analyze ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array) =
       levels.(l).(cursor.(l)) <- t;
       cursor.(l) <- cursor.(l) + 1)
     level_of;
+  { n_tiles; n_levels = !n_levels; level_of; levels; tile_cost }
+
+let analyze ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array) =
+  let n_tiles = tiles.(0).Sparse_tile.n_tiles in
+  let edges = tile_edges ~chain ~tiles in
   let tile_cost = Array.make n_tiles 0 in
   Array.iter
     (fun (tf : Sparse_tile.tile_fn) ->
@@ -71,7 +86,7 @@ let analyze ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array) =
         (fun t -> tile_cost.(t) <- tile_cost.(t) + 1)
         tf.Sparse_tile.tile_of)
     tiles;
-  { n_tiles; n_levels = !n_levels; level_of; levels; tile_cost }
+  of_edges ~n_tiles ~tile_cost edges
 
 let average_parallelism t =
   float_of_int t.n_tiles /. float_of_int t.n_levels

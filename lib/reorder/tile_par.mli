@@ -16,6 +16,11 @@ val tile_edges :
   tiles:Sparse_tile.tile_fn array ->
   (int * int) list
 
+(** Levelize an explicit deduplicated edge list; raises
+    [Invalid_argument] if an edge points from a later to an earlier
+    tile, or if [tile_cost] does not have [n_tiles] entries. *)
+val of_edges : n_tiles:int -> tile_cost:int array -> (int * int) list -> t
+
 (** Levelize; raises [Invalid_argument] if the tiling is illegal
     (an edge from a later to an earlier tile). *)
 val analyze :

@@ -13,6 +13,7 @@ let mk ?(plan = "p") ?(insp = 1.0) ?(exec = 1.0) ?(cycles = 100.0) () =
     miss_ratio = 0.1;
     n_data_remaps = 1;
     n_tiles = 1;
+    par = None;
   }
 
 let test_normalize () =
@@ -61,7 +62,8 @@ let test_sizing () =
   Alcotest.(check int) "floor" 16
     (Harness.Figures.seed_size_for ~target_bytes:64 kernel)
 
-let tiny = { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1 }
+let tiny =
+  { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1; domains = 1 }
 
 let test_dataset_table () =
   let rows = Harness.Figures.dataset_table ~config:tiny () in

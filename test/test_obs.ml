@@ -179,7 +179,8 @@ let test_jsonl_sink_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* Figure JSON export                                                  *)
 
-let tiny = { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1 }
+let tiny =
+  { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1; domains = 1 }
 
 let test_figure_json_parses () =
   (* The same payloads `rtrt json datasets` / `rtrt json figure6`

@@ -1,0 +1,423 @@
+(* Tests for the rtrt_par multicore execution engine: pool/chunk
+   mechanics, bitwise serial/parallel equivalence of every parallel
+   executor (tiled kernels with the reduction-combining path,
+   Gauss-Seidel tile-DAG and wavefront), parallel-inspector
+   equivalence with the serial reorderings, and Atomic metrics under
+   concurrent increments. Domain counts 1/2/4 run even on few-core
+   hosts (oversubscription only affects timing, never results). *)
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool and chunking *)
+
+let test_pool_sum () =
+  Rtrt_par.Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check int) "size" 4 (Rtrt_par.Pool.size pool);
+      let n = 10_000 in
+      let chunks = Rtrt_par.Chunk.even ~n ~lanes:4 in
+      let partial = Array.make 4 0 in
+      Rtrt_par.Pool.parallel pool (fun lane ->
+          let start, len = chunks.(lane) in
+          let s = ref 0 in
+          for i = start to start + len - 1 do
+            s := !s + i
+          done;
+          partial.(lane) <- !s);
+      Alcotest.(check int)
+        "sum" (n * (n - 1) / 2)
+        (Array.fold_left ( + ) 0 partial))
+
+let test_pool_one_inline () =
+  Rtrt_par.Pool.with_pool ~domains:1 (fun pool ->
+      let self = Domain.self () in
+      let seen = ref None in
+      Rtrt_par.Pool.parallel pool (fun lane -> seen := Some (lane, Domain.self ()));
+      match !seen with
+      | Some (0, d) when d = self -> ()
+      | _ -> Alcotest.fail "size-1 pool must run lane 0 on the caller")
+
+exception Lane_failed of int
+
+let test_pool_exception () =
+  Rtrt_par.Pool.with_pool ~domains:3 (fun pool ->
+      (match
+         Rtrt_par.Pool.parallel pool (fun lane ->
+             if lane = 1 then raise (Lane_failed lane))
+       with
+      | () -> Alcotest.fail "exception was swallowed"
+      | exception Lane_failed 1 -> ()
+      | exception e -> raise e);
+      (* The pool survives a failing call. *)
+      let hits = Atomic.make 0 in
+      Rtrt_par.Pool.parallel pool (fun _ -> Atomic.incr hits);
+      Alcotest.(check int) "pool reusable after exception" 3 (Atomic.get hits))
+
+let check_chunks name ~n chunks =
+  let covered = Array.make n false in
+  Array.iter
+    (fun (start, len) ->
+      for i = start to start + len - 1 do
+        Alcotest.(check bool) (name ^ " no overlap") false covered.(i);
+        covered.(i) <- true
+      done)
+    chunks;
+  Array.iteri
+    (fun i c -> Alcotest.(check bool) (Fmt.str "%s covers %d" name i) true c)
+    covered
+
+let test_chunking () =
+  check_chunks "even" ~n:17 (Rtrt_par.Chunk.even ~n:17 ~lanes:4);
+  check_chunks "even tiny" ~n:2 (Rtrt_par.Chunk.even ~n:2 ~lanes:8);
+  let weights = Array.init 23 (fun i -> 1 + ((i * 7) mod 11)) in
+  check_chunks "weighted" ~n:23 (Rtrt_par.Chunk.weighted ~weights ~lanes:3);
+  Alcotest.(check bool)
+    "weighted deterministic" true
+    (Rtrt_par.Chunk.weighted ~weights ~lanes:3
+    = Rtrt_par.Chunk.weighted ~weights ~lanes:3)
+
+(* ------------------------------------------------------------------ *)
+(* Random datasets (same shape as test_compose's generator) *)
+
+let arb_dataset =
+  QCheck.make
+    ~print:(fun (n, e) -> Printf.sprintf "n=%d m=%d" n (Array.length e))
+    QCheck.Gen.(
+      let* n = int_range 8 60 in
+      let* m = int_range 4 150 in
+      let* pairs =
+        array_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let pairs =
+        Array.map
+          (fun (a, b) -> if a = b then (a, (b + 1) mod n) else (a, b))
+          pairs
+      in
+      return (n, pairs))
+
+let dataset_of (n, pairs) =
+  {
+    Datagen.Dataset.name = "rand";
+    n_nodes = n;
+    left = Array.map fst pairs;
+    right = Array.map snd pairs;
+    coords = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel tiled executors are bitwise identical to the serial
+   executor on the same (level-major renumbered) schedule — including
+   the privatize-and-combine reduction path, for every kernel, plan
+   and domain count. *)
+
+let kernels_under_test =
+  [
+    ("moldyn", Kernels.Moldyn.of_dataset);
+    ("nbf", Kernels.Nbf.of_dataset);
+    ("irreg", Kernels.Irreg.of_dataset);
+  ]
+
+let full_growth_plans =
+  [
+    Compose.Plan.with_fst ~seed_part_size:5 Compose.Plan.cpack_lexgroup_twice;
+    Compose.Plan.with_fst ~seed_part_size:7 Compose.Plan.cpack;
+  ]
+
+let check_par_matches_serial ~domains plan kernel =
+  let result = Harness.Experiment.inspect plan kernel in
+  match result.Compose.Inspector.schedule with
+  | None -> Alcotest.fail "sparse-tiled plan produced no schedule"
+  | Some sched ->
+    let k = result.Compose.Inspector.kernel in
+    let tiles =
+      Compose.Legality.tile_fns_of_schedule sched
+        ~loop_sizes:k.Kernels.Kernel.loop_sizes
+    in
+    let chain = k.Kernels.Kernel.chain_of_access k.Kernels.Kernel.access in
+    let par = Reorder.Tile_par.analyze ~chain ~tiles in
+    let k_ser = k.Kernels.Kernel.copy () in
+    let k_par = k.Kernels.Kernel.copy () in
+    Rtrt_par.Pool.with_pool ~domains (fun pool ->
+        let pe =
+          k_par.Kernels.Kernel.plan_par ~pool sched
+            ~level_of:par.Reorder.Tile_par.level_of
+        in
+        k_ser.Kernels.Kernel.run_tiled pe.Kernels.Kernel.par_sched ~steps:2;
+        pe.Kernels.Kernel.par_run ~steps:2);
+    Kernels.Kernel.snapshots_equal_bits
+      (k_ser.Kernels.Kernel.snapshot ())
+      (k_par.Kernels.Kernel.snapshot ())
+
+let prop_kernels_bitwise =
+  QCheck.Test.make ~name:"parallel tiled executors bitwise = serial" ~count:12
+    arb_dataset (fun spec ->
+      let d = dataset_of spec in
+      List.for_all
+        (fun (_, of_dataset) ->
+          List.for_all
+            (fun plan ->
+              List.for_all
+                (fun domains ->
+                  check_par_matches_serial ~domains plan (of_dataset d))
+                domain_counts)
+            full_growth_plans)
+        kernels_under_test)
+
+(* The reduction-combining path specifically: moldyn at a scale where
+   many tiles share force entries, on an off-count pool. *)
+let test_moldyn_reduction_combine () =
+  let d = Option.get (Datagen.Generators.by_name ~scale:512 "mol1") in
+  let kernel = Kernels.Moldyn.of_dataset d in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:24 Compose.Plan.cpack_lexgroup_twice
+  in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Fmt.str "moldyn bitwise at %d domains" domains)
+        true
+        (check_par_matches_serial ~domains plan kernel))
+    [ 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Gauss-Seidel: tile-DAG and wavefront parallel executors *)
+
+let gs_setup graph =
+  let n = Irgraph.Csr.num_nodes graph in
+  let f = Array.init n (fun i -> 1.0 +. float_of_int (i mod 13)) in
+  let partition = Irgraph.Partition.gpart graph ~part_size:8 in
+  let graph', f', _sigma, seed =
+    Kernels.Gauss_seidel.renumber_by_partition graph ~f ~partition
+  in
+  let tiling =
+    Kernels.Gauss_seidel.grow graph' ~seed ~seed_sweep:1 ~sweeps:3
+  in
+  (graph', f', tiling)
+
+let u_bits (t : Kernels.Gauss_seidel.t) = Array.map Int64.bits_of_float t.u
+
+let prop_gs_tiled_par_bitwise =
+  QCheck.Test.make ~name:"parallel tiled GS bitwise = serial tiled GS"
+    ~count:20 arb_dataset (fun spec ->
+      let graph = Datagen.Dataset.to_graph (dataset_of spec) in
+      let graph', f', tiling = gs_setup graph in
+      let dag = Kernels.Gauss_seidel.tile_dag graph' tiling in
+      List.for_all
+        (fun domains ->
+          let t_ser = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+          let t_par = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+          Kernels.Gauss_seidel.run_tiled t_ser tiling;
+          Rtrt_par.Pool.with_pool ~domains (fun pool ->
+              Kernels.Gauss_seidel.run_tiled_par ~pool t_par tiling dag);
+          u_bits t_ser = u_bits t_par)
+        domain_counts)
+
+let prop_gs_wavefront_bitwise =
+  QCheck.Test.make ~name:"parallel wavefront GS bitwise = plain GS" ~count:20
+    arb_dataset (fun spec ->
+      let graph = Datagen.Dataset.to_graph (dataset_of spec) in
+      let preds = Kernels.Gauss_seidel.wavefront_preds graph in
+      let w = Reorder.Wavefront.run preds in
+      if not (Reorder.Wavefront.check preds w) then
+        QCheck.Test.fail_report "Wavefront.check rejected its own levels";
+      let n = Irgraph.Csr.num_nodes graph in
+      let f = Array.init n (fun i -> 0.5 +. float_of_int (i mod 7)) in
+      List.for_all
+        (fun domains ->
+          let t_ser = Kernels.Gauss_seidel.create ~graph ~f in
+          let t_par = Kernels.Gauss_seidel.create ~graph ~f in
+          Kernels.Gauss_seidel.run_plain t_ser ~sweeps:3;
+          Rtrt_par.Pool.with_pool ~domains (fun pool ->
+              Kernels.Gauss_seidel.run_wavefront_par ~pool t_par w ~sweeps:3);
+          u_bits t_ser = u_bits t_par)
+        domain_counts)
+
+let test_gs_foil_tiled_par () =
+  let graph =
+    Datagen.Dataset.to_graph (Datagen.Generators.foil ~scale:512 ())
+  in
+  let graph', f', tiling = gs_setup graph in
+  let dag = Kernels.Gauss_seidel.tile_dag graph' tiling in
+  Alcotest.(check (list reject))
+    "tiling legal" []
+    (List.map (fun _ -> ())
+       (Kernels.Gauss_seidel.check_constraints graph' tiling));
+  let t_ser = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+  let t_par = Kernels.Gauss_seidel.create ~graph:graph' ~f:f' in
+  Kernels.Gauss_seidel.run_tiled t_ser tiling;
+  Rtrt_par.Pool.with_pool ~domains:4 (fun pool ->
+      Kernels.Gauss_seidel.run_tiled_par ~pool t_par tiling dag);
+  Alcotest.(check bool) "bitwise" true (u_bits t_ser = u_bits t_par)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel inspector hot paths *)
+
+let access_of spec =
+  let d = dataset_of spec in
+  Reorder.Access.of_pairs ~n_data:d.Datagen.Dataset.n_nodes
+    d.Datagen.Dataset.left d.Datagen.Dataset.right
+
+let prop_par_lexgroup =
+  QCheck.Test.make ~name:"Inspect.lexgroup = Lexgroup.run" ~count:30
+    arb_dataset (fun spec ->
+      let a = access_of spec in
+      let serial = Reorder.Lexgroup.run a in
+      List.for_all
+        (fun domains ->
+          Rtrt_par.Pool.with_pool ~domains (fun pool ->
+              Reorder.Perm.equal serial (Rtrt_par.Inspect.lexgroup ~pool a)))
+        domain_counts)
+
+let prop_par_gpart =
+  QCheck.Test.make ~name:"Inspect.gpart = Gpart_reorder.run" ~count:30
+    arb_dataset (fun spec ->
+      let a = access_of spec in
+      let serial = Reorder.Gpart_reorder.run a ~part_size:6 in
+      List.for_all
+        (fun domains ->
+          Rtrt_par.Pool.with_pool ~domains (fun pool ->
+              Reorder.Perm.equal serial
+                (Rtrt_par.Inspect.gpart ~pool a ~part_size:6)))
+        domain_counts)
+
+let is_permutation p =
+  let n = Reorder.Perm.size p in
+  let seen = Array.make n false in
+  (try
+     for i = 0 to n - 1 do
+       let j = Reorder.Perm.forward p i in
+       if j < 0 || j >= n || seen.(j) then raise Exit;
+       seen.(j) <- true
+     done;
+     true
+   with Exit -> false)
+
+let prop_par_gpart_cpack =
+  QCheck.Test.make
+    ~name:"Inspect.gpart_cpack valid and domain-count invariant" ~count:30
+    arb_dataset (fun spec ->
+      let a = access_of spec in
+      let at domains =
+        Rtrt_par.Pool.with_pool ~domains (fun pool ->
+            Rtrt_par.Inspect.gpart_cpack ~pool a ~part_size:6)
+      in
+      let base = at 1 in
+      is_permutation base
+      && List.for_all
+           (fun domains -> Reorder.Perm.equal base (at domains))
+           domain_counts)
+
+(* A pooled inspector run produces the same schedule/kernel as the
+   serial inspector, end to end. *)
+let test_inspector_pool_invariant () =
+  let d = Option.get (Datagen.Generators.by_name ~scale:512 "foil") in
+  let kernel = Kernels.Irreg.of_dataset d in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:16
+      (Compose.Plan.gpart_lexgroup ~part_size:16)
+  in
+  let serial = Harness.Experiment.inspect plan kernel in
+  Rtrt_par.Pool.with_pool ~domains:4 (fun pool ->
+      let pooled = Harness.Experiment.inspect ~pool plan kernel in
+      let snap (r : Compose.Inspector.result) =
+        let k = r.Compose.Inspector.kernel in
+        k.Kernels.Kernel.run ~steps:1;
+        k.Kernels.Kernel.snapshot ()
+      in
+      Alcotest.(check bool)
+        "pooled inspector = serial inspector" true
+        (Kernels.Kernel.snapshots_equal_bits (snap serial) (snap pooled)))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics are atomic under concurrent increments *)
+
+let with_memory_sink f =
+  let sink, events = Rtrt_obs.Sink.memory () in
+  Rtrt_obs.set_sink sink;
+  Fun.protect ~finally:Rtrt_obs.disable f;
+  events ()
+
+let test_metrics_atomic () =
+  let c = Rtrt_obs.Metrics.counter "par.test.hits" in
+  Rtrt_obs.Metrics.reset ();
+  let per_lane = 10_000 and lanes = 4 in
+  ignore
+    (with_memory_sink (fun () ->
+         Rtrt_par.Pool.with_pool ~domains:lanes (fun pool ->
+             Rtrt_par.Pool.parallel pool (fun _ ->
+                 for _ = 1 to per_lane do
+                   Rtrt_obs.Metrics.incr c
+                 done));
+         Alcotest.(check int)
+           "no lost increments" (per_lane * lanes)
+           (Rtrt_obs.Metrics.value c)))
+
+(* ------------------------------------------------------------------ *)
+(* Tile_par / Schedule micro-tests *)
+
+let test_tile_par_of_edges () =
+  (* 0 -> 1, 0 -> 2, {1,2} -> 3: levels {0} {1,2} {3}. *)
+  let p =
+    Reorder.Tile_par.of_edges ~n_tiles:4 ~tile_cost:[| 1; 1; 1; 1 |]
+      [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+  in
+  Alcotest.(check int) "levels" 3 p.Reorder.Tile_par.n_levels;
+  Alcotest.(check (array int)) "level_of" [| 0; 1; 1; 2 |]
+    p.Reorder.Tile_par.level_of;
+  match
+    Reorder.Tile_par.of_edges ~n_tiles:2 ~tile_cost:[| 1; 1 |] [ (1, 0) ]
+  with
+  | _ -> Alcotest.fail "backward edge accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_permute_tiles_rejects () =
+  let tf tile_of = { Reorder.Sparse_tile.n_tiles = 2; tile_of } in
+  let sched =
+    Reorder.Schedule.of_tile_fns
+      [| tf [| 0; 0; 1; 1 |]; tf [| 0; 1; 0; 1 |] |]
+  in
+  (match Reorder.Schedule.permute_tiles sched ~order:[| 0 |] with
+  | _ -> Alcotest.fail "wrong-size order accepted"
+  | exception Invalid_argument _ -> ());
+  match
+    Reorder.Schedule.permute_tiles sched
+      ~order:(Array.make (Reorder.Schedule.n_tiles sched) 0)
+  with
+  | _ -> Alcotest.fail "non-permutation order accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel sum" `Quick test_pool_sum;
+          Alcotest.test_case "size-1 inline" `Quick test_pool_one_inline;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "chunking" `Quick test_chunking;
+        ] );
+      ( "executors",
+        Alcotest.test_case "moldyn reduction combine" `Slow
+          test_moldyn_reduction_combine
+        :: qsuite [ prop_kernels_bitwise ] );
+      ( "gauss-seidel",
+        Alcotest.test_case "foil tiled par" `Slow test_gs_foil_tiled_par
+        :: qsuite [ prop_gs_tiled_par_bitwise; prop_gs_wavefront_bitwise ] );
+      ( "inspector",
+        Alcotest.test_case "pooled inspector invariant" `Slow
+          test_inspector_pool_invariant
+        :: qsuite [ prop_par_lexgroup; prop_par_gpart; prop_par_gpart_cpack ]
+      );
+      ( "obs",
+        [ Alcotest.test_case "atomic metrics" `Quick test_metrics_atomic ] );
+      ( "tile-par",
+        [
+          Alcotest.test_case "of_edges" `Quick test_tile_par_of_edges;
+          Alcotest.test_case "permute_tiles rejects" `Quick
+            test_permute_tiles_rejects;
+        ] );
+    ]
