@@ -13,19 +13,11 @@ open Toolkit
 let default_scale = 24
 
 let scale =
-  match Sys.getenv_opt "RTRT_SCALE" with
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some n -> n
-    | None ->
-      Fmt.epr
-        "bench: warning: RTRT_SCALE=%S is not an integer; using default %d@."
-        s default_scale;
-      default_scale)
-  | None -> default_scale
+  Rtrt_obs.Config.env_int ~min:1 ~name:"RTRT_SCALE" ~default:default_scale ()
 
 let config =
-  { Harness.Figures.scale; trace_steps = 2; wall_steps = 3; domains = 1 }
+  { Harness.Figures.scale; trace_steps = 2; wall_steps = 3; domains = 1;
+    plan_cache = None }
 
 (* Domain count for the parallel-speedup table: RTRT_DOMAINS, but at
    least 2 so the table always measures an actual pool. *)
@@ -191,7 +183,120 @@ let par_speedup_table () =
       output_char oc '\n');
   Fmt.pr "wrote %s@." bench_par_json_path
 
-let par_only = Sys.getenv_opt "RTRT_BENCH_PAR_ONLY" = Some "1"
+let par_only =
+  Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_PAR_ONLY" ~default:false ()
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache amortization table: the full suite measured twice
+   through one cache — the first pass pays the inspections (misses),
+   the second replays them (hits) — with the uncached-vs-cached
+   break-even in outer iterations next to each plan (writes
+   BENCH_PLANCACHE.json for the CI perf trajectory). When
+   RTRT_PLAN_CACHE_DIR is set the disk tier carries entries across
+   processes, so a rerun's first pass can already hit. *)
+
+let bench_plancache_json_path =
+  Option.value
+    (Sys.getenv_opt "RTRT_BENCH_PLANCACHE_JSON")
+    ~default:"BENCH_PLANCACHE.json"
+
+let plancache_table () =
+  let cache =
+    Rtrt_plancache.Cache.create ?dir:(Rtrt_plancache.Cache.dir_from_env ()) ()
+  in
+  let config = { config with Harness.Figures.plan_cache = Some cache } in
+  let machine = Cachesim.Machine.pentium4 in
+  let kernel =
+    (Option.get (Kernels.by_name "moldyn"))
+      (Option.get (Datagen.Generators.by_name ~scale "mol1"))
+  in
+  let cold = Harness.Figures.run_suite ~machine ~config kernel in
+  let warm = Harness.Figures.run_suite ~machine ~config kernel in
+  (match cache |> Rtrt_plancache.Cache.dir with
+  | Some d -> Fmt.pr "moldyn/mol1, scale %d, disk tier at %s@." scale d
+  | None -> Fmt.pr "moldyn/mol1, scale %d, memory tier only@." scale);
+  let rows =
+    match warm with
+    | [] -> []
+    | base :: _ ->
+      List.map2
+        (fun (c : Harness.Experiment.measurement)
+             (w : Harness.Experiment.measurement) ->
+          let hit =
+            match w.Harness.Experiment.plancache with
+            | Some pc -> pc.Harness.Experiment.pc_hit
+            | None -> false
+          in
+          (c, w, hit, Harness.Experiment.amortization_cached ~base w))
+        cold warm
+  in
+  List.iter
+    (fun ( (c : Harness.Experiment.measurement),
+           (w : Harness.Experiment.measurement),
+           hit,
+           breakeven ) ->
+      Fmt.pr "  %-24s insp first %.4fs  second %.4fs (%s)%t@."
+        c.Harness.Experiment.plan_name c.Harness.Experiment.inspector_seconds
+        w.Harness.Experiment.inspector_seconds
+        (if hit then "cache hit" else "MISS")
+        (fun ppf ->
+          match breakeven with
+          | Some (uncached, cached) ->
+            Fmt.pf ppf "  break-even %.1f -> %.1f steps" uncached cached
+          | None -> ()))
+    rows;
+  let st = Rtrt_plancache.Cache.stats cache in
+  Fmt.pr "  cache: %a@." Rtrt_plancache.Cache.pp_stats st;
+  let json =
+    Rtrt_obs.Json.(
+      Obj
+        [
+          ("scale", Int scale);
+          ( "rows",
+            List
+              (List.map
+                 (fun ( (c : Harness.Experiment.measurement),
+                        (w : Harness.Experiment.measurement),
+                        hit,
+                        breakeven ) ->
+                   Obj
+                     [
+                       ("plan", String c.Harness.Experiment.plan_name);
+                       ( "first_inspector_seconds",
+                         Float c.Harness.Experiment.inspector_seconds );
+                       ( "second_inspector_seconds",
+                         Float w.Harness.Experiment.inspector_seconds );
+                       ("second_was_hit", Bool hit);
+                       ( "breakeven_uncached_steps",
+                         match breakeven with
+                         | Some (u, _) -> Float u
+                         | None -> Null );
+                       ( "breakeven_cached_steps",
+                         match breakeven with
+                         | Some (_, cc) -> Float cc
+                         | None -> Null );
+                     ])
+                 rows) );
+          ( "cache",
+            Obj
+              [
+                ("hits", Int st.Rtrt_plancache.Cache.hits);
+                ("misses", Int st.Rtrt_plancache.Cache.misses);
+                ("stores", Int st.Rtrt_plancache.Cache.stores);
+                ("evictions", Int st.Rtrt_plancache.Cache.evictions);
+                ("disk_hits", Int st.Rtrt_plancache.Cache.disk_hits);
+                ("disk_errors", Int st.Rtrt_plancache.Cache.disk_errors);
+                ("bytes", Int st.Rtrt_plancache.Cache.bytes);
+              ] );
+        ])
+  in
+  Out_channel.with_open_text bench_plancache_json_path (fun oc ->
+      output_string oc (Rtrt_obs.Json.to_string json);
+      output_char oc '\n');
+  Fmt.pr "wrote %s@." bench_plancache_json_path
+
+let plancache_only =
+  Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_PLANCACHE_ONLY" ~default:false ()
 
 let () =
   Rtrt_obs.Config.init ();
@@ -201,6 +306,13 @@ let () =
     (* Fast mode for the CI bench job: only the speedup table + JSON. *)
     section "Parallel speedup (serial vs domain pool)";
     par_speedup_table ();
+    exit 0);
+
+  if plancache_only then (
+    (* Fast mode for the CI plan-cache job: only the amortization
+       table + JSON. *)
+    section "Plan-cache amortization (cold vs warm inspection)";
+    plancache_table ();
     exit 0);
 
   section "Section 2.4: datasets";
@@ -278,6 +390,9 @@ let () =
 
   section "Parallel speedup (serial vs domain pool)";
   par_speedup_table ();
+
+  section "Plan-cache amortization (cold vs warm inspection)";
+  plancache_table ();
 
   section "Wall-clock executor benchmarks (Figures 6/7 cross-check)";
   List.iter

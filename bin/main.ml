@@ -21,12 +21,19 @@
 
 open Cmdliner
 
-let config_of ?(domains = 1) ~scale ~steps () =
+let config_of ?(domains = 1) ?cache_dir ~scale ~steps () =
+  let plan_cache =
+    match cache_dir with
+    | Some d when String.trim d <> "" ->
+      Some (Rtrt_plancache.Cache.create ~dir:(String.trim d) ())
+    | _ -> None
+  in
   {
     Harness.Figures.scale;
     trace_steps = steps;
     wall_steps = max steps 3;
     domains;
+    plan_cache;
   }
 
 let trace_arg =
@@ -63,43 +70,59 @@ let domains_arg =
     & opt int (Rtrt_par.Pool.domains_from_env ())
     & info [ "domains" ] ~docv:"D" ~doc)
 
-let run_datasets domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let plan_cache_arg =
+  let doc =
+    "Directory for the on-disk plan cache. Composed inspector results \
+     (reordering functions and tile schedules) are stored there keyed by a \
+     content hash of the kernel's access pattern and the plan, and repeated \
+     inspections of the same (dataset, plan) pair replay the cached result \
+     instead of re-running the inspectors — including across processes. \
+     Measurements report hit/miss traffic and cached-vs-uncached \
+     amortization."
+  in
+  let env = Cmd.Env.info "RTRT_PLAN_CACHE_DIR" in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-cache" ] ~docv:"DIR" ~env ~doc)
+
+let run_datasets ?cache_dir domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   let rows = Harness.Figures.dataset_table ~config () in
   Fmt.pr "Section 2.4 dataset table (generated at scale %d):@." scale;
   Fmt.pr "%a@." Harness.Figures.pp_dataset_table rows
 
-let run_exec ~machine ~label domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_exec ?cache_dir ~machine ~label domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   Fmt.pr "%s: normalized executor time without overhead on %a@." label
     Cachesim.Machine.pp machine;
   let rows = Harness.Figures.executor_time ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_exec_rows rows
 
-let run_amort ~machine ~label domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_amort ?cache_dir ~machine ~label domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   Fmt.pr "%s: inspector amortization on %a@." label Cachesim.Machine.pp machine;
   let rows = Harness.Figures.amortization ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_amort_rows rows
 
-let run_remap domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_remap ?cache_dir domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   Fmt.pr "Figure 16: inspector overhead reduction from remapping once@.";
   let rows =
     Harness.Figures.remap_overhead ~machine:Cachesim.Machine.pentium4 ~config ()
   in
   Fmt.pr "%a@." Harness.Figures.pp_remap_rows rows
 
-let run_sweep domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_sweep ?cache_dir domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   let machine = Cachesim.Machine.pentium4 in
   Fmt.pr "Figure 17: executor time vs cache-size target on %a@."
     Cachesim.Machine.pp machine;
   let rows = Harness.Figures.cache_target_sweep ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_sweep_rows rows
 
-let run_raw bench ds machine_name domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_raw ?cache_dir bench ds machine_name domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   let machine =
     match Cachesim.Machine.by_name machine_name with
     | Some m -> m
@@ -120,9 +143,9 @@ let run_raw bench ds machine_name domains scale steps =
   let ms = Harness.Figures.run_suite ~machine ~config kernel in
   List.iter (fun m -> Fmt.pr "%a@." Harness.Experiment.pp_measurement m) ms
 
-let run_ablations domains scale steps =
+let run_ablations ?cache_dir domains scale steps =
   ignore domains;
-  let config = config_of ~scale ~steps () in
+  let config = config_of ?cache_dir ~scale ~steps () in
   Fmt.pr "Ablations (see DESIGN.md section 5):@.";
   List.iter
     (Fmt.pr "%a" Harness.Ablations.pp_rows)
@@ -141,7 +164,8 @@ let run_symbolic () =
   in
   Fmt.pr "%a@." Compose.Symbolic.pp_report st
 
-let run_gs domains scale steps =
+let run_gs ?cache_dir domains scale steps =
+  ignore cache_dir;
   ignore steps;
   Rtrt_obs.Span.with_ ~name:"gs.run"
     ~attrs:[ ("scale", Rtrt_obs.Json.Int scale) ]
@@ -240,8 +264,8 @@ let run_guide bench ds budget scale steps =
   in
   Fmt.pr "%a" Harness.Guidance.pp_ranking ranking
 
-let run_export dir domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_export ?cache_dir dir domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let write name contents =
     let path = Filename.concat dir name in
@@ -267,8 +291,8 @@ let run_export dir domains scale steps =
        (Harness.Figures.cache_target_sweep ~machine:Cachesim.Machine.pentium4
           ~config ()))
 
-let run_json figure domains scale steps =
-  let config = config_of ~domains ~scale ~steps () in
+let run_json ?cache_dir figure domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
   let module F = Harness.Figures in
   let rows =
     match figure with
@@ -372,26 +396,27 @@ let run_codegen bench =
   let st = Compose.Symbolic.apply (Compose.Symbolic.create program) plan in
   print_string (Compose.Codegen.full_report st ~program)
 
-let run_all domains scale steps =
-  run_datasets domains scale steps;
+let run_all ?cache_dir domains scale steps =
+  run_datasets ?cache_dir domains scale steps;
   run_symbolic ();
-  run_exec ~machine:Cachesim.Machine.power3 ~label:"Figure 6" domains scale steps;
-  run_exec ~machine:Cachesim.Machine.pentium4 ~label:"Figure 7" domains scale
-    steps;
-  run_amort ~machine:Cachesim.Machine.power3 ~label:"Figure 8" domains scale
-    steps;
-  run_amort ~machine:Cachesim.Machine.pentium4 ~label:"Figure 9" domains scale
-    steps;
-  run_remap domains scale steps;
-  run_sweep domains scale steps
+  run_exec ?cache_dir ~machine:Cachesim.Machine.power3 ~label:"Figure 6"
+    domains scale steps;
+  run_exec ?cache_dir ~machine:Cachesim.Machine.pentium4 ~label:"Figure 7"
+    domains scale steps;
+  run_amort ?cache_dir ~machine:Cachesim.Machine.power3 ~label:"Figure 8"
+    domains scale steps;
+  run_amort ?cache_dir ~machine:Cachesim.Machine.pentium4 ~label:"Figure 9"
+    domains scale steps;
+  run_remap ?cache_dir domains scale steps;
+  run_sweep ?cache_dir domains scale steps
 
 let cmd_of ~name ~doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun trace domains scale steps ->
+      const (fun trace cache_dir domains scale steps ->
           setup_trace trace;
-          f domains scale steps)
-      $ trace_arg $ domains_arg $ scale_arg $ steps_arg)
+          f ?cache_dir domains scale steps)
+      $ trace_arg $ plan_cache_arg $ domains_arg $ scale_arg $ steps_arg)
 
 let datasets_cmd = cmd_of ~name:"datasets" ~doc:"Section 2.4 table" run_datasets
 
@@ -428,10 +453,11 @@ let raw_cmd =
   Cmd.v
     (Cmd.info "raw" ~doc:"Raw measurements for one kernel/dataset/machine")
     Term.(
-      const (fun trace bench ds machine domains scale steps ->
+      const (fun trace cache_dir bench ds machine domains scale steps ->
           setup_trace trace;
-          run_raw bench ds machine domains scale steps)
-      $ trace_arg $ bench $ ds $ machine $ domains_arg $ scale_arg $ steps_arg)
+          run_raw ?cache_dir bench ds machine domains scale steps)
+      $ trace_arg $ plan_cache_arg $ bench $ ds $ machine $ domains_arg
+      $ scale_arg $ steps_arg)
 
 let ablations_cmd =
   cmd_of ~name:"ablations" ~doc:"Design-choice ablations" run_ablations
@@ -446,10 +472,10 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Write plot-ready CSVs for Figures 6-9 and 17")
     Term.(
-      const (fun trace dir domains scale steps ->
+      const (fun trace cache_dir dir domains scale steps ->
           setup_trace trace;
-          run_export dir domains scale steps)
-      $ trace_arg $ dir $ domains_arg $ scale_arg $ steps_arg)
+          run_export ?cache_dir dir domains scale steps)
+      $ trace_arg $ plan_cache_arg $ dir $ domains_arg $ scale_arg $ steps_arg)
 
 let guide_cmd =
   let bench =
@@ -508,10 +534,11 @@ let json_cmd =
     (Cmd.info "json"
        ~doc:"Emit one figure's rows as JSON on stdout (pipe into jq)")
     Term.(
-      const (fun trace figure domains scale steps ->
+      const (fun trace cache_dir figure domains scale steps ->
           setup_trace trace;
-          run_json figure domains scale steps)
-      $ trace_arg $ figure $ domains_arg $ scale_arg $ steps_arg)
+          run_json ?cache_dir figure domains scale steps)
+      $ trace_arg $ plan_cache_arg $ figure $ domains_arg $ scale_arg
+      $ steps_arg)
 
 let trace_report_cmd =
   let file =

@@ -24,6 +24,18 @@ type result = {
           output *)
 }
 
+(** The plan-cache key for an inspection: a stable hash of the
+    kernel's shape and access pattern, the plan's transformations and
+    parameters, the remap strategy, and the symmetric-dependence flag.
+    Defaults match {!run}'s defaults. The plan name is excluded — two
+    differently-named plans with the same transforms share a key. *)
+val fingerprint :
+  ?strategy:strategy ->
+  ?share_symmetric_deps:bool ->
+  Plan.t ->
+  Kernels.Kernel.t ->
+  Rtrt_plancache.Fingerprint.t
+
 (** [run ?strategy ?share_symmetric_deps plan kernel] validates the
     plan and executes the composed inspector. The kernel is copied
     first; the caller's arrays are never aliased.
@@ -32,8 +44,16 @@ type result = {
     is [Remap_once]. When [pool] is given (and has more than one
     domain), the Lexgroup and Gpart inspector hot paths run on the
     pool; their output is bit-identical to the serial algorithms, so
-    results never depend on the domain count. *)
+    results never depend on the domain count.
+
+    When [cache] is given, the inspection is keyed by {!fingerprint}:
+    a hit skips every per-transformation inspector and replays the
+    cached reordering functions onto a fresh kernel copy (bit-identical
+    to the cold run, since both remap strategies reduce to applying
+    the composed delta then sigma); a miss runs the inspectors and
+    stores the result. *)
 val run :
+  ?cache:Rtrt_plancache.Cache.t ->
   ?pool:Rtrt_par.Pool.t ->
   ?strategy:strategy ->
   ?share_symmetric_deps:bool ->

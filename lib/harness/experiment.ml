@@ -19,6 +19,19 @@ type par_measurement = {
   bitwise_equal : bool;
 }
 
+(* Plan-cache traffic around one measurement. [pc_hit] says whether
+   THIS measurement's inspection was served from the cache (its
+   [inspector_seconds] is then the replay cost, not a full
+   inspection); [pc_cold_inspector_seconds] is what the cold run paid,
+   so cached-vs-uncached amortization can put both on the same
+   footing. *)
+type plancache_report = {
+  pc_hit : bool;
+  pc_cold_inspector_seconds : float;
+  pc_hits : int; (* cumulative cache hits after this measurement *)
+  pc_misses : int;
+}
+
 type measurement = {
   plan_name : string;
   inspector_seconds : float;
@@ -30,6 +43,7 @@ type measurement = {
   n_data_remaps : int;
   n_tiles : int; (* 1 when not sparse tiled *)
   par : par_measurement option; (* parallel run, when a pool was given *)
+  plancache : plancache_report option; (* when a cache was given *)
 }
 
 let time f =
@@ -38,12 +52,13 @@ let time f =
   (y, Unix.gettimeofday () -. t0)
 
 (* Run the inspector and verify the result. *)
-let inspect ?pool ?strategy ?share_symmetric_deps plan kernel =
+let inspect ?cache ?pool ?strategy ?share_symmetric_deps plan kernel =
   Rtrt_obs.Span.with_ ~name:"experiment.inspect"
     ~attrs:[ ("plan", Rtrt_obs.Json.String (Compose.Plan.name plan)) ]
   @@ fun () ->
   let result =
-    Compose.Inspector.run ?pool ?strategy ?share_symmetric_deps plan kernel
+    Compose.Inspector.run ?cache ?pool ?strategy ?share_symmetric_deps plan
+      kernel
   in
   (match Compose.Legality.check result with
   | Ok () -> ()
@@ -156,8 +171,9 @@ let measure_par ~pool (result : Compose.Inspector.result) sched ~wall_steps =
     bitwise_equal;
   }
 
-let measure ?pool ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
-    ?(trace_steps_n = 2) ?(wall_steps = 5) ~machine ~plan kernel =
+let measure ?cache ?pool ?strategy ?share_symmetric_deps ?layout_of
+    ?(warmup = 1) ?(trace_steps_n = 2) ?(wall_steps = 5) ~machine ~plan kernel
+    =
   Rtrt_obs.Span.with_ ~name:"experiment.measure"
     ~attrs:
       [
@@ -165,9 +181,34 @@ let measure ?pool ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
         ("machine", Rtrt_obs.Json.String machine.Cachesim.Machine.name);
       ]
   @@ fun () ->
+  let pc_before = Option.map Rtrt_plancache.Cache.stats cache in
   let result =
-    inspect ?pool ?strategy ?share_symmetric_deps plan
+    inspect ?cache ?pool ?strategy ?share_symmetric_deps plan
       (kernel : Kernels.Kernel.t)
+  in
+  let plancache =
+    match (cache, pc_before) with
+    | Some cache, Some before ->
+      let after = Rtrt_plancache.Cache.stats cache in
+      (* A replay reports its own (tiny) wall time; the stored entry
+         remembers what the cold inspection cost. *)
+      let key =
+        Compose.Inspector.fingerprint ?strategy ?share_symmetric_deps plan
+          kernel
+      in
+      let cold =
+        match Rtrt_plancache.Cache.peek cache ~key with
+        | Some e -> e.Rtrt_plancache.Cache.cold_inspector_seconds
+        | None -> result.Compose.Inspector.inspector_seconds
+      in
+      Some
+        {
+          pc_hit = after.Rtrt_plancache.Cache.hits > before.Rtrt_plancache.Cache.hits;
+          pc_cold_inspector_seconds = cold;
+          pc_hits = after.Rtrt_plancache.Cache.hits;
+          pc_misses = after.Rtrt_plancache.Cache.misses;
+        }
+    | _ -> None
   in
   let cycles, misses, accesses, ratio =
     trace_steps ?layout_of result ~machine ~warmup ~steps:trace_steps_n
@@ -194,6 +235,7 @@ let measure ?pool ?strategy ?share_symmetric_deps ?layout_of ?(warmup = 1)
       | None -> 1
       | Some s -> Reorder.Schedule.n_tiles s);
     par;
+    plancache;
   }
 
 (* Normalized against the first (base) measurement, as Figures 6-7. *)
@@ -231,6 +273,28 @@ let amortization_modeled ~base m =
     Some (m.inspector_seconds *. cycles_per_second /. savings)
   end
 
+(* Hit/miss-aware amortization (the plan-cache variant of Figures
+   8/9): executor steps to pay off a full (uncached) inspection next
+   to the steps to pay off what this run actually spent (a replay on a
+   hit). [None] without a cache or when the plan does not save time. *)
+let amortization_cached ~base m =
+  match m.plancache with
+  | None -> None
+  | Some pc ->
+    let savings =
+      base.executor_seconds_per_step -. m.executor_seconds_per_step
+    in
+    if savings <= 0.0 then None
+    else
+      Some
+        ( pc.pc_cold_inspector_seconds /. savings,
+          m.inspector_seconds /. savings )
+
+let pp_plancache_report ppf pc =
+  Fmt.pf ppf "%s (cold insp %.3fs; %d hits / %d misses)"
+    (if pc.pc_hit then "hit" else "miss")
+    pc.pc_cold_inspector_seconds pc.pc_hits pc.pc_misses
+
 let pp_par_measurement ppf p =
   Fmt.pf ppf
     "%d domains: %.2fx speedup (modeled %.2fx, makespan %d)  %.2e -> %.2e \
@@ -246,6 +310,9 @@ let pp_measurement ppf m =
     m.plan_name m.modeled_cycles_per_step m.misses_per_step
     (100.0 *. m.miss_ratio) m.inspector_seconds m.executor_seconds_per_step
     m.n_tiles;
+  (match m.plancache with
+  | None -> ()
+  | Some pc -> Fmt.pf ppf "@,  plan cache: %a" pp_plancache_report pc);
   match m.par with
   | None -> ()
   | Some p -> Fmt.pf ppf "@,  par: %a" pp_par_measurement p

@@ -15,6 +15,17 @@ type par_measurement = {
   bitwise_equal : bool;
 }
 
+(** Plan-cache traffic around one measurement. When [pc_hit], the
+    measurement's [inspector_seconds] is the replay cost of a cache
+    hit; [pc_cold_inspector_seconds] is what the cold inspection paid,
+    so both sides of the amortization argument are available. *)
+type plancache_report = {
+  pc_hit : bool;
+  pc_cold_inspector_seconds : float;
+  pc_hits : int;  (** cumulative cache hits after this measurement *)
+  pc_misses : int;
+}
+
 type measurement = {
   plan_name : string;
   inspector_seconds : float;
@@ -28,11 +39,14 @@ type measurement = {
   par : par_measurement option;
       (** parallel run, when a multi-domain pool was given and the plan
           sparse-tiles with Full growth *)
+  plancache : plancache_report option;  (** when a cache was given *)
 }
 
 (** Run the inspector and verify the result (raises on an illegal
-    plan/result). *)
+    plan/result). [cache] is passed through to
+    {!Compose.Inspector.run}. *)
 val inspect :
+  ?cache:Rtrt_plancache.Cache.t ->
   ?pool:Rtrt_par.Pool.t ->
   ?strategy:Compose.Inspector.strategy ->
   ?share_symmetric_deps:bool ->
@@ -44,8 +58,11 @@ val inspect :
     [trace_steps_n] steps are counted, [wall_steps] steps are timed.
     When [pool] has more than one domain and the plan sparse-tiles
     with Full growth, the tiled executor additionally runs on the
-    pool and the serial-vs-parallel comparison lands in [par]. *)
+    pool and the serial-vs-parallel comparison lands in [par]. When
+    [cache] is given, the inspection goes through the plan cache and
+    [plancache] reports the hit/miss traffic. *)
 val measure :
+  ?cache:Rtrt_plancache.Cache.t ->
   ?pool:Rtrt_par.Pool.t ->
   ?strategy:Compose.Inspector.strategy ->
   ?share_symmetric_deps:bool ->
@@ -71,5 +88,13 @@ val amortization : base:measurement -> measurement -> float option
 (** Modeled-cycles variant of {!amortization}. *)
 val amortization_modeled : base:measurement -> measurement -> float option
 
+(** Hit/miss-aware amortization: [(uncached, cached)] outer-loop
+    iterations to pay off, respectively, a full inspection and what
+    this run actually spent (a replay on a hit). [None] without a
+    cache or when the plan does not save time. *)
+val amortization_cached :
+  base:measurement -> measurement -> (float * float) option
+
+val pp_plancache_report : plancache_report Fmt.t
 val pp_par_measurement : par_measurement Fmt.t
 val pp_measurement : measurement Fmt.t

@@ -18,9 +18,13 @@ type config = {
   trace_steps : int; (* time steps counted by the cache model *)
   wall_steps : int;  (* time steps for wall-clock measurement *)
   domains : int;     (* OCaml domains; > 1 runs tiled executors in parallel *)
+  plan_cache : Rtrt_plancache.Cache.t option;
+      (* inspections go through the plan cache when set *)
 }
 
-let default_config = { scale = 16; trace_steps = 2; wall_steps = 5; domains = 1 }
+let default_config =
+  { scale = 16; trace_steps = 2; wall_steps = 5; domains = 1;
+    plan_cache = None }
 
 (* The paper's benchmark/dataset pairings (Figures 6-9). *)
 let pairings =
@@ -124,8 +128,9 @@ let run_suite ~machine ~config kernel =
     let plans = suite_for ~machine kernel in
     List.map
       (fun plan ->
-        Experiment.measure ?pool ~trace_steps_n:config.trace_steps
-          ~wall_steps:config.wall_steps ~machine ~plan kernel)
+        Experiment.measure ?cache:config.plan_cache ?pool
+          ~trace_steps_n:config.trace_steps ~wall_steps:config.wall_steps
+          ~machine ~plan kernel)
       plans
   in
   if config.domains > 1 then

@@ -8,6 +8,8 @@ type config = {
   domains : int;
       (** OCaml domains; > 1 additionally runs Full-growth tiled
           executors on a domain pool and reports measured speedup *)
+  plan_cache : Rtrt_plancache.Cache.t option;
+      (** inspections go through the plan cache when set *)
 }
 
 val default_config : config

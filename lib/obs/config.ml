@@ -14,6 +14,48 @@ type mode = Off | Pretty | Jsonl of string
 
 let default_jsonl_path = "rtrt_trace.jsonl"
 
+(* ------------------------------------------------------------------ *)
+(* Warn-and-default environment parsing, shared by every RTRT_* env
+   var (RTRT_TRACE here, RTRT_DOMAINS in Pool, RTRT_SCALE and the
+   bench toggles in bench/main.ml, RTRT_PLAN_CACHE_DIR in Plancache):
+   an unset variable silently yields the default, an unparsable value
+   warns once on stderr and yields the default — never a silent
+   partial fallback, never an exception. *)
+
+let env_parse ~name ~parse ~default () =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match parse s with
+    | Ok v -> v
+    | Error msg ->
+      Fmt.epr "rtrt: warning: %s=%S %s; using default@." name s msg;
+      default)
+
+let env_int ?(min = min_int) ~name ~default () =
+  env_parse ~name ~default ()
+    ~parse:(fun s ->
+      match int_of_string_opt s with
+      | Some n when n >= min -> Ok n
+      | Some _ -> Error (Fmt.str "is below the minimum %d" min)
+      | None -> Error "is not an integer")
+
+let env_bool ~name ~default () =
+  env_parse ~name ~default ()
+    ~parse:(fun s ->
+      match String.lowercase_ascii s with
+      | "1" | "true" | "yes" | "on" -> Ok true
+      | "" | "0" | "false" | "no" | "off" -> Ok false
+      | _ -> Error "is not a boolean (expected 1|true|yes|on|0|false|no|off)")
+
+(* A directory-valued variable; empty or whitespace-only means unset. *)
+let env_dir ~name () =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s ->
+    let s = String.trim s in
+    if s = "" then None else Some s
+
 let parse spec =
   match spec with
   | "" | "0" | "off" | "none" -> Ok Off
@@ -54,11 +96,9 @@ let install = function
       Runtime.disable ())
 
 let init ?(default = Off) () =
-  match Sys.getenv_opt "RTRT_TRACE" with
-  | None -> install default
-  | Some spec -> (
-    match parse spec with
-    | Ok m -> install m
-    | Error msg ->
-      Fmt.epr "rtrt: %s; tracing disabled@." msg;
-      install Off)
+  install
+    (env_parse ~name:"RTRT_TRACE" ~default ()
+       ~parse:(fun spec ->
+         match parse spec with
+         | Ok m -> Ok m
+         | Error _ -> Error "is not pretty | jsonl[:PATH] | off"))

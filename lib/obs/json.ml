@@ -1,9 +1,10 @@
 (* Minimal JSON values with a printer and a recursive-descent parser.
    The tracing layer must not pull in external dependencies, and the
    repo's exports (JSONL traces, `rtrt json <figure>`) only need plain
-   values — so this is deliberately small: no streaming, no full
-   unicode decoding (we only ever *emit* \u escapes for control
-   characters). *)
+   values — so this is deliberately small: no streaming. Strings are
+   raw byte strings; we only *emit* \u escapes for control characters,
+   but the parser decodes any \uXXXX escape (including surrogate
+   pairs) to UTF-8, so traces written by other tools round-trip. *)
 
 type t =
   | Null
@@ -107,6 +108,38 @@ let of_string_exn s =
     end
     else fail "invalid literal"
   in
+  (* Strict 4-hex-digit scan ([int_of_string "0x…"] would accept
+     underscores and signs). *)
+  let hex4 at =
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape"
+    in
+    (digit s.[at] lsl 12) lor (digit s.[at + 1] lsl 8)
+    lor (digit s.[at + 2] lsl 4)
+    lor digit s.[at + 3]
+  in
+  let add_utf8 b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let b = Buffer.create 16 in
@@ -130,16 +163,28 @@ let of_string_exn s =
         | 'f' -> Buffer.add_char b '\012'; incr pos
         | 'u' ->
           if !pos + 4 >= n then fail "truncated \\u escape";
-          let code =
-            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
-            | Some c -> c
-            | None -> fail "bad \\u escape"
-          in
-          (* We only emit \u for control characters; anything outside
-             the byte range is replaced rather than UTF-8 encoded. *)
-          if code < 0x100 then Buffer.add_char b (Char.chr code)
-          else Buffer.add_char b '?';
-          pos := !pos + 5
+          let code = hex4 (!pos + 1) in
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            (* High surrogate: a low surrogate must follow; anything
+               else (including EOF) is rejected, not silently mangled. *)
+            if
+              not
+                (!pos + 10 < n
+                && s.[!pos + 5] = '\\'
+                && s.[!pos + 6] = 'u')
+            then fail "unpaired high surrogate";
+            let lo = hex4 (!pos + 7) in
+            if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired high surrogate";
+            add_utf8 b
+              (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00));
+            pos := !pos + 11
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            fail "unpaired low surrogate"
+          else begin
+            add_utf8 b code;
+            pos := !pos + 5
+          end
         | _ -> fail "unknown escape");
         go ()
       | c ->

@@ -17,7 +17,10 @@ val to_string : t -> string
 
 exception Parse_error of string
 
+(** Strings are raw bytes; [\uXXXX] escapes (including surrogate
+    pairs) decode to UTF-8, and unpaired surrogates are rejected. *)
 val of_string_exn : string -> t
+
 val of_string : string -> (t, string) result
 
 val member : string -> t -> t option

@@ -23,23 +23,34 @@ let weighted ~weights ~lanes =
   if lanes < 1 then invalid_arg "Chunk.weighted: lanes";
   let n = Array.length weights in
   let total = Array.fold_left ( + ) 0 weights in
-  let chunks = Array.make lanes (0, 0) in
-  let start = ref 0 in
-  let consumed = ref 0 in
-  for l = 0 to lanes - 1 do
-    let remaining_lanes = lanes - l in
-    let target = (total - !consumed + remaining_lanes - 1) / remaining_lanes in
-    let stop = ref !start in
-    let acc = ref 0 in
-    (* Leave at least one item per remaining lane when possible. *)
-    let hard_stop = n - (remaining_lanes - 1) in
-    while !stop < max !start hard_stop && (!acc < target || !stop = !start) do
-      acc := !acc + weights.(!stop);
-      incr stop
+  (* All-zero (or empty) weights carry no balance information: split
+     the index range evenly instead of letting the greedy sweep give
+     every lane a single item and the tail to the last lane. *)
+  if total = 0 then even ~n ~lanes
+  else begin
+    let chunks = Array.make lanes (0, 0) in
+    let start = ref 0 in
+    let consumed = ref 0 in
+    for l = 0 to lanes - 1 do
+      let remaining_lanes = lanes - l in
+      let target = (total - !consumed + remaining_lanes - 1) / remaining_lanes in
+      let stop = ref !start in
+      let acc = ref 0 in
+      (* Cap so each remaining lane can still get one item — but a lane
+         with items available always takes at least one, so when
+         n < lanes the first n lanes get one item each and the rest
+         (including the last) are empty, never the reverse. *)
+      let cap = max (!start + 1) (n - (remaining_lanes - 1)) in
+      while
+        !stop < cap && !stop < n && (!acc < target || !stop = !start)
+      do
+        acc := !acc + weights.(!stop);
+        incr stop
+      done;
+      let stop = if l = lanes - 1 then n else !stop in
+      chunks.(l) <- (!start, stop - !start);
+      consumed := !consumed + !acc;
+      start := stop
     done;
-    let stop = if l = lanes - 1 then n else !stop in
-    chunks.(l) <- (!start, stop - !start);
-    consumed := !consumed + !acc;
-    start := stop
-  done;
-  chunks
+    chunks
+  end

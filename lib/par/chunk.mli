@@ -6,5 +6,7 @@ val even : n:int -> lanes:int -> (int * int) array
 
 (** [weighted ~weights ~lanes] splits [0, length weights) into [lanes]
     contiguous (start, len) ranges with approximately balanced weight
-    sums; deterministic in [weights] and [lanes]. *)
+    sums; deterministic in [weights] and [lanes]. No chunk is empty
+    when [length weights >= lanes]; all-zero weights fall back to
+    {!even}. *)
 val weighted : weights:int array -> lanes:int -> (int * int) array

@@ -111,12 +111,4 @@ let with_pool ~domains f =
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let domains_from_env ?(default = 1) () =
-  match Sys.getenv_opt "RTRT_DOMAINS" with
-  | None -> default
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> n
-    | _ ->
-      Fmt.epr "rtrt: warning: RTRT_DOMAINS=%S is not a positive integer; \
-               using %d@." s default;
-      default)
+  Rtrt_obs.Config.env_int ~min:1 ~name:"RTRT_DOMAINS" ~default ()

@@ -1,0 +1,56 @@
+(* Stable content hashing for plan-cache keys: 64-bit FNV-1a over a
+   type-tagged byte stream. OCaml's polymorphic [Hashtbl.hash] is
+   neither stable across versions nor collision-resistant enough to
+   address cache files on disk, so the key hash is computed explicitly
+   from the ingredients the caller feeds in (access pattern bytes,
+   transform descriptions, strategy, flags). Each ingredient is tagged
+   with a type byte and variable-length values carry their length, so
+   adjacent fields can never alias ("ab"+"c" vs "a"+"bc"). *)
+
+type t = int64
+
+let equal = Int64.equal
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let pp ppf h = Fmt.string ppf (to_hex h)
+
+type builder = { mutable h : int64 }
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let create () = { h = fnv_offset }
+
+let add_byte b c =
+  b.h <- Int64.mul (Int64.logxor b.h (Int64.of_int (c land 0xff))) fnv_prime
+
+(* 64-bit little-endian, so every int hashes the same number of
+   bytes. *)
+let add_raw_int64 b v =
+  for i = 0 to 7 do
+    add_byte b (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let add_int b n =
+  add_byte b 0x01;
+  add_raw_int64 b (Int64.of_int n)
+
+let add_bool b v =
+  add_byte b 0x02;
+  add_byte b (if v then 1 else 0)
+
+let add_string b s =
+  add_byte b 0x03;
+  add_raw_int64 b (Int64.of_int (String.length s));
+  String.iter (fun c -> add_byte b (Char.code c)) s
+
+let add_int_array b a =
+  add_byte b 0x04;
+  add_raw_int64 b (Int64.of_int (Array.length a));
+  Array.iter (fun n -> add_raw_int64 b (Int64.of_int n)) a
+
+let add_float b f =
+  add_byte b 0x05;
+  add_raw_int64 b (Int64.bits_of_float f)
+
+let value b = b.h

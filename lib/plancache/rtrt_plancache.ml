@@ -1,0 +1,4 @@
+(* Umbrella module: [Rtrt_plancache.Cache], [Rtrt_plancache.Fingerprint]. *)
+
+module Fingerprint = Fingerprint
+module Cache = Cache

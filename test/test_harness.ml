@@ -14,6 +14,7 @@ let mk ?(plan = "p") ?(insp = 1.0) ?(exec = 1.0) ?(cycles = 100.0) () =
     n_data_remaps = 1;
     n_tiles = 1;
     par = None;
+    plancache = None;
   }
 
 let test_normalize () =
@@ -63,7 +64,8 @@ let test_sizing () =
     (Harness.Figures.seed_size_for ~target_bytes:64 kernel)
 
 let tiny =
-  { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1; domains = 1 }
+  { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1; domains = 1;
+    plan_cache = None }
 
 let test_dataset_table () =
   let rows = Harness.Figures.dataset_table ~config:tiny () in

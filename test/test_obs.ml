@@ -143,6 +143,77 @@ let test_json_roundtrip () =
       | Error _ -> ())
     [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
 
+(* Every scalar value in [0x20, 0x10FFFF] written as a \uXXXX escape
+   (a surrogate pair above the BMP) must decode to the code point's
+   UTF-8 bytes — checked against the stdlib encoder, not our own —
+   and the decoded string must survive another print/parse cycle. *)
+let prop_json_unicode_escapes =
+  let arb =
+    QCheck.make
+      ~print:(Printf.sprintf "U+%04X")
+      QCheck.Gen.(
+        frequency
+          [
+            (1, int_range 0x20 0xD7FF);
+            (1, int_range 0xE000 0x10FFFF);
+          ])
+  in
+  QCheck.Test.make ~name:"\\u escapes decode to UTF-8 and round-trip"
+    ~count:500 arb (fun cp ->
+      let escaped =
+        if cp < 0x10000 then Printf.sprintf "\"\\u%04x\"" cp
+        else
+          let u = cp - 0x10000 in
+          (* Mixed hex case on purpose: both must parse. *)
+          Printf.sprintf "\"\\u%04X\\u%04x\""
+            (0xD800 lor (u lsr 10))
+            (0xDC00 lor (u land 0x3FF))
+      in
+      let expected =
+        let b = Buffer.create 4 in
+        Buffer.add_utf_8_uchar b (Uchar.of_int cp);
+        Buffer.contents b
+      in
+      match Rtrt_obs.Json.of_string escaped with
+      | Error msg -> QCheck.Test.fail_reportf "rejected %s: %s" escaped msg
+      | Ok (Rtrt_obs.Json.String s) ->
+        if s <> expected then
+          QCheck.Test.fail_reportf "decoded %S, wanted %S" s expected;
+        (match
+           Rtrt_obs.Json.of_string
+             (Rtrt_obs.Json.to_string (Rtrt_obs.Json.String s))
+         with
+        | Ok v -> v = Rtrt_obs.Json.String s
+        | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s" msg)
+      | Ok _ -> QCheck.Test.fail_report "parsed to a non-string")
+
+let test_json_bad_escapes () =
+  (* Unpaired or malformed surrogates and loose hex are parse errors,
+     never silently mangled output. *)
+  List.iter
+    (fun bad ->
+      match Rtrt_obs.Json.of_string bad with
+      | Ok _ -> Alcotest.fail (Fmt.str "accepted %S" bad)
+      | Error _ -> ())
+    [
+      {|"\ud800"|} (* unpaired high surrogate *);
+      {|"\udc00"|} (* unpaired low surrogate *);
+      {|"\ud800\u0041"|} (* high surrogate followed by a non-low one *);
+      {|"\ud800\ud800"|};
+      {|"\ud83d x"|};
+      {|"\u12g4"|} (* non-hex digit *);
+      {|"\u+123"|} (* int_of_string would have taken the sign *);
+      {|"\u12"|} (* truncated *);
+    ];
+  (match Rtrt_obs.Json.of_string {|"\ud83d\ude00"|} with
+  | Ok (Rtrt_obs.Json.String s) ->
+    Alcotest.(check string) "surrogate pair" "\xF0\x9F\x98\x80" s
+  | _ -> Alcotest.fail "valid surrogate pair rejected");
+  match Rtrt_obs.Json.of_string {|"\u00e9"|} with
+  | Ok (Rtrt_obs.Json.String s) ->
+    Alcotest.(check string) "two-byte code point" "\xC3\xA9" s
+  | _ -> Alcotest.fail "\\u00e9 rejected"
+
 let test_jsonl_sink_roundtrip () =
   let path = Filename.temp_file "rtrt_obs" ".jsonl" in
   Rtrt_obs.set_sink (Rtrt_obs.Sink.jsonl_file path);
@@ -180,7 +251,8 @@ let test_jsonl_sink_roundtrip () =
 (* Figure JSON export                                                  *)
 
 let tiny =
-  { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1; domains = 1 }
+  { Harness.Figures.scale = 512; trace_steps = 1; wall_steps = 1; domains = 1;
+    plan_cache = None }
 
 let test_figure_json_parses () =
   (* The same payloads `rtrt json datasets` / `rtrt json figure6`
@@ -349,11 +421,14 @@ let () =
       ( "json",
         [
           Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "bad escapes rejected" `Quick
+            test_json_bad_escapes;
           Alcotest.test_case "jsonl sink round-trip" `Quick
             test_jsonl_sink_roundtrip;
           Alcotest.test_case "figure export parses" `Quick
             test_figure_json_parses;
-        ] );
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_json_unicode_escapes ] );
       ( "integration",
         [
           Alcotest.test_case "inspector span coverage" `Quick

@@ -76,6 +76,66 @@ let test_chunking () =
     (Rtrt_par.Chunk.weighted ~weights ~lanes:3
     = Rtrt_par.Chunk.weighted ~weights ~lanes:3)
 
+(* Chunk.weighted invariants on random weight vectors: the chunks
+   partition [0, n) in order; no chunk is empty when n >= lanes (the
+   n < lanes clamp once handed middle lanes empty chunks and the whole
+   tail to the last lane); the heaviest chunk is within one item of
+   the ideal share; all-zero weights split evenly. *)
+let prop_weighted_chunks =
+  let arb =
+    QCheck.make
+      ~print:(fun (ws, lanes) ->
+        Printf.sprintf "lanes=%d weights=[%s]" lanes
+          (String.concat ";" (List.map string_of_int (Array.to_list ws))))
+      QCheck.Gen.(
+        let* lanes = int_range 1 8 in
+        let* n = int_range 0 40 in
+        let* ws = array_repeat n (int_range 0 20) in
+        return (ws, lanes))
+  in
+  QCheck.Test.make ~name:"Chunk.weighted invariants" ~count:500 arb
+    (fun (weights, lanes) ->
+      let n = Array.length weights in
+      let chunks = Rtrt_par.Chunk.weighted ~weights ~lanes in
+      if Array.length chunks <> lanes then
+        QCheck.Test.fail_report "wrong number of chunks";
+      (* Contiguous in-order partition of [0, n). *)
+      let pos = ref 0 in
+      Array.iter
+        (fun (start, len) ->
+          if start <> !pos || len < 0 then
+            QCheck.Test.fail_report "not a contiguous partition";
+          pos := start + len)
+        chunks;
+      if !pos <> n then QCheck.Test.fail_report "does not cover [0, n)";
+      (* No empty chunk when there are enough items. *)
+      if n >= lanes && Array.exists (fun (_, len) -> len = 0) chunks then
+        QCheck.Test.fail_report "empty chunk despite n >= lanes";
+      (* n < lanes: one item each for the first n lanes, empty tail. *)
+      if n < lanes then
+        Array.iteri
+          (fun l (_, len) ->
+            if len <> (if l < n then 1 else 0) then
+              QCheck.Test.fail_report "n < lanes must give 1 item per lane")
+          chunks;
+      (* Weight balance: no chunk exceeds the ideal share by more than
+         one item's weight. *)
+      let total = Array.fold_left ( + ) 0 weights in
+      let max_w = Array.fold_left max 0 weights in
+      let bound = ((total + lanes - 1) / lanes) + max_w in
+      Array.iter
+        (fun (start, len) ->
+          let w = ref 0 in
+          for i = start to start + len - 1 do
+            w := !w + weights.(i)
+          done;
+          if !w > bound then
+            QCheck.Test.fail_reportf "chunk weight %d exceeds bound %d" !w
+              bound)
+        chunks;
+      (* All-zero weights carry no information: split evenly. *)
+      (total <> 0 || chunks = Rtrt_par.Chunk.even ~n ~lanes))
+
 (* ------------------------------------------------------------------ *)
 (* Random datasets (same shape as test_compose's generator) *)
 
@@ -399,7 +459,8 @@ let () =
           Alcotest.test_case "size-1 inline" `Quick test_pool_one_inline;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "chunking" `Quick test_chunking;
-        ] );
+        ]
+        @ qsuite [ prop_weighted_chunks ] );
       ( "executors",
         Alcotest.test_case "moldyn reduction combine" `Slow
           test_moldyn_reduction_combine
