@@ -298,6 +298,26 @@ let plancache_table () =
 let plancache_only =
   Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_PLANCACHE_ONLY" ~default:false ()
 
+(* ------------------------------------------------------------------ *)
+(* Hot-path table: flat-CSR schedule-walk bandwidth vs the pre-flat
+   nested reference, moldyn tiled-vs-plain steady state, and the
+   inspector phase breakdown (writes BENCH_HOTPATH.json for the CI
+   perf trajectory). *)
+
+let bench_hotpath_json_path =
+  Option.value
+    (Sys.getenv_opt "RTRT_BENCH_HOTPATH_JSON")
+    ~default:"BENCH_HOTPATH.json"
+
+let hotpath_table () =
+  let report = Harness.Hotpath.measure ~scale () in
+  Fmt.pr "%a" Harness.Hotpath.pp_report report;
+  Harness.Hotpath.write_json ~path:bench_hotpath_json_path report;
+  Fmt.pr "wrote %s@." bench_hotpath_json_path
+
+let hotpath_only =
+  Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_HOTPATH_ONLY" ~default:false ()
+
 let () =
   Rtrt_obs.Config.init ();
   Fmt.pr "rtrt bench harness; dataset scale %d (RTRT_SCALE overrides)@." scale;
@@ -313,6 +333,13 @@ let () =
        table + JSON. *)
     section "Plan-cache amortization (cold vs warm inspection)";
     plancache_table ();
+    exit 0);
+
+  if hotpath_only then (
+    (* Fast mode for the CI hotpath job: only the hot-path table +
+       JSON. *)
+    section "Hot paths (flat-CSR schedule walk, tiled steady state)";
+    hotpath_table ();
     exit 0);
 
   section "Section 2.4: datasets";
@@ -393,6 +420,9 @@ let () =
 
   section "Plan-cache amortization (cold vs warm inspection)";
   plancache_table ();
+
+  section "Hot paths (flat-CSR schedule walk, tiled steady state)";
+  hotpath_table ();
 
   section "Wall-clock executor benchmarks (Figures 6/7 cross-check)";
   List.iter

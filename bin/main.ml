@@ -12,6 +12,7 @@
      rtrt guide               Section 7 runtime composition selection
      rtrt ablations           design-choice ablations A1-A9
      rtrt raw                 absolute counts for one configuration
+     rtrt bench               wall-clock hot-path tables (--only hotpath)
      rtrt json                one figure's rows as JSON (jq-ready)
      rtrt trace-report        span-tree summary of a JSONL trace
      rtrt all                 the figure suite end to end
@@ -380,6 +381,15 @@ let run_trace_report file scale steps =
       scale;
     print_trace_report (events ())
 
+let run_bench only out scale =
+  match only with
+  | "hotpath" ->
+    let report = Harness.Hotpath.measure ~scale () in
+    Fmt.pr "%a" Harness.Hotpath.pp_report report;
+    Harness.Hotpath.write_json ~path:out report;
+    Fmt.pr "wrote %s@." out
+  | o -> Fmt.invalid_arg "unknown bench table %s (expected hotpath)" o
+
 let run_codegen bench =
   let program =
     match Compose.Symbolic.program_by_name bench with
@@ -540,6 +550,31 @@ let json_cmd =
       $ trace_arg $ plan_cache_arg $ figure $ domains_arg $ scale_arg
       $ steps_arg)
 
+let bench_cmd =
+  let only =
+    Arg.(
+      value
+      & opt (enum [ ("hotpath", "hotpath") ]) "hotpath"
+      & info [ "only" ] ~docv:"TABLE"
+          ~doc:
+            "Which wall-clock table to run. $(b,hotpath): flat-CSR \
+             schedule-walk bandwidth vs the nested reference, moldyn \
+             tiled-vs-plain steady state, and the inspector phase breakdown.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_HOTPATH.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Path for the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Wall-clock hot-path benchmarks")
+    Term.(
+      const (fun trace only out scale ->
+          setup_trace trace;
+          run_bench only out scale)
+      $ trace_arg $ only $ out $ scale_arg)
+
 let trace_report_cmd =
   let file =
     Arg.(
@@ -570,6 +605,6 @@ let () =
        (Cmd.group info
           [
             datasets_cmd; figure6_cmd; figure7_cmd; figure8_cmd; figure9_cmd;
-            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; json_cmd;
+            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; bench_cmd; json_cmd;
             trace_report_cmd; all_cmd;
           ]))

@@ -13,13 +13,16 @@ let ( let* ) r f = Result.bind r f
 
 (* Rebuild the per-loop tile functions from a schedule. *)
 let tile_fns_of_schedule sched ~loop_sizes =
+  let rp = Schedule.row_ptr sched and fl = Schedule.flat_items sched in
+  let nl = Schedule.n_loops sched in
   Array.mapi
     (fun l n ->
       let tile_of = Array.make n (-1) in
       for t = 0 to Schedule.n_tiles sched - 1 do
-        Array.iter
-          (fun it -> tile_of.(it) <- t)
-          (Schedule.items sched ~tile:t ~loop:l)
+        let r = (t * nl) + l in
+        for i = rp.(r) to rp.(r + 1) - 1 do
+          tile_of.(fl.(i)) <- t
+        done
       done;
       { Sparse_tile.n_tiles = Schedule.n_tiles sched; tile_of })
     loop_sizes

@@ -10,7 +10,11 @@ type t = {
 }
 
 let num_nodes g = g.n
-let num_edges g = Array.length g.col / 2 (* undirected: stored twice *)
+
+(* Multigraph count: arcs / 2. A duplicate edge (which [of_edges]
+   deliberately keeps — meshes may carry multi-edges) contributes once
+   per copy; use [num_distinct_edges] for the simple-graph count. *)
+let num_edges g = Array.length g.col / 2
 let num_arcs g = Array.length g.col
 
 let degree g v = g.row_ptr.(v + 1) - g.row_ptr.(v)
@@ -60,26 +64,77 @@ let of_edges ~n edges =
   { n; row_ptr; col }
 
 (* Build from an iteration-to-data access pattern: data locations
-   touched by the same iteration become a clique (usually a pair). *)
+   touched by the same iteration become a clique (usually a pair).
+   Two counting-sort passes straight into the CSR arrays — no
+   intermediate edge list. *)
 let of_accesses ~n_data accesses =
-  let edges = ref [] in
+  let deg = Array.make n_data 0 in
+  let arcs = ref 0 in
   Array.iter
     (fun touched ->
       let k = Array.length touched in
       for a = 0 to k - 1 do
         for b = a + 1 to k - 1 do
-          edges := (touched.(a), touched.(b)) :: !edges
+          let u = touched.(a) and v = touched.(b) in
+          if u <> v then begin
+            deg.(u) <- deg.(u) + 1;
+            deg.(v) <- deg.(v) + 1;
+            arcs := !arcs + 2
+          end
         done
       done)
     accesses;
-  of_edges ~n:n_data (Array.of_list !edges)
-
-let edges g =
-  let acc = ref [] in
-  for v = 0 to g.n - 1 do
-    iter_neighbors g v (fun w -> if v < w then acc := (v, w) :: !acc)
+  let row_ptr = Array.make (n_data + 1) 0 in
+  for v = 0 to n_data - 1 do
+    row_ptr.(v + 1) <- row_ptr.(v) + deg.(v)
   done;
-  List.rev !acc
+  let col = Array.make !arcs 0 in
+  let cursor = Array.copy row_ptr in
+  Array.iter
+    (fun touched ->
+      let k = Array.length touched in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          let u = touched.(a) and v = touched.(b) in
+          if u <> v then begin
+            col.(cursor.(u)) <- v;
+            cursor.(u) <- cursor.(u) + 1;
+            col.(cursor.(v)) <- u;
+            cursor.(v) <- cursor.(v) + 1
+          end
+        done
+      done)
+    accesses;
+  { n = n_data; row_ptr; col }
+
+(* Undirected edge array with u < v, one entry per stored arc pair
+   (so a multi-edge appears once per copy), u ascending. *)
+let edges g =
+  let out = Array.make (num_edges g) (0, 0) in
+  let pos = ref 0 in
+  for v = 0 to g.n - 1 do
+    iter_neighbors g v (fun w ->
+        if v < w then begin
+          out.(!pos) <- (v, w);
+          incr pos
+        end)
+  done;
+  (* All arcs pair up v < w with w > v, so [pos] lands exactly on
+     [num_edges] unless the graph carries (impossible) self-loops. *)
+  if !pos <> Array.length out then Array.sub out 0 !pos else out
+
+(* Simple-graph edge count: per-node sorted-unique neighbors above the
+   node, using one pooled scratch buffer. *)
+let num_distinct_edges g =
+  Scratch.with_buf @@ fun buf ->
+  let count = ref 0 in
+  for v = 0 to g.n - 1 do
+    Scratch.clear buf;
+    iter_neighbors g v (fun w -> if w > v then Scratch.push buf w);
+    Scratch.sort_dedup buf;
+    count := !count + Scratch.length buf
+  done;
+  !count
 
 (* Breadth-first search from [root] over nodes not yet [visited];
    calls [f] on each node in BFS order and marks it visited. *)

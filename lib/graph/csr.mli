@@ -12,8 +12,15 @@ type t = private {
 
 val num_nodes : t -> int
 
-(** Number of undirected edges (arcs / 2). *)
+(** Number of undirected edges counted with multiplicity (arcs / 2):
+    a duplicate edge, which {!of_edges} deliberately keeps, counts
+    once per copy. See {!num_distinct_edges} for the simple-graph
+    count. *)
 val num_edges : t -> int
+
+(** Number of distinct undirected edges (duplicates collapsed). Costs
+    a sort of each adjacency list; not a hot-path accessor. *)
+val num_distinct_edges : t -> int
 
 (** Number of stored arcs (each undirected edge appears twice). *)
 val num_arcs : t -> int
@@ -31,8 +38,9 @@ val of_edges : n:int -> (int * int) array -> t
     the same iteration (pairwise clique per iteration). *)
 val of_accesses : n_data:int -> int array array -> t
 
-(** Undirected edge list with [u < v]. *)
-val edges : t -> (int * int) list
+(** Undirected edge array with [u < v], [u] ascending; multi-edges
+    appear once per copy. *)
+val edges : t -> (int * int) array
 
 (** BFS from [root] over unvisited nodes, marking and visiting each. *)
 val bfs_from : t -> visited:bool array -> root:int -> (int -> unit) -> unit

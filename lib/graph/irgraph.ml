@@ -6,3 +6,4 @@ module Csr = Csr
 module Partition = Partition
 module Rcm = Rcm
 module Multilevel = Multilevel
+module Scratch = Scratch

@@ -67,35 +67,63 @@ let coarsen g =
     end
   done;
   let nc = !n_coarse in
-  (* Accumulate coarse edges in per-node hash tables. *)
-  let adj = Array.init nc (fun _ -> Hashtbl.create 4) in
+  (* Coarse arcs by counting sort over the coarse source, then
+     sort-and-merge each row: duplicates collapse and their weights
+     sum. All int arrays — no per-node Hashtbls. *)
   let nwgt = Array.make nc 0 in
+  let cand_ptr = Array.make (nc + 1) 0 in
   for v = 0 to g.n - 1 do
     let cv = coarse_of.(v) in
     nwgt.(cv) <- nwgt.(cv) + g.nwgt.(v);
     for idx = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
+      if coarse_of.(g.col.(idx)) <> cv then
+        cand_ptr.(cv + 1) <- cand_ptr.(cv + 1) + 1
+    done
+  done;
+  for c = 1 to nc do
+    cand_ptr.(c) <- cand_ptr.(c) + cand_ptr.(c - 1)
+  done;
+  let total = cand_ptr.(nc) in
+  let dst = Array.make total 0 in
+  let wgt = Array.make total 0 in
+  let cursor = Array.copy cand_ptr in
+  for v = 0 to g.n - 1 do
+    let cv = coarse_of.(v) in
+    for idx = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
       let cw = coarse_of.(g.col.(idx)) in
       if cw <> cv then begin
-        let t = adj.(cv) in
-        Hashtbl.replace t cw
-          ((try Hashtbl.find t cw with Not_found -> 0) + g.ewgt.(idx))
+        dst.(cursor.(cv)) <- cw;
+        wgt.(cursor.(cv)) <- g.ewgt.(idx);
+        cursor.(cv) <- cursor.(cv) + 1
       end
     done
   done;
+  let row_len = Array.make nc 0 in
+  for c = 0 to nc - 1 do
+    let lo = cand_ptr.(c) and hi = cand_ptr.(c + 1) in
+    if hi > lo then begin
+      Scratch.sort2_range dst wgt ~lo ~hi;
+      let out = ref lo in
+      for i = lo + 1 to hi - 1 do
+        if dst.(i) = dst.(!out) then wgt.(!out) <- wgt.(!out) + wgt.(i)
+        else begin
+          incr out;
+          dst.(!out) <- dst.(i);
+          wgt.(!out) <- wgt.(i)
+        end
+      done;
+      row_len.(c) <- !out - lo + 1
+    end
+  done;
   let row_ptr = Array.make (nc + 1) 0 in
   for c = 0 to nc - 1 do
-    row_ptr.(c + 1) <- row_ptr.(c) + Hashtbl.length adj.(c)
+    row_ptr.(c + 1) <- row_ptr.(c) + row_len.(c)
   done;
   let col = Array.make row_ptr.(nc) 0 in
   let ewgt = Array.make row_ptr.(nc) 0 in
   for c = 0 to nc - 1 do
-    let k = ref row_ptr.(c) in
-    Hashtbl.iter
-      (fun w wt ->
-        col.(!k) <- w;
-        ewgt.(!k) <- wt;
-        incr k)
-      adj.(c)
+    Array.blit dst cand_ptr.(c) col row_ptr.(c) row_len.(c);
+    Array.blit wgt cand_ptr.(c) ewgt row_ptr.(c) row_len.(c)
   done;
   ({ n = nc; row_ptr; col; ewgt; nwgt }, coarse_of)
 

@@ -36,15 +36,22 @@ let pseudo_peripheral g root =
   in
   iterate root (-1) 4
 
-(* Cuthill-McKee order: result.(k) is the k-th node in the new order. *)
+(* Cuthill-McKee order: result.(k) is the k-th node in the new order.
+
+   Degrees are precomputed once, and each BFS layer is sorted as
+   packed int keys [deg * (n+1) + rank] — no comparison closures, no
+   per-node lists. [rank] is the reversed adjacency position, which
+   reproduces the historical tie order (a consed list sorted stably by
+   degree) exactly; since ranks are distinct the keys are too, so the
+   unstable co-sort is deterministic. *)
 let cm_order g =
   let n = Csr.num_nodes g in
+  let deg = Array.init n (Csr.degree g) in
   let visited = Array.make n false in
   let order = Array.make n 0 in
   let pos = ref 0 in
-  let by_degree nodes =
-    List.sort (fun a b -> Stdlib.compare (Csr.degree g a) (Csr.degree g b)) nodes
-  in
+  Scratch.with_buf @@ fun nodes_buf ->
+  Scratch.with_buf @@ fun keys_buf ->
   for candidate = 0 to n - 1 do
     if not visited.(candidate) then begin
       let root = pseudo_peripheral g candidate in
@@ -55,17 +62,25 @@ let cm_order g =
         let v = Queue.pop queue in
         order.(!pos) <- v;
         incr pos;
-        let unvisited =
-          Csr.fold_neighbors g v
-            (fun acc w ->
-              if visited.(w) then acc
-              else begin
-                visited.(w) <- true;
-                w :: acc
-              end)
-            []
-        in
-        List.iter (fun w -> Queue.add w queue) (by_degree unvisited)
+        Scratch.clear nodes_buf;
+        Csr.iter_neighbors g v (fun w ->
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              Scratch.push nodes_buf w
+            end);
+        let cnt = Scratch.length nodes_buf in
+        if cnt > 0 then begin
+          let nodes = Scratch.data nodes_buf in
+          Scratch.clear keys_buf;
+          Scratch.ensure keys_buf cnt;
+          for i = 0 to cnt - 1 do
+            Scratch.push keys_buf ((deg.(nodes.(i)) * (n + 1)) + (cnt - 1 - i))
+          done;
+          Scratch.sort2_range (Scratch.data keys_buf) nodes ~lo:0 ~hi:cnt;
+          for i = 0 to cnt - 1 do
+            Queue.add nodes.(i) queue
+          done
+        end
       done
     end
   done;

@@ -1,0 +1,202 @@
+(* Reusable growable int buffers for inspector hot paths.
+
+   Run-time inspectors (tile growth, adjacency coarsening, conflict
+   detection) repeatedly need "collect an unknown number of ints, sort
+   them, dedupe them" workspaces. Building those out of lists or
+   Hashtbls allocates proportionally to the traffic on every
+   inspection — which is exactly the cost the plan-cache cold path and
+   the amortization argument (Figure 16) need to keep small. A Scratch
+   buffer is an amortized-doubling int array plus a per-domain free
+   pool, so repeated inspections reuse the same backing stores and the
+   steady-state inspection allocates nothing but its results.
+
+   The sort helpers are plain int quicksorts (median-of-three,
+   insertion sort on small ranges, recursion on the smaller half) so
+   no comparison closures or boxed elements are involved. *)
+
+type t = { mutable buf : int array; mutable len : int }
+
+let c_grow = Rtrt_obs.Metrics.counter "hotpath.scratch.grows"
+let c_reuse = Rtrt_obs.Metrics.counter "hotpath.scratch.reuses"
+
+let create ?(capacity = 256) () = { buf = Array.make (max 16 capacity) 0; len = 0 }
+
+let length b = b.len
+let clear b = b.len <- 0
+
+let grow b n =
+  let cap = ref (Array.length b.buf) in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  let buf = Array.make !cap 0 in
+  Array.blit b.buf 0 buf 0 b.len;
+  b.buf <- buf;
+  Rtrt_obs.Metrics.incr c_grow
+
+let ensure b n = if n > Array.length b.buf then grow b n
+
+let push b x =
+  if b.len = Array.length b.buf then grow b (b.len + 1);
+  Array.unsafe_set b.buf b.len x;
+  b.len <- b.len + 1
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Scratch.get";
+  Array.unsafe_get b.buf i
+
+let set b i x =
+  if i < 0 || i >= b.len then invalid_arg "Scratch.set";
+  Array.unsafe_set b.buf i x
+
+(* The backing store; indices >= [length b] are garbage. *)
+let data b = b.buf
+
+let to_array b = Array.sub b.buf 0 b.len
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain buffer pool                                              *)
+
+let pool : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+(* Borrow a (cleared) buffer from this domain's pool for the duration
+   of [f]; the buffer returns to the pool afterwards, capacity intact,
+   so the next inspection on this domain reuses the allocation.
+   Nesting is fine: inner calls borrow different buffers. *)
+let with_buf f =
+  let p = Domain.DLS.get pool in
+  let b =
+    match !p with
+    | b :: rest ->
+      p := rest;
+      b.len <- 0;
+      Rtrt_obs.Metrics.incr c_reuse;
+      b
+    | [] -> create ()
+  in
+  Fun.protect ~finally:(fun () -> p := b :: !p) (fun () -> f b)
+
+(* ------------------------------------------------------------------ *)
+(* Closure-free int sorting                                            *)
+
+let swap (a : int array) i j =
+  let t = Array.unsafe_get a i in
+  Array.unsafe_set a i (Array.unsafe_get a j);
+  Array.unsafe_set a j t
+
+let rec qsort (a : int array) lo hi =
+  if hi - lo > 16 then begin
+    (* Median of three as pivot. *)
+    let mid = lo + ((hi - lo) / 2) in
+    if Array.unsafe_get a mid < Array.unsafe_get a lo then swap a mid lo;
+    if Array.unsafe_get a (hi - 1) < Array.unsafe_get a lo then swap a (hi - 1) lo;
+    if Array.unsafe_get a (hi - 1) < Array.unsafe_get a mid then swap a (hi - 1) mid;
+    let pivot = Array.unsafe_get a mid in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while Array.unsafe_get a !i < pivot do incr i done;
+      while Array.unsafe_get a !j > pivot do decr j done;
+      if !i <= !j then begin
+        swap a !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    (* Recurse on the smaller half first to bound the stack. *)
+    if !j - lo < hi - !i then begin
+      qsort a lo (!j + 1);
+      qsort a !i hi
+    end
+    else begin
+      qsort a !i hi;
+      qsort a lo (!j + 1)
+    end
+  end
+  else
+    for k = lo + 1 to hi - 1 do
+      let x = Array.unsafe_get a k in
+      let j = ref (k - 1) in
+      while !j >= lo && Array.unsafe_get a !j > x do
+        Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+        decr j
+      done;
+      Array.unsafe_set a (!j + 1) x
+    done
+
+(* Ascending in-place sort of [a.(lo) .. a.(hi-1)]. *)
+let sort_range a ~lo ~hi =
+  if lo < 0 || hi > Array.length a || lo > hi then
+    invalid_arg "Scratch.sort_range";
+  qsort a lo hi
+
+let sort b = qsort b.buf 0 b.len
+
+(* Co-sort: reorder [a.(lo..hi-1)] ascending and apply the same
+   permutation to [b]. Used to sort (key, payload) pairs without
+   boxing tuples (e.g. adjacency destinations with edge weights). *)
+let swap2 (a : int array) (b : int array) i j =
+  swap a i j;
+  swap b i j
+
+let rec qsort2 (a : int array) (b : int array) lo hi =
+  if hi - lo > 16 then begin
+    let mid = lo + ((hi - lo) / 2) in
+    if Array.unsafe_get a mid < Array.unsafe_get a lo then swap2 a b mid lo;
+    if Array.unsafe_get a (hi - 1) < Array.unsafe_get a lo then
+      swap2 a b (hi - 1) lo;
+    if Array.unsafe_get a (hi - 1) < Array.unsafe_get a mid then
+      swap2 a b (hi - 1) mid;
+    let pivot = Array.unsafe_get a mid in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while Array.unsafe_get a !i < pivot do incr i done;
+      while Array.unsafe_get a !j > pivot do decr j done;
+      if !i <= !j then begin
+        swap2 a b !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    if !j - lo < hi - !i then begin
+      qsort2 a b lo (!j + 1);
+      qsort2 a b !i hi
+    end
+    else begin
+      qsort2 a b !i hi;
+      qsort2 a b lo (!j + 1)
+    end
+  end
+  else
+    for k = lo + 1 to hi - 1 do
+      let x = Array.unsafe_get a k and y = Array.unsafe_get b k in
+      let j = ref (k - 1) in
+      while !j >= lo && Array.unsafe_get a !j > x do
+        Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+        Array.unsafe_set b (!j + 1) (Array.unsafe_get b !j);
+        decr j
+      done;
+      Array.unsafe_set a (!j + 1) x;
+      Array.unsafe_set b (!j + 1) y
+    done
+
+let sort2_range a b ~lo ~hi =
+  if
+    lo < 0 || hi > Array.length a || hi > Array.length b || lo > hi
+  then invalid_arg "Scratch.sort2_range";
+  qsort2 a b lo hi
+
+(* Sort the buffer and drop consecutive duplicates; the buffer's
+   length shrinks to the number of distinct values. *)
+let sort_dedup b =
+  if b.len > 1 then begin
+    qsort b.buf 0 b.len;
+    let a = b.buf in
+    let out = ref 1 in
+    for i = 1 to b.len - 1 do
+      if Array.unsafe_get a i <> Array.unsafe_get a (i - 1) then begin
+        Array.unsafe_set a !out (Array.unsafe_get a i);
+        incr out
+      end
+    done;
+    b.len <- !out
+  end

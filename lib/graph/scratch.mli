@@ -1,0 +1,61 @@
+(** Reusable growable int buffers and closure-free int sorts for
+    inspector hot paths.
+
+    Inspectors repeatedly need "collect an unknown number of ints,
+    sort, dedupe" workspaces; doing that with lists or Hashtbls
+    allocates proportionally to the traffic on every inspection. A
+    [Scratch.t] is an amortized-doubling int array; [with_buf] borrows
+    one from a per-domain pool so repeated inspections (the plan-cache
+    cold path) reuse backing stores instead of reallocating.
+
+    Publishes [hotpath.scratch.grows] / [hotpath.scratch.reuses]
+    counters through {!Rtrt_obs.Metrics}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty buffer. [capacity] is a hint (default 256, min 16). *)
+
+val length : t -> int
+val clear : t -> unit
+(** [clear b] resets the length to 0; capacity is retained. *)
+
+val ensure : t -> int -> unit
+(** [ensure b n] grows the backing store to hold at least [n] elements
+    without changing [length b]. *)
+
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val data : t -> int array
+(** The backing store itself, without copying. Only indices
+    [0 .. length b - 1] are meaningful; the array is invalidated by the
+    next [push]/[ensure] that grows the buffer. *)
+
+val to_array : t -> int array
+(** Copy of the live prefix. *)
+
+val with_buf : (t -> 'a) -> 'a
+(** [with_buf f] borrows a cleared buffer from the current domain's
+    pool for the duration of [f] and returns it afterwards (capacity
+    intact). Nested calls borrow distinct buffers. Do not retain the
+    buffer (or [data]) past the call. *)
+
+val sort : t -> unit
+(** In-place ascending sort of the live prefix. *)
+
+val sort_dedup : t -> unit
+(** In-place ascending sort of the live prefix, then drop duplicates;
+    [length] shrinks to the number of distinct values. *)
+
+val sort_range : int array -> lo:int -> hi:int -> unit
+(** [sort_range a ~lo ~hi] sorts [a.(lo) .. a.(hi-1)] ascending in
+    place with a closure-free int quicksort (insertion sort below 16
+    elements, median-of-three pivot, recursion on the smaller half). *)
+
+val sort2_range : int array -> int array -> lo:int -> hi:int -> unit
+(** [sort2_range keys payload ~lo ~hi] sorts [keys.(lo..hi-1)]
+    ascending and applies the same permutation to [payload] — a
+    tuple-free co-sort for (key, weight) pairs. The co-sort is not
+    stable; equal keys may see their payloads in any order. *)

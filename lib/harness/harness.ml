@@ -6,3 +6,4 @@ module Experiment = Experiment
 module Figures = Figures
 module Ablations = Ablations
 module Guidance = Guidance
+module Hotpath = Hotpath

@@ -1,0 +1,60 @@
+(** Hot-path microbenchmarks for the flat-CSR schedule representation:
+    schedule-walk bandwidth (flat + unsafe streaming vs the pre-flat
+    nested-array reference), moldyn tiled-vs-plain executor steady
+    state, and the inspector's per-span phase breakdown. Results feed
+    BENCH_HOTPATH.json and the [hotpath.*] gauges. *)
+
+type walk_result = {
+  walk_items : int;  (** schedule items per pass *)
+  walk_passes : int;
+  nested_seconds : float;
+  flat_seconds : float;
+  nested_gbps : float;
+  flat_gbps : float;
+  walk_speedup : float;  (** nested_seconds / flat_seconds *)
+}
+
+type exec_result = {
+  exec_steps : int;
+  plain_seconds_per_step : float;
+  tiled_seconds_per_step : float;
+  tiled_over_plain : float;
+}
+
+type phase = {
+  phase_name : string;
+  phase_count : int;
+  phase_total_s : float;
+  phase_self_s : float;
+}
+
+type report = {
+  rep_scale : int;
+  rep_plan : string;
+  walk : walk_result;
+  exec : exec_result;
+  phases : phase list;
+}
+
+(** Walk every (tile, loop) row of [sched] both ways; passes are
+    calibrated so one timing round of the nested walk takes roughly
+    [min_seconds], and each side reports the minimum of five rounds
+    (rejects scheduler noise). *)
+val bench_walk : ?min_seconds:float -> Reorder.Schedule.t -> walk_result
+
+(** Tiled executor (from the inspector result) vs the plain executor
+    on the untransformed kernel, seconds per time step after one
+    warmup step each. Raises if the plan produced no schedule. *)
+val bench_exec :
+  ?steps:int -> Kernels.Kernel.t -> Compose.Inspector.result -> exec_result
+
+(** Re-run the inspector under an in-memory trace sink and return the
+    per-span-name aggregates (descending total time). *)
+val inspector_phases : Compose.Plan.t -> Kernels.Kernel.t -> phase list
+
+(** The whole table on moldyn/mol1 with the Full-sparse-tiling plan. *)
+val measure : scale:int -> unit -> report
+
+val json_of_report : report -> Rtrt_obs.Json.t
+val write_json : path:string -> report -> unit
+val pp_report : report Fmt.t

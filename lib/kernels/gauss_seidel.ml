@@ -133,32 +133,34 @@ let check_constraints graph tiling =
   done;
   List.rev !violations
 
-(* Per-tile, per-sweep member lists (ascending node order). *)
+(* The tiling as a flat executor schedule: sweep [s] is chain position
+   [s], member nodes ascending within each (tile, sweep) row. *)
 let schedule tiling =
-  let sweeps = tiling.sweeps and n_tiles = tiling.n_tiles in
-  let n = Array.length tiling.theta.(0) in
-  let counts = Array.make_matrix n_tiles sweeps 0 in
-  for s = 0 to sweeps - 1 do
-    Array.iter (fun t -> counts.(t).(s) <- counts.(t).(s) + 1) tiling.theta.(s)
-  done;
-  let items =
-    Array.init n_tiles (fun t -> Array.init sweeps (fun s -> Array.make counts.(t).(s) 0))
-  in
-  let cursor = Array.make_matrix n_tiles sweeps 0 in
-  for s = 0 to sweeps - 1 do
-    for v = 0 to n - 1 do
-      let t = tiling.theta.(s).(v) in
-      items.(t).(s).(cursor.(t).(s)) <- v;
-      cursor.(t).(s) <- cursor.(t).(s) + 1
+  Reorder.Schedule.of_tile_fns
+    (Array.map
+       (fun th ->
+         { Reorder.Sparse_tile.n_tiles = tiling.n_tiles; tile_of = th })
+       tiling.theta)
+
+(* Walk one tile of the flat schedule: sweeps in order, member nodes in
+   numbering order. [update] itself stays bounds-checked (it chases
+   graph adjacency), only the schedule rows stream flat. *)
+let run_tile t (sched : Reorder.Schedule.t) ~tile =
+  let nl = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
+  for s = 0 to nl - 1 do
+    let r = (tile * nl) + s in
+    for i = rp.(r) to rp.(r + 1) - 1 do
+      update t fl.(i)
     done
-  done;
-  items
+  done
 
 let run_tiled t tiling =
-  let items = schedule tiling in
-  Array.iter
-    (fun per_sweep -> Array.iter (fun nodes -> Array.iter (update t) nodes) per_sweep)
-    items
+  let sched = schedule tiling in
+  for tile = 0 to Reorder.Schedule.n_tiles sched - 1 do
+    run_tile t sched ~tile
+  done
 
 (* Execute [total_sweeps] as consecutive slabs of the tiling's depth:
    temporal blocking in the usual sense. Tile growth smears by one
@@ -185,10 +187,10 @@ let run_tiled_slabbed t tiling ~total_sweeps =
 let tile_dag graph tiling =
   let n = Irgraph.Csr.num_nodes graph in
   let n_tiles = tiling.n_tiles in
-  let edges : (int, unit) Hashtbl.t =
-    Hashtbl.create (max 64 (tiling.sweeps * n))
+  Irgraph.Scratch.with_buf @@ fun buf ->
+  let add ta tb =
+    if ta <> tb then Irgraph.Scratch.push buf ((ta * n_tiles) + tb)
   in
-  let add ta tb = if ta <> tb then Hashtbl.replace edges ((ta * n_tiles) + tb) () in
   for s = 0 to tiling.sweeps - 1 do
     let th = tiling.theta.(s) in
     for v = 0 to n - 1 do
@@ -205,12 +207,13 @@ let tile_dag graph tiling =
   Array.iter
     (fun th -> Array.iter (fun t -> tile_cost.(t) <- tile_cost.(t) + 1) th)
     tiling.theta;
-  let edge_list =
-    Hashtbl.fold
-      (fun key () acc -> (key / n_tiles, key mod n_tiles) :: acc)
-      edges []
+  Irgraph.Scratch.sort_dedup buf;
+  let edges =
+    Array.init (Irgraph.Scratch.length buf) (fun i ->
+        let key = Irgraph.Scratch.get buf i in
+        (key / n_tiles, key mod n_tiles))
   in
-  Reorder.Tile_par.of_edges ~n_tiles ~tile_cost edge_list
+  Reorder.Tile_par.of_edges ~n_tiles ~tile_cost edges
 
 (* Run the tiling with same-level tiles concurrent (tiles atomic:
    sweeps in order, member nodes in numbering order, exactly as
@@ -218,11 +221,10 @@ let tile_dag graph tiling =
    all have DAG edges and execute in the same relative order, and
    edge-free pairs touch disjoint value versions. *)
 let run_tiled_par ~pool t tiling (par : Reorder.Tile_par.t) =
-  let items = schedule tiling in
+  let sched = schedule tiling in
   Rtrt_par.Exec.run_levels ~pool ~levels:par.Reorder.Tile_par.levels
     ~weight:(fun tile -> par.Reorder.Tile_par.tile_cost.(tile))
-    ~exec:(fun tile ->
-      Array.iter (fun nodes -> Array.iter (update t) nodes) items.(tile))
+    ~exec:(fun tile -> run_tile t sched ~tile)
 
 (* Dependences of one Gauss-Seidel sweep for wavefront scheduling:
    node [v] depends on its lower-numbered neighbors (whose
@@ -231,14 +233,8 @@ let run_tiled_par ~pool t tiling (par : Reorder.Tile_par.t) =
    level and in-place parallel execution of a level is exact. *)
 let wavefront_preds graph =
   let n = Irgraph.Csr.num_nodes graph in
-  let preds =
-    Array.init n (fun v ->
-        let acc = ref [] in
-        Irgraph.Csr.iter_neighbors graph v (fun w ->
-            if w < v then acc := w :: !acc);
-        List.sort compare !acc)
-  in
-  Reorder.Access.of_lists ~n_data:n preds
+  Reorder.Access.of_touches ~sort_rows:true ~n_iter:n ~n_data:n (fun v emit ->
+      Irgraph.Csr.iter_neighbors graph v (fun w -> if w < v then emit w))
 
 (* [sweeps] plain sweeps with each wavefront level's nodes updated
    concurrently; bitwise equal to [run_plain] because a level never
@@ -275,15 +271,19 @@ let run_tiled_traced ?(slabs = 1) t tiling ~layout ~access =
   let addr_f = Cachesim.Layout.addresser layout "f" in
   let touch_u v = access (addr_u v) in
   let touch_f v = access (addr_f v) in
-  let items = schedule tiling in
+  let sched = schedule tiling in
+  let nl = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _slab = 1 to slabs do
-    Array.iter
-      (fun per_sweep ->
-        Array.iter
-          (fun nodes ->
-            Array.iter (trace_update t.graph ~touch_u ~touch_f) nodes)
-          per_sweep)
-      items
+    for tile = 0 to Reorder.Schedule.n_tiles sched - 1 do
+      for s = 0 to nl - 1 do
+        let r = (tile * nl) + s in
+        for i = rp.(r) to rp.(r + 1) - 1 do
+          trace_update t.graph ~touch_u ~touch_f fl.(i)
+        done
+      done
+    done
   done
 
 let layout t =
@@ -304,9 +304,9 @@ let renumber_by_partition graph ~f ~partition =
   let sigma = Reorder.Perm.of_inverse inv in
   let fwd = Reorder.Perm.to_forward_array sigma in
   let edges =
-    List.map (fun (a, b) -> (fwd.(a), fwd.(b))) (Irgraph.Csr.edges graph)
+    Array.map (fun (a, b) -> (fwd.(a), fwd.(b))) (Irgraph.Csr.edges graph)
   in
-  let graph' = Irgraph.Csr.of_edges ~n (Array.of_list edges) in
+  let graph' = Irgraph.Csr.of_edges ~n edges in
   let f' = Reorder.Perm.apply_to_float_array sigma f in
   let tile_of = Array.make n 0 in
   Array.iteri

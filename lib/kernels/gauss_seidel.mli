@@ -46,8 +46,9 @@ val check_constraints :
   tiling ->
   ([ `C1 | `C2 | `C3 ] * int * int * int) list
 
-(** Per-tile, per-sweep member node lists. *)
-val schedule : tiling -> int array array array
+(** The tiling as a flat executor schedule (sweep [s] is chain
+    position [s]; member nodes ascending within each row). *)
+val schedule : tiling -> Reorder.Schedule.t
 
 (** Execute the tiling's sweeps, tiles atomically in order. *)
 val run_tiled : t -> tiling -> unit

@@ -41,17 +41,55 @@ let run_plain st ~steps =
     done
   done
 
+let check_endpoints ~who st =
+  if Array.length st.w <> st.m then
+    invalid_arg (who ^ ": weight array size mismatch");
+  for j = 0 to st.m - 1 do
+    let l = st.left.(j) and r = st.right.(j) in
+    if l < 0 || l >= st.n || r < 0 || r >= st.n then
+      invalid_arg (who ^ ": interaction endpoint out of range")
+  done
+
+(* Unsafe twins of the loop bodies, sound only after [check_fits] and
+   the endpoint scan have validated every index source. *)
+let flux_j_u st j =
+  let l = Array.unsafe_get st.left j and r = Array.unsafe_get st.right j in
+  let d =
+    Array.unsafe_get st.w j
+    *. (Array.unsafe_get st.x l -. Array.unsafe_get st.x r)
+  in
+  Array.unsafe_set st.y l (Array.unsafe_get st.y l +. d);
+  Array.unsafe_set st.y r (Array.unsafe_get st.y r -. d)
+
+let update_k_u st k =
+  Array.unsafe_set st.x k
+    (Array.unsafe_get st.x k +. (relax *. Array.unsafe_get st.y k))
+
 (* Chain position c executes loop (c mod 2): a 2-loop schedule is one
-   time step, a 2S-loop schedule is S time steps (time-step tiling). *)
+   time step, a 2S-loop schedule is S time steps (time-step tiling).
+   Validated-once-then-unsafe: [check_fits] + the endpoint scan, then
+   the flat schedule streams with [Array.unsafe_get]. *)
 let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.m; st.n |]) then
+    invalid_arg "Irreg.run_tiled: schedule does not fit the kernel";
+  check_endpoints ~who:"Irreg.run_tiled" st;
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _s = 1 to steps do
     for t = 0 to n_tiles - 1 do
       for c = 0 to n_chain - 1 do
-        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
-        if c mod 2 = 0 then Array.iter (flux_j st) iters
-        else Array.iter (update_k st) iters
+        let r = (t * n_chain) + c in
+        let lo = Array.unsafe_get rp r and hi = Array.unsafe_get rp (r + 1) in
+        if c mod 2 = 0 then
+          for idx = lo to hi - 1 do
+            flux_j_u st (Array.unsafe_get fl idx)
+          done
+        else
+          for idx = lo to hi - 1 do
+            update_k_u st (Array.unsafe_get fl idx)
+          done
       done
     done
   done
@@ -61,21 +99,32 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
    function of w and x, read-only during the position, so the ordered
    apply reproduces the serial float operations bit for bit. *)
 let plan_par_st st ~pool sched ~level_of =
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.m; st.n |]) then
+    invalid_arg "Irreg.plan_par: schedule does not fit the kernel";
+  check_endpoints ~who:"Irreg.plan_par" st;
   let dj = Array.make st.m 0.0 in
   let exec =
     Rtrt_par.Exec.make ~pool ~sched ~level_of
       ~is_reduction:(fun c -> c mod 2 = 0)
       ~left:st.left ~right:st.right ~n_data:st.n
   in
-  let body ~pos iters =
-    if pos mod 2 = 0 then Array.iter (flux_j st) iters
-    else Array.iter (update_k st) iters
+  let body ~pos items lo hi =
+    if pos mod 2 = 0 then
+      for idx = lo to hi - 1 do
+        flux_j_u st (Array.unsafe_get items idx)
+      done
+    else
+      for idx = lo to hi - 1 do
+        update_k_u st (Array.unsafe_get items idx)
+      done
   in
-  let stash ~pos:_ iters =
-    for idx = 0 to Array.length iters - 1 do
-      let j = iters.(idx) in
-      let l = st.left.(j) and r = st.right.(j) in
-      dj.(j) <- st.w.(j) *. (st.x.(l) -. st.x.(r))
+  let stash ~pos:_ items lo hi =
+    for idx = lo to hi - 1 do
+      let j = Array.unsafe_get items idx in
+      let l = Array.unsafe_get st.left j and r = Array.unsafe_get st.right j in
+      Array.unsafe_set dj j
+        (Array.unsafe_get st.w j
+        *. (Array.unsafe_get st.x l -. Array.unsafe_get st.x r))
     done
   in
   let apply ~pos:_ ~datum refs lo hi =
@@ -121,18 +170,24 @@ let run_traced_st st ~steps ~layout ~access =
     done
   done
 
+(* Traced twin: same flat walk, every access bounds-checked. *)
 let run_tiled_traced_st st sched ~steps ~layout ~access =
   let touch = make_touch ~layout ~access node_array_names in
   let touch_inter = make_touch ~layout ~access inter_array_names in
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _s = 1 to steps do
     for t = 0 to n_tiles - 1 do
       for c = 0 to n_chain - 1 do
-        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        let r = (t * n_chain) + c in
+        let lo = rp.(r) and hi = rp.(r + 1) in
         if c mod 2 = 0 then
-          Array.iter (trace_j ~touch ~touch_inter st.left st.right) iters
-        else Array.iter (trace_k ~touch) iters
+          for i = lo to hi - 1 do
+            trace_j ~touch ~touch_inter st.left st.right fl.(i)
+          done
+        else for i = lo to hi - 1 do trace_k ~touch fl.(i) done
       done
     done
   done

@@ -66,48 +66,78 @@ let run_plain st ~steps =
    multiple of the 3-loop chain: chain position c executes the body of
    loop (c mod 3). A 3-loop schedule is the Figure 14 executor; a
    3S-loop schedule executes S whole time steps per [steps] (time-step
-   sparse tiling across the outer loop). *)
+   sparse tiling across the outer loop).
+
+   Validated-once-then-unsafe: [Schedule.check_fits] plus the
+   endpoint-range scan below guarantee every index the loop bodies
+   compute is in bounds, so the steady state streams the flat schedule
+   and the data arrays with [Array.unsafe_get]/[unsafe_set]. *)
+
+let check_endpoints ~who ~n ~m left right =
+  if Array.length left <> m || Array.length right <> m then
+    invalid_arg (who ^ ": endpoint array size mismatch");
+  for j = 0 to m - 1 do
+    let l = left.(j) and r = right.(j) in
+    if l < 0 || l >= n || r < 0 || r >= n then
+      invalid_arg (who ^ ": interaction endpoint out of range")
+  done
+
 let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m; st.n |])
+  then invalid_arg "Moldyn.run_tiled: schedule does not fit the kernel";
+  check_endpoints ~who:"Moldyn.run_tiled" ~n:st.n ~m:st.m st.left st.right;
   let x = st.x and y = st.y and z = st.z in
   let vx = st.vx and vy = st.vy and vz = st.vz in
   let fx = st.fx and fy = st.fy and fz = st.fz in
   let left = st.left and right = st.right in
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _s = 1 to steps do
     for t = 0 to n_tiles - 1 do
       for c = 0 to n_chain - 1 do
-        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        let r = (t * n_chain) + c in
+        let lo = Array.unsafe_get rp r and hi = Array.unsafe_get rp (r + 1) in
         match c mod 3 with
         | 0 ->
-          for idx = 0 to Array.length iters - 1 do
-            let i = iters.(idx) in
-            x.(i) <- x.(i) +. (dt *. (vx.(i) +. fx.(i)));
-            y.(i) <- y.(i) +. (dt *. (vy.(i) +. fy.(i)));
-            z.(i) <- z.(i) +. (dt *. (vz.(i) +. fz.(i)))
+          for idx = lo to hi - 1 do
+            let i = Array.unsafe_get fl idx in
+            Array.unsafe_set x i
+              (Array.unsafe_get x i
+              +. (dt *. (Array.unsafe_get vx i +. Array.unsafe_get fx i)));
+            Array.unsafe_set y i
+              (Array.unsafe_get y i
+              +. (dt *. (Array.unsafe_get vy i +. Array.unsafe_get fy i)));
+            Array.unsafe_set z i
+              (Array.unsafe_get z i
+              +. (dt *. (Array.unsafe_get vz i +. Array.unsafe_get fz i)))
           done
         | 1 ->
-          for idx = 0 to Array.length iters - 1 do
-            let j = iters.(idx) in
-            let l = left.(j) and r = right.(j) in
-            let dx = x.(l) -. x.(r) in
-            let dy = y.(l) -. y.(r) in
-            let dz = z.(l) -. z.(r) in
+          for idx = lo to hi - 1 do
+            let j = Array.unsafe_get fl idx in
+            let l = Array.unsafe_get left j and r = Array.unsafe_get right j in
+            let dx = Array.unsafe_get x l -. Array.unsafe_get x r in
+            let dy = Array.unsafe_get y l -. Array.unsafe_get y r in
+            let dz = Array.unsafe_get z l -. Array.unsafe_get z r in
             let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
             let g = 1.0 /. r2 in
-            fx.(l) <- fx.(l) +. (g *. dx);
-            fx.(r) <- fx.(r) -. (g *. dx);
-            fy.(l) <- fy.(l) +. (g *. dy);
-            fy.(r) <- fy.(r) -. (g *. dy);
-            fz.(l) <- fz.(l) +. (g *. dz);
-            fz.(r) <- fz.(r) -. (g *. dz)
+            Array.unsafe_set fx l (Array.unsafe_get fx l +. (g *. dx));
+            Array.unsafe_set fx r (Array.unsafe_get fx r -. (g *. dx));
+            Array.unsafe_set fy l (Array.unsafe_get fy l +. (g *. dy));
+            Array.unsafe_set fy r (Array.unsafe_get fy r -. (g *. dy));
+            Array.unsafe_set fz l (Array.unsafe_get fz l +. (g *. dz));
+            Array.unsafe_set fz r (Array.unsafe_get fz r -. (g *. dz))
           done
         | _ ->
-          for idx = 0 to Array.length iters - 1 do
-            let k = iters.(idx) in
-            vx.(k) <- vx.(k) +. (dt *. fx.(k));
-            vy.(k) <- vy.(k) +. (dt *. fy.(k));
-            vz.(k) <- vz.(k) +. (dt *. fz.(k))
+          for idx = lo to hi - 1 do
+            let k = Array.unsafe_get fl idx in
+            Array.unsafe_set vx k
+              (Array.unsafe_get vx k +. (dt *. Array.unsafe_get fx k));
+            Array.unsafe_set vy k
+              (Array.unsafe_get vy k +. (dt *. Array.unsafe_get fy k));
+            Array.unsafe_set vz k
+              (Array.unsafe_get vz k +. (dt *. Array.unsafe_get fz k))
           done
       done
     done
@@ -120,6 +150,9 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
    [apply] folds the contributions into fx/fy/fz per datum in the
    serial order, so the result is bitwise the serial executor's. *)
 let plan_par_st st ~pool sched ~level_of =
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m; st.n |])
+  then invalid_arg "Moldyn.plan_par: schedule does not fit the kernel";
+  check_endpoints ~who:"Moldyn.plan_par" ~n:st.n ~m:st.m st.left st.right;
   let x = st.x and y = st.y and z = st.z in
   let vx = st.vx and vy = st.vy and vz = st.vz in
   let fx = st.fx and fy = st.fy and fz = st.fz in
@@ -132,51 +165,60 @@ let plan_par_st st ~pool sched ~level_of =
       ~is_reduction:(fun c -> c mod 3 = 1)
       ~left ~right ~n_data:st.n
   in
-  let body ~pos iters =
+  let body ~pos items lo hi =
     match pos mod 3 with
     | 0 ->
-      for idx = 0 to Array.length iters - 1 do
-        let i = iters.(idx) in
-        x.(i) <- x.(i) +. (dt *. (vx.(i) +. fx.(i)));
-        y.(i) <- y.(i) +. (dt *. (vy.(i) +. fy.(i)));
-        z.(i) <- z.(i) +. (dt *. (vz.(i) +. fz.(i)))
+      for idx = lo to hi - 1 do
+        let i = Array.unsafe_get items idx in
+        Array.unsafe_set x i
+          (Array.unsafe_get x i
+          +. (dt *. (Array.unsafe_get vx i +. Array.unsafe_get fx i)));
+        Array.unsafe_set y i
+          (Array.unsafe_get y i
+          +. (dt *. (Array.unsafe_get vy i +. Array.unsafe_get fy i)));
+        Array.unsafe_set z i
+          (Array.unsafe_get z i
+          +. (dt *. (Array.unsafe_get vz i +. Array.unsafe_get fz i)))
       done
     | 1 ->
-      for idx = 0 to Array.length iters - 1 do
-        let j = iters.(idx) in
-        let l = left.(j) and r = right.(j) in
-        let dx = x.(l) -. x.(r) in
-        let dy = y.(l) -. y.(r) in
-        let dz = z.(l) -. z.(r) in
+      for idx = lo to hi - 1 do
+        let j = Array.unsafe_get items idx in
+        let l = Array.unsafe_get left j and r = Array.unsafe_get right j in
+        let dx = Array.unsafe_get x l -. Array.unsafe_get x r in
+        let dy = Array.unsafe_get y l -. Array.unsafe_get y r in
+        let dz = Array.unsafe_get z l -. Array.unsafe_get z r in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
         let g = 1.0 /. r2 in
-        fx.(l) <- fx.(l) +. (g *. dx);
-        fx.(r) <- fx.(r) -. (g *. dx);
-        fy.(l) <- fy.(l) +. (g *. dy);
-        fy.(r) <- fy.(r) -. (g *. dy);
-        fz.(l) <- fz.(l) +. (g *. dz);
-        fz.(r) <- fz.(r) -. (g *. dz)
+        Array.unsafe_set fx l (Array.unsafe_get fx l +. (g *. dx));
+        Array.unsafe_set fx r (Array.unsafe_get fx r -. (g *. dx));
+        Array.unsafe_set fy l (Array.unsafe_get fy l +. (g *. dy));
+        Array.unsafe_set fy r (Array.unsafe_get fy r -. (g *. dy));
+        Array.unsafe_set fz l (Array.unsafe_get fz l +. (g *. dz));
+        Array.unsafe_set fz r (Array.unsafe_get fz r -. (g *. dz))
       done
     | _ ->
-      for idx = 0 to Array.length iters - 1 do
-        let k = iters.(idx) in
-        vx.(k) <- vx.(k) +. (dt *. fx.(k));
-        vy.(k) <- vy.(k) +. (dt *. fy.(k));
-        vz.(k) <- vz.(k) +. (dt *. fz.(k))
+      for idx = lo to hi - 1 do
+        let k = Array.unsafe_get items idx in
+        Array.unsafe_set vx k
+          (Array.unsafe_get vx k +. (dt *. Array.unsafe_get fx k));
+        Array.unsafe_set vy k
+          (Array.unsafe_get vy k +. (dt *. Array.unsafe_get fy k));
+        Array.unsafe_set vz k
+          (Array.unsafe_get vz k +. (dt *. Array.unsafe_get fz k))
       done
   in
-  let stash ~pos:_ iters =
-    for idx = 0 to Array.length iters - 1 do
-      let j = iters.(idx) in
-      let l = left.(j) and r = right.(j) in
-      let dx = x.(l) -. x.(r) in
-      let dy = y.(l) -. y.(r) in
-      let dz = z.(l) -. z.(r) in
+  let stash ~pos:_ items lo hi =
+    for idx = lo to hi - 1 do
+      let j = Array.unsafe_get items idx in
+      let l = Array.unsafe_get left j and r = Array.unsafe_get right j in
+      let dx = Array.unsafe_get x l -. Array.unsafe_get x r in
+      let dy = Array.unsafe_get y l -. Array.unsafe_get y r in
+      let dz = Array.unsafe_get z l -. Array.unsafe_get z r in
       let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
       let g = 1.0 /. r2 in
-      gx.(j) <- g *. dx;
-      gy.(j) <- g *. dy;
-      gz.(j) <- g *. dz
+      Array.unsafe_set gx j (g *. dx);
+      Array.unsafe_set gy j (g *. dy);
+      Array.unsafe_set gz j (g *. dz)
     done
   in
   let apply ~pos:_ ~datum refs lo hi =
@@ -243,19 +285,27 @@ let run_traced_st st ~steps ~layout ~access =
     done
   done
 
+(* Traced twin of [run_tiled_st]: walks the same flat rows but keeps
+   every access bounds-checked — the non-unsafe twin path. *)
 let run_tiled_traced_st st sched ~steps ~layout ~access =
   let touch = make_touch ~layout ~access node_array_names in
   let touch_inter = make_touch ~layout ~access inter_array_names in
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _s = 1 to steps do
     for t = 0 to n_tiles - 1 do
       for c = 0 to n_chain - 1 do
-        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
+        let r = (t * n_chain) + c in
+        let lo = rp.(r) and hi = rp.(r + 1) in
         match c mod 3 with
-        | 0 -> Array.iter (trace_i ~touch) iters
-        | 1 -> Array.iter (trace_j ~touch ~touch_inter st.left st.right) iters
-        | _ -> Array.iter (trace_k ~touch) iters
+        | 0 -> for i = lo to hi - 1 do trace_i ~touch fl.(i) done
+        | 1 ->
+          for i = lo to hi - 1 do
+            trace_j ~touch ~touch_inter st.left st.right fl.(i)
+          done
+        | _ -> for i = lo to hi - 1 do trace_k ~touch fl.(i) done
       done
     done
   done

@@ -56,17 +56,64 @@ let run_plain st ~steps =
     done
   done
 
+let check_endpoints ~who st =
+  for j = 0 to st.m - 1 do
+    let l = st.left.(j) and r = st.right.(j) in
+    if l < 0 || l >= st.n || r < 0 || r >= st.n then
+      invalid_arg (who ^ ": interaction endpoint out of range")
+  done
+
+(* Unsafe twins of the loop bodies, sound only after [check_fits] and
+   the endpoint scan have validated every index source. *)
+let update_i_u st i =
+  Array.unsafe_set st.x i
+    (Array.unsafe_get st.x i +. (dt *. Array.unsafe_get st.fx i));
+  Array.unsafe_set st.y i
+    (Array.unsafe_get st.y i +. (dt *. Array.unsafe_get st.fy i));
+  Array.unsafe_set st.z i
+    (Array.unsafe_get st.z i +. (dt *. Array.unsafe_get st.fz i))
+
+let force_j_u st j =
+  let l = Array.unsafe_get st.left j and r = Array.unsafe_get st.right j in
+  let dx = Array.unsafe_get st.x l -. Array.unsafe_get st.x r in
+  let dy = Array.unsafe_get st.y l -. Array.unsafe_get st.y r in
+  let dz = Array.unsafe_get st.z l -. Array.unsafe_get st.z r in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+  let ir2 = 1.0 /. r2 in
+  let ir6 = ir2 *. ir2 *. ir2 in
+  let g = ((2.0 *. ir6 *. ir6) -. ir6) *. ir2 in
+  Array.unsafe_set st.fx l (Array.unsafe_get st.fx l +. (g *. dx));
+  Array.unsafe_set st.fx r (Array.unsafe_get st.fx r -. (g *. dx));
+  Array.unsafe_set st.fy l (Array.unsafe_get st.fy l +. (g *. dy));
+  Array.unsafe_set st.fy r (Array.unsafe_get st.fy r -. (g *. dy));
+  Array.unsafe_set st.fz l (Array.unsafe_get st.fz l +. (g *. dz));
+  Array.unsafe_set st.fz r (Array.unsafe_get st.fz r -. (g *. dz))
+
 (* Chain position c executes loop (c mod 2): a 2-loop schedule is one
-   time step, a 2S-loop schedule is S time steps (time-step tiling). *)
+   time step, a 2S-loop schedule is S time steps (time-step tiling).
+   Validated-once-then-unsafe: [check_fits] + the endpoint scan, then
+   the flat schedule streams with [Array.unsafe_get]. *)
 let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m |]) then
+    invalid_arg "Nbf.run_tiled: schedule does not fit the kernel";
+  check_endpoints ~who:"Nbf.run_tiled" st;
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _s = 1 to steps do
     for t = 0 to n_tiles - 1 do
       for c = 0 to n_chain - 1 do
-        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
-        if c mod 2 = 0 then Array.iter (update_i st) iters
-        else Array.iter (force_j st) iters
+        let r = (t * n_chain) + c in
+        let lo = Array.unsafe_get rp r and hi = Array.unsafe_get rp (r + 1) in
+        if c mod 2 = 0 then
+          for idx = lo to hi - 1 do
+            update_i_u st (Array.unsafe_get fl idx)
+          done
+        else
+          for idx = lo to hi - 1 do
+            force_j_u st (Array.unsafe_get fl idx)
+          done
       done
     done
   done
@@ -76,6 +123,9 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
    function of x/y/z, read-only during the position, so the ordered
    apply reproduces the serial float operations bit for bit. *)
 let plan_par_st st ~pool sched ~level_of =
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m |]) then
+    invalid_arg "Nbf.plan_par: schedule does not fit the kernel";
+  check_endpoints ~who:"Nbf.plan_par" st;
   let gx = Array.make st.m 0.0 in
   let gy = Array.make st.m 0.0 in
   let gz = Array.make st.m 0.0 in
@@ -84,24 +134,30 @@ let plan_par_st st ~pool sched ~level_of =
       ~is_reduction:(fun c -> c mod 2 = 1)
       ~left:st.left ~right:st.right ~n_data:st.n
   in
-  let body ~pos iters =
-    if pos mod 2 = 0 then Array.iter (update_i st) iters
-    else Array.iter (force_j st) iters
+  let body ~pos items lo hi =
+    if pos mod 2 = 0 then
+      for idx = lo to hi - 1 do
+        update_i_u st (Array.unsafe_get items idx)
+      done
+    else
+      for idx = lo to hi - 1 do
+        force_j_u st (Array.unsafe_get items idx)
+      done
   in
-  let stash ~pos:_ iters =
-    for idx = 0 to Array.length iters - 1 do
-      let j = iters.(idx) in
-      let l = st.left.(j) and r = st.right.(j) in
-      let dx = st.x.(l) -. st.x.(r) in
-      let dy = st.y.(l) -. st.y.(r) in
-      let dz = st.z.(l) -. st.z.(r) in
+  let stash ~pos:_ items lo hi =
+    for idx = lo to hi - 1 do
+      let j = Array.unsafe_get items idx in
+      let l = Array.unsafe_get st.left j and r = Array.unsafe_get st.right j in
+      let dx = Array.unsafe_get st.x l -. Array.unsafe_get st.x r in
+      let dy = Array.unsafe_get st.y l -. Array.unsafe_get st.y r in
+      let dz = Array.unsafe_get st.z l -. Array.unsafe_get st.z r in
       let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
       let ir2 = 1.0 /. r2 in
       let ir6 = ir2 *. ir2 *. ir2 in
       let g = ((2.0 *. ir6 *. ir6) -. ir6) *. ir2 in
-      gx.(j) <- g *. dx;
-      gy.(j) <- g *. dy;
-      gz.(j) <- g *. dz
+      Array.unsafe_set gx j (g *. dx);
+      Array.unsafe_set gy j (g *. dy);
+      Array.unsafe_set gz j (g *. dz)
     done
   in
   let apply ~pos:_ ~datum refs lo hi =
@@ -156,17 +212,25 @@ let run_traced_st st ~steps ~layout ~access =
     done
   done
 
+(* Traced twin: same flat walk, every access bounds-checked. *)
 let run_tiled_traced_st st sched ~steps ~layout ~access =
   let touch = make_touch ~layout ~access node_array_names in
   let touch_inter = make_touch ~layout ~access inter_array_names in
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
   for _s = 1 to steps do
     for t = 0 to n_tiles - 1 do
       for c = 0 to n_chain - 1 do
-        let iters = Reorder.Schedule.items sched ~tile:t ~loop:c in
-        if c mod 2 = 0 then Array.iter (trace_i ~touch) iters
-        else Array.iter (trace_j ~touch ~touch_inter st.left st.right) iters
+        let r = (t * n_chain) + c in
+        let lo = rp.(r) and hi = rp.(r + 1) in
+        if c mod 2 = 0 then
+          for i = lo to hi - 1 do trace_i ~touch fl.(i) done
+        else
+          for i = lo to hi - 1 do
+            trace_j ~touch ~touch_inter st.left st.right fl.(i)
+          done
       done
     done
   done

@@ -86,12 +86,12 @@ let level_major_order level_of =
   done;
   (order, first, counts)
 
+(* A tile's iterations are one contiguous block of the flat schedule,
+   so its weight is a row_ptr difference. *)
 let tile_weight sched tile =
-  let w = ref 0 in
-  for c = 0 to Reorder.Schedule.n_loops sched - 1 do
-    w := !w + Array.length (Reorder.Schedule.items sched ~tile ~loop:c)
-  done;
-  !w
+  let rp = Reorder.Schedule.row_ptr sched in
+  let nl = Reorder.Schedule.n_loops sched in
+  rp.((tile + 1) * nl) - rp.(tile * nl)
 
 (* Per-datum reference lists for one (level, position): scan the
    level's interaction iterations in serial order twice — once to
@@ -113,13 +113,16 @@ let build_red sched ~l_first ~l_count ~pos ~left ~right ~lanes ~count ~index_of
     count.(d) <- count.(d) + 1;
     incr n_refs
   in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
+  let nl = Reorder.Schedule.n_loops sched in
   for i = 0 to l_count - 1 do
-    let iters = Reorder.Schedule.items sched ~tile:(l_first + i) ~loop:pos in
-    Array.iter
-      (fun j ->
-        touch left.(j);
-        touch right.(j))
-      iters
+    let r = ((l_first + i) * nl) + pos in
+    for k = rp.(r) to rp.(r + 1) - 1 do
+      let j = fl.(k) in
+      touch left.(j);
+      touch right.(j)
+    done
   done;
   let r_data = Array.make !n_data 0 in
   List.iteri
@@ -137,12 +140,12 @@ let build_red sched ~l_first ~l_count ~pos ~left ~right ~lanes ~count ~index_of
     cursor.(i) <- cursor.(i) + 1
   in
   for i = 0 to l_count - 1 do
-    let iters = Reorder.Schedule.items sched ~tile:(l_first + i) ~loop:pos in
-    Array.iter
-      (fun j ->
-        emit left.(j) (j lsl 1);
-        emit right.(j) ((j lsl 1) lor 1))
-      iters
+    let r = ((l_first + i) * nl) + pos in
+    for k = rp.(r) to rp.(r + 1) - 1 do
+      let j = fl.(k) in
+      emit left.(j) (j lsl 1);
+      emit right.(j) ((j lsl 1) lor 1)
+    done
   done;
   (* Reset scratch for the next build. *)
   Array.iter (fun d -> count.(d) <- 0) r_data;
@@ -193,7 +196,9 @@ let run t ~steps ~body ~stash ~apply =
       ]
   @@ fun () ->
   let sched = t.sched in
-  let items tile pos = Reorder.Schedule.items sched ~tile ~loop:pos in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
+  let nl = Reorder.Schedule.n_loops sched in
   let counters = t.c_lane_iters in
   for _s = 1 to steps do
     Array.iter
@@ -205,9 +210,10 @@ let run t ~steps ~body ~stash ~apply =
           for i = 0 to lv.l_count - 1 do
             let tile = lv.l_first + i in
             for pos = 0 to t.n_chain - 1 do
-              let iters = items tile pos in
-              Rtrt_obs.Metrics.add counters.(0) (Array.length iters);
-              body ~pos iters
+              let r = (tile * nl) + pos in
+              let lo = rp.(r) and hi = rp.(r + 1) in
+              Rtrt_obs.Metrics.add counters.(0) (hi - lo);
+              body ~pos fl lo hi
             done
           done
         else
@@ -217,17 +223,19 @@ let run t ~steps ~body ~stash ~apply =
               Pool.parallel t.pool (fun lane ->
                   let s, len = lv.l_lane_tiles.(lane) in
                   for i = s to s + len - 1 do
-                    let iters = items (lv.l_first + i) pos in
-                    Rtrt_obs.Metrics.add counters.(lane) (Array.length iters);
-                    body ~pos iters
+                    let r = ((lv.l_first + i) * nl) + pos in
+                    let lo = rp.(r) and hi = rp.(r + 1) in
+                    Rtrt_obs.Metrics.add counters.(lane) (hi - lo);
+                    body ~pos fl lo hi
                   done)
             | Some red ->
               Pool.parallel t.pool (fun lane ->
                   let s, len = lv.l_lane_tiles.(lane) in
                   for i = s to s + len - 1 do
-                    let iters = items (lv.l_first + i) pos in
-                    Rtrt_obs.Metrics.add counters.(lane) (Array.length iters);
-                    stash ~pos iters
+                    let r = ((lv.l_first + i) * nl) + pos in
+                    let lo = rp.(r) and hi = rp.(r + 1) in
+                    Rtrt_obs.Metrics.add counters.(lane) (hi - lo);
+                    stash ~pos fl lo hi
                   done);
               Pool.parallel t.pool (fun lane ->
                   let s, len = red.r_lane_data.(lane) in

@@ -28,9 +28,11 @@ val schedule : t -> Reorder.Schedule.t
 val n_levels : t -> int
 
 (** [run t ~steps ~body ~stash ~apply] executes the plan. [body ~pos
-    iters] is the serial loop body for chain position [pos] (used for
-    serial levels and non-reduction positions). For reduction
-    positions of parallel levels, [stash ~pos iters] computes each
+    items lo hi] is the serial loop body for chain position [pos]
+    (used for serial levels and non-reduction positions); it runs the
+    iterations [items.(lo) .. items.(hi - 1)] — a row of the flat
+    schedule, handed over without copying. For reduction positions of
+    parallel levels, [stash ~pos items lo hi] computes each
     iteration's contribution into per-iteration scratch, and
     [apply ~pos ~datum refs lo hi] folds [refs.(lo..hi-1)] — packed as
     [(iter lsl 1) lor slot], slot 0 = left (+), 1 = right (-) — into
@@ -38,8 +40,8 @@ val n_levels : t -> int
 val run :
   t ->
   steps:int ->
-  body:(pos:int -> int array -> unit) ->
-  stash:(pos:int -> int array -> unit) ->
+  body:(pos:int -> int array -> int -> int -> unit) ->
+  stash:(pos:int -> int array -> int -> int -> unit) ->
   apply:(pos:int -> datum:int -> int array -> int -> int -> unit) ->
   unit
 

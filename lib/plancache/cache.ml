@@ -176,25 +176,25 @@ let insert_mem t hex entry =
 
 module J = Rtrt_obs.Json
 
-let format_version = 1
+(* Version 2 serializes schedules in the flat CSR shape ([row_ptr] over
+   [tile * n_loops + loop] rows plus a contiguous [items] array) that
+   [Schedule.t] stores natively. Version-1 files used nested per-tile
+   item lists; they fail the version check below and degrade to a miss
+   (the inspector then re-runs and overwrites them in v2). *)
+let format_version = 2
 
-let json_of_perm p =
-  J.List (List.map (fun i -> J.Int i) (Array.to_list (Perm.to_forward_array p)))
+let json_of_int_array a =
+  J.List (List.map (fun i -> J.Int i) (Array.to_list a))
+
+let json_of_perm p = json_of_int_array (Perm.to_forward_array p)
 
 let json_of_schedule s =
   J.Obj
     [
       ("n_tiles", J.Int (Schedule.n_tiles s));
       ("n_loops", J.Int (Schedule.n_loops s));
-      ( "tiles",
-        J.List
-          (List.init (Schedule.n_tiles s) (fun tile ->
-               J.List
-                 (List.init (Schedule.n_loops s) (fun loop ->
-                      J.List
-                        (List.map
-                           (fun i -> J.Int i)
-                           (Array.to_list (Schedule.items s ~tile ~loop))))))) );
+      ("row_ptr", json_of_int_array (Schedule.row_ptr s));
+      ("items", json_of_int_array (Schedule.flat_items s));
     ]
 
 let json_of_entry ~hex e =
@@ -248,62 +248,75 @@ let int_field name j =
   | Some n -> Ok n
   | None -> Error ("field " ^ name ^ " is not an integer")
 
-(* Rebuild a schedule through per-loop tile functions: the member
-   lists address iterations of each loop exactly once or the
-   reconstruction fails (bijectivity check for tile schedules, the
-   analogue of [Perm.of_forward] for permutations). *)
+(* Rebuild a schedule from its flat CSR serialization through per-loop
+   tile functions, so [Schedule.of_tile_fns] revalidates from scratch:
+   each loop's rows must address its iterations exactly once or the
+   reconstruction fails (the bijectivity check for tile schedules, the
+   analogue of [Perm.of_forward] for permutations). Reconstruction
+   also requires the file's [items] to match the canonical
+   (row-ascending) order the constructor produces — every writer emits
+   that order, and insisting on it keeps warm replay bit-identical to
+   the cold run. *)
 let schedule_of_json j =
   let* n_tiles = int_field "n_tiles" j in
   let* n_loops = int_field "n_loops" j in
   if n_tiles <= 0 || n_loops <= 0 then Error "bad schedule shape"
   else
-    let* tiles =
-      match J.member "tiles" j with
-      | Some (J.List ts) when List.length ts = n_tiles ->
-        let rec go acc = function
-          | [] -> Ok (List.rev acc)
-          | J.List loops :: rest when List.length loops = n_loops ->
-            let rec loops_go lacc = function
-              | [] -> Ok (List.rev lacc)
-              | l :: lrest ->
-                let* a = int_array_of_json l in
-                loops_go (a :: lacc) lrest
-            in
-            let* loops = loops_go [] loops in
-            go (Array.of_list loops :: acc) rest
-          | _ -> Error "bad tile row"
-        in
-        go [] ts
-      | _ -> Error "bad tiles field"
+    let* row_ptr =
+      let* v = field "row_ptr" j in
+      int_array_of_json v
     in
-    let tiles = Array.of_list tiles in
-    let fn_of_loop l =
-      let size =
-        Array.fold_left (fun acc row -> acc + Array.length row.(l)) 0 tiles
+    let* items =
+      let* v = field "items" j in
+      int_array_of_json v
+    in
+    let n_rows = n_tiles * n_loops in
+    let shape_ok =
+      Array.length row_ptr = n_rows + 1
+      && row_ptr.(0) = 0
+      && row_ptr.(n_rows) = Array.length items
+      &&
+      let mono = ref true in
+      for r = 0 to n_rows - 1 do
+        if row_ptr.(r + 1) < row_ptr.(r) then mono := false
+      done;
+      !mono
+    in
+    if not shape_ok then Error "bad schedule row pointers"
+    else
+      let fn_of_loop l =
+        let size = ref 0 in
+        for tile = 0 to n_tiles - 1 do
+          let r = (tile * n_loops) + l in
+          size := !size + (row_ptr.(r + 1) - row_ptr.(r))
+        done;
+        let size = !size in
+        let tile_of = Array.make size (-1) in
+        let ok = ref true in
+        for tile = 0 to n_tiles - 1 do
+          let r = (tile * n_loops) + l in
+          for i = row_ptr.(r) to row_ptr.(r + 1) - 1 do
+            let it = items.(i) in
+            if it < 0 || it >= size || tile_of.(it) <> -1 then ok := false
+            else tile_of.(it) <- tile
+          done
+        done;
+        if !ok then Ok { Sparse_tile.n_tiles; tile_of }
+        else Error "schedule loop does not cover its iterations exactly once"
       in
-      let tile_of = Array.make size (-1) in
-      let ok = ref true in
-      Array.iteri
-        (fun t row ->
-          Array.iter
-            (fun it ->
-              if it < 0 || it >= size || tile_of.(it) <> -1 then ok := false
-              else tile_of.(it) <- t)
-            row.(l))
-        tiles;
-      if !ok then Ok { Sparse_tile.n_tiles; tile_of }
-      else Error "schedule loop does not cover its iterations exactly once"
-    in
-    let rec fns acc l =
-      if l = n_loops then Ok (Array.of_list (List.rev acc))
-      else
-        let* fn = fn_of_loop l in
-        fns (fn :: acc) (l + 1)
-    in
-    let* fns = fns [] 0 in
-    match Schedule.of_tile_fns fns with
-    | s -> Ok s
-    | exception Invalid_argument msg -> Error msg
+      let rec fns acc l =
+        if l = n_loops then Ok (Array.of_list (List.rev acc))
+        else
+          let* fn = fn_of_loop l in
+          fns (fn :: acc) (l + 1)
+      in
+      let* fns = fns [] 0 in
+      match Schedule.of_tile_fns fns with
+      | s ->
+        if Schedule.row_ptr s = row_ptr && Schedule.flat_items s = items then
+          Ok s
+        else Error "schedule items not in canonical order"
+      | exception Invalid_argument msg -> Error msg
 
 let entry_of_json j =
   let* version = int_field "version" j in

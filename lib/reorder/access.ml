@@ -47,6 +47,39 @@ let of_single ~n_data idx =
 (* Iteration i touches location i (the i and k loops of moldyn). *)
 let identity n = of_single ~n_data:n (Array.init n (fun i -> i))
 
+(* Two-pass builder with no intermediate lists: [fill it emit] must
+   emit iteration [it]'s touches, the same multiset on both passes
+   (pass one counts, pass two scatters straight into the CSR arrays).
+   [sort_rows] additionally sorts each iteration's touches ascending
+   in place. This is the inspector-hot-path replacement for
+   [of_lists]. *)
+let of_touches ?(sort_rows = false) ~n_iter ~n_data fill =
+  let ptr = Array.make (n_iter + 1) 0 in
+  for it = 0 to n_iter - 1 do
+    let c = ref 0 in
+    fill it (fun (_ : int) -> incr c);
+    ptr.(it + 1) <- !c
+  done;
+  for it = 1 to n_iter do
+    ptr.(it) <- ptr.(it) + ptr.(it - 1)
+  done;
+  let dat = Array.make ptr.(n_iter) 0 in
+  let cursor = ref 0 in
+  let bad = ref false in
+  for it = 0 to n_iter - 1 do
+    let stop = ptr.(it + 1) in
+    fill it (fun d ->
+        if !cursor >= stop then bad := true
+        else begin
+          dat.(!cursor) <- d;
+          incr cursor
+        end);
+    if !cursor <> stop then bad := true;
+    if sort_rows then Irgraph.Scratch.sort_range dat ~lo:ptr.(it) ~hi:stop
+  done;
+  if !bad then invalid "Access.of_touches: generator is not repeatable";
+  make ~n_iter ~n_data ~ptr ~dat
+
 let of_lists ~n_data lists =
   let n_iter = Array.length lists in
   let ptr = Array.make (n_iter + 1) 0 in

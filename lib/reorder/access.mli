@@ -30,6 +30,19 @@ val identity : int -> t
 
 val of_lists : n_data:int -> int list array -> t
 
+(** [of_touches ~n_iter ~n_data fill] builds the mapping in two passes
+    over the generator: [fill it emit] must emit iteration [it]'s
+    touches identically on both passes (raises otherwise). No
+    intermediate lists are allocated — the touches scatter straight
+    into the CSR arrays. [sort_rows] sorts each iteration's touches
+    ascending. *)
+val of_touches :
+  ?sort_rows:bool ->
+  n_iter:int ->
+  n_data:int ->
+  (int -> (int -> unit) -> unit) ->
+  t
+
 val touches : t -> int -> int array
 val iter_touches : t -> int -> (int -> unit) -> unit
 val fold_touches : t -> int -> ('a -> int -> 'a) -> 'a -> 'a

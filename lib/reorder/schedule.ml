@@ -7,19 +7,53 @@
      do t = 1, num_tiles
        do i4 in sched(t,1) ...
        do j4 in sched(t,2) ...
-       do k4 in sched(t,3) ...  *)
+       do k4 in sched(t,3) ...
+
+   Representation: flat CSR. Row [tile * n_loops + loop] of [items]
+   spans [row_ptr.(row) .. row_ptr.(row + 1) - 1]; there is no per-tile
+   or per-loop boxing, so the executor streams one contiguous int array
+   front to back. A tile's rows are adjacent, so a whole tile's
+   iterations occupy the contiguous block
+   [row_ptr.(tile * n_loops) .. row_ptr.((tile + 1) * n_loops) - 1],
+   which makes tile weights O(1) and tile renumbering a blit.
+
+   Invariant (validated at construction, preserved by every operation
+   here): [row_ptr] is monotone with row_ptr.(0) = 0 and final entry
+   [Array.length items], and for each loop [l] the rows of [l] across
+   all tiles partition [0, size_l) where size_l is the length of the
+   tile function the loop was built from — provided [remap_loop] is
+   only applied with a permutation of size size_l, which is what data
+   reordering does. Executors re-check the cheap O(rows) consequence
+   [check_fits] against their own loop sizes and may then stream with
+   [Array.unsafe_get]. *)
 
 type t = {
   n_tiles : int;
   n_loops : int;
-  items : int array array array; (* items.(tile).(loop) = iterations *)
+  row_ptr : int array; (* length n_tiles * n_loops + 1 *)
+  items : int array;   (* row tile*n_loops+loop = that loop's members *)
 }
 
 let invalid fmt = Fmt.kstr invalid_arg fmt
 
+let c_builds = Rtrt_obs.Metrics.counter "hotpath.schedule.builds"
+
 let n_tiles s = s.n_tiles
 let n_loops s = s.n_loops
-let items s ~tile ~loop = s.items.(tile).(loop)
+let row_ptr s = s.row_ptr
+let flat_items s = s.items
+
+let row s ~tile ~loop =
+  if tile < 0 || tile >= s.n_tiles then invalid "Schedule.row: tile %d" tile;
+  if loop < 0 || loop >= s.n_loops then invalid "Schedule.row: loop %d" loop;
+  let r = (tile * s.n_loops) + loop in
+  (s.row_ptr.(r), s.row_ptr.(r + 1))
+
+(* Copying accessor for cold paths and tests; hot paths read [row_ptr]
+   and [items] directly. *)
+let items s ~tile ~loop =
+  let lo, hi = row s ~tile ~loop in
+  Array.sub s.items lo (hi - lo)
 
 let of_tile_fns (tiles : Sparse_tile.tile_fn array) =
   let n_loops = Array.length tiles in
@@ -30,38 +64,57 @@ let of_tile_fns (tiles : Sparse_tile.tile_fn array) =
       if t.Sparse_tile.n_tiles <> n_tiles then
         invalid "Schedule.of_tile_fns: inconsistent tile counts")
     tiles;
-  let items =
-    Array.init n_tiles (fun _ -> Array.make n_loops [||])
-  in
+  let n_rows = n_tiles * n_loops in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  (* Counting sort, pass 1: row lengths (shifted by one for the prefix
+     sum), validating every tile id on the way — this is the
+     "validated once" half of the validated-once-then-unsafe story. *)
   Array.iteri
     (fun l (tf : Sparse_tile.tile_fn) ->
-      let counts = Array.make n_tiles 0 in
-      Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tf.Sparse_tile.tile_of;
-      let arrays = Array.init n_tiles (fun t -> Array.make counts.(t) 0) in
-      let cursor = Array.make n_tiles 0 in
+      Array.iter
+        (fun t ->
+          if t < 0 || t >= n_tiles then
+            invalid "Schedule.of_tile_fns: tile id %d out of range (loop %d)" t l;
+          let r = (t * n_loops) + l in
+          row_ptr.(r + 1) <- row_ptr.(r + 1) + 1)
+        tf.Sparse_tile.tile_of)
+    tiles;
+  for r = 1 to n_rows do
+    row_ptr.(r) <- row_ptr.(r) + row_ptr.(r - 1)
+  done;
+  let items = Array.make row_ptr.(n_rows) 0 in
+  (* Pass 2: scatter. Scanning [tile_of] in ascending iteration order
+     leaves every row ascending. *)
+  let cursor = Array.copy row_ptr in
+  Array.iteri
+    (fun l (tf : Sparse_tile.tile_fn) ->
       Array.iteri
         (fun it t ->
-          arrays.(t).(cursor.(t)) <- it;
-          cursor.(t) <- cursor.(t) + 1)
-        tf.Sparse_tile.tile_of;
-      Array.iteri (fun t a -> items.(t).(l) <- a) arrays)
+          let r = (t * n_loops) + l in
+          Array.unsafe_set items cursor.(r) it;
+          cursor.(r) <- cursor.(r) + 1)
+        tf.Sparse_tile.tile_of)
     tiles;
-  { n_tiles; n_loops; items }
+  Rtrt_obs.Metrics.incr c_builds;
+  { n_tiles; n_loops; row_ptr; items }
 
 (* Execution order of loop [l]'s iterations: the concatenation of its
    per-tile member lists. *)
 let loop_order s l =
-  let total =
-    Array.fold_left (fun acc per_tile -> acc + Array.length per_tile.(l)) 0 s.items
-  in
-  let out = Array.make total 0 in
+  if l < 0 || l >= s.n_loops then invalid "Schedule.loop_order: loop %d" l;
+  let total = ref 0 in
+  for t = 0 to s.n_tiles - 1 do
+    let r = (t * s.n_loops) + l in
+    total := !total + s.row_ptr.(r + 1) - s.row_ptr.(r)
+  done;
+  let out = Array.make !total 0 in
   let pos = ref 0 in
-  Array.iter
-    (fun per_tile ->
-      let a = per_tile.(l) in
-      Array.blit a 0 out !pos (Array.length a);
-      pos := !pos + Array.length a)
-    s.items;
+  for t = 0 to s.n_tiles - 1 do
+    let r = (t * s.n_loops) + l in
+    let lo = s.row_ptr.(r) and hi = s.row_ptr.(r + 1) in
+    Array.blit s.items lo out !pos (hi - lo);
+    pos := !pos + (hi - lo)
+  done;
   out
 
 (* The iteration reordering delta induced on loop [l] by tiled
@@ -73,28 +126,25 @@ let perm_of_loop s l =
 (* Remap the iteration ids of [loop] through a permutation and keep
    each tile's member list ascending — how tilePack's data reordering
    renames the identity-mapped loops' iterations (T_{I3->I4}:
-   i4 = tp(i3)). *)
+   i4 = tp(i3)). Row lengths are unchanged, so [row_ptr] is shared. *)
 let remap_loop s ~loop perm =
-  let items =
-    Array.map
-      (fun per_tile ->
-        Array.mapi
-          (fun l a ->
-            if l <> loop then a
-            else begin
-              let a' = Array.map (Perm.forward perm) a in
-              Array.sort Stdlib.compare a';
-              a'
-            end)
-          per_tile)
-      s.items
-  in
+  if loop < 0 || loop >= s.n_loops then invalid "Schedule.remap_loop: loop %d" loop;
+  let items = Array.copy s.items in
+  for t = 0 to s.n_tiles - 1 do
+    let r = (t * s.n_loops) + loop in
+    let lo = s.row_ptr.(r) and hi = s.row_ptr.(r + 1) in
+    for i = lo to hi - 1 do
+      items.(i) <- Perm.forward perm items.(i)
+    done;
+    Irgraph.Scratch.sort_range items ~lo ~hi
+  done;
   { s with items }
 
 (* Renumber tiles: new tile [t] is old tile [order.(t)]. Used by the
    parallel engine to make tile ids level-major, so that serial
    execution order of the result coincides with the per-level parallel
-   order. [order] must be a permutation of [0, n_tiles). *)
+   order. [order] must be a permutation of [0, n_tiles). Each tile's
+   iterations are one contiguous block, so this is a blit per tile. *)
 let permute_tiles s ~order =
   if Array.length order <> s.n_tiles then
     invalid "Schedule.permute_tiles: order size %d <> %d tiles"
@@ -106,7 +156,23 @@ let permute_tiles s ~order =
         invalid "Schedule.permute_tiles: order is not a permutation";
       seen.(t) <- true)
     order;
-  { s with items = Array.map (fun t -> s.items.(t)) order }
+  let nl = s.n_loops in
+  let n_rows = s.n_tiles * nl in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let items = Array.make (Array.length s.items) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun t_new t_old ->
+      let lo = s.row_ptr.(t_old * nl) and hi = s.row_ptr.((t_old + 1) * nl) in
+      Array.blit s.items lo items !pos (hi - lo);
+      let delta = !pos - lo in
+      for l = 0 to nl - 1 do
+        row_ptr.((t_new * nl) + l) <- s.row_ptr.((t_old * nl) + l) + delta
+      done;
+      pos := !pos + (hi - lo))
+    order;
+  row_ptr.(n_rows) <- !pos;
+  { s with row_ptr; items }
 
 (* Every iteration of every loop appears exactly once. *)
 let check_coverage s ~loop_sizes =
@@ -116,18 +182,44 @@ let check_coverage s ~loop_sizes =
   Array.iteri
     (fun l size ->
       let seen = Array.make size 0 in
-      Array.iter
-        (fun per_tile -> Array.iter (fun it -> seen.(it) <- seen.(it) + 1) per_tile.(l))
-        s.items;
+      (try
+         for t = 0 to s.n_tiles - 1 do
+           let r = (t * s.n_loops) + l in
+           for i = s.row_ptr.(r) to s.row_ptr.(r + 1) - 1 do
+             let it = s.items.(i) in
+             if it < 0 || it >= size then raise Exit;
+             seen.(it) <- seen.(it) + 1
+           done
+         done
+       with Exit -> ok := false);
       if not (Array.for_all (fun c -> c = 1) seen) then ok := false)
     loop_sizes;
   !ok
 
-let total_iterations s =
-  Array.fold_left
-    (fun acc per_tile ->
-      Array.fold_left (fun acc a -> acc + Array.length a) acc per_tile)
-    0 s.items
+(* Cheap O(rows) executor guard: [loop_sizes] gives the iteration count
+   of each chain position; a schedule whose [n_loops] is a multiple of
+   the chain length (time-step tiling unrolls the chain) fits when the
+   rows of loop [l] hold exactly [loop_sizes.(l mod chain)] iterations
+   in total. Together with the construction invariant (each loop's rows
+   partition [0, size_l)) this makes unsafe streaming over data arrays
+   of those sizes sound. *)
+let check_fits s ~loop_sizes =
+  let k = Array.length loop_sizes in
+  if k = 0 || s.n_loops mod k <> 0 then false
+  else begin
+    let ok = ref true in
+    for l = 0 to s.n_loops - 1 do
+      let total = ref 0 in
+      for t = 0 to s.n_tiles - 1 do
+        let r = (t * s.n_loops) + l in
+        total := !total + s.row_ptr.(r + 1) - s.row_ptr.(r)
+      done;
+      if !total <> loop_sizes.(l mod k) then ok := false
+    done;
+    !ok
+  end
+
+let total_iterations s = Array.length s.items
 
 let pp ppf s =
   Fmt.pf ppf "schedule(%d tiles x %d loops, %d iterations)" s.n_tiles s.n_loops

@@ -1,20 +1,42 @@
 (** Executor schedules for sparse-tiled loop chains: sched(t, l) of
-    Section 5.4 / Figure 14. *)
+    Section 5.4 / Figure 14, stored as flat CSR.
+
+    Row [tile * n_loops + loop] of [items] spans
+    [row_ptr.(row) .. row_ptr.(row + 1) - 1]. A tile's rows are
+    adjacent, so one tile's iterations form a single contiguous block
+    of [items]. Construction ([of_tile_fns]) validates that each
+    loop's rows partition its iteration space, and every operation
+    below preserves that invariant — consumers that re-check
+    {!check_fits} against their own loop sizes may stream [items] with
+    [Array.unsafe_get] (see README "Hot paths"). *)
 
 type t = private {
   n_tiles : int;
   n_loops : int;
-  items : int array array array;
+  row_ptr : int array;  (** length [n_tiles * n_loops + 1] *)
+  items : int array;    (** all member iterations, row-contiguous *)
 }
 
 val n_tiles : t -> int
 val n_loops : t -> int
 
-(** Member iterations of [loop] inside [tile], ascending. *)
+val row_ptr : t -> int array
+(** The CSR row pointers themselves, without copying. Do not mutate. *)
+
+val flat_items : t -> int array
+(** The flat iteration array itself, without copying. Do not mutate. *)
+
+val row : t -> tile:int -> loop:int -> int * int
+(** Bounds [(lo, hi)] of [loop]'s members inside [tile]:
+    [flat_items.(lo) .. flat_items.(hi - 1)], ascending. *)
+
 val items : t -> tile:int -> loop:int -> int array
+(** Copy of [loop]'s members inside [tile], ascending. Allocates; hot
+    paths should use {!row} / the record fields instead. *)
 
 (** Build from per-loop tile functions (which must agree on the number
-    of tiles, as {!Sparse_tile.full} guarantees). *)
+    of tiles, as {!Sparse_tile.full} guarantees). Validates every tile
+    id; raises [Invalid_argument] on an out-of-range id. *)
 val of_tile_fns : Sparse_tile.tile_fn array -> t
 
 (** Concatenated per-tile execution order of loop [l]. *)
@@ -29,11 +51,19 @@ val remap_loop : t -> loop:int -> Perm.t -> t
 
 (** Renumber tiles: new tile [t] is old tile [order.(t)]; raises
     [Invalid_argument] unless [order] is a permutation of the tile
-    ids. *)
+    ids. One blit per tile thanks to block contiguity. *)
 val permute_tiles : t -> order:int array -> t
 
-(** Each iteration of each loop appears exactly once. *)
+(** Each iteration of each loop appears exactly once. O(iterations). *)
 val check_coverage : t -> loop_sizes:int array -> bool
+
+(** Cheap O(rows) executor guard. [loop_sizes] lists the chain's
+    per-position iteration counts; [n_loops] must be a positive
+    multiple of the chain length (time-step tiling unrolls the chain),
+    and loop [l]'s rows must hold exactly [loop_sizes.(l mod chain)]
+    iterations in total. Executors call this once per run, then stream
+    with [Array.unsafe_get]. *)
+val check_fits : t -> loop_sizes:int array -> bool
 
 val total_iterations : t -> int
 val pp : t Fmt.t

@@ -24,12 +24,15 @@ let run ~(schedule : Schedule.t) ~(accesses : (int * Access.t) list) ~n_data =
       incr count
     end
   in
+  let rp = Schedule.row_ptr schedule and fl = Schedule.flat_items schedule in
+  let nl = Schedule.n_loops schedule in
   for tile = 0 to Schedule.n_tiles schedule - 1 do
     List.iter
       (fun (loop, access) ->
-        Array.iter
-          (fun it -> Access.iter_touches access it place)
-          (Schedule.items schedule ~tile ~loop))
+        let r = (tile * nl) + loop in
+        for i = rp.(r) to rp.(r + 1) - 1 do
+          Access.iter_touches access fl.(i) place
+        done)
       accesses
   done;
   for loc = 0 to n_data - 1 do

@@ -19,39 +19,36 @@ type t = {
   tile_cost : int array;     (* iterations per tile *)
 }
 
-(* Tile DAG edges from the chain's dependences, deduplicated through a
-   table keyed on the int [ta * n_tiles + tb] (tuple keys would box an
-   allocation per touch) and sized from the dependence count. *)
+(* Tile DAG edges from the chain's dependences: collect packed int
+   keys [ta * n_tiles + tb] into a pooled scratch buffer, then
+   sort-and-dedup — no Hashtbl, no tuple boxing per touch. *)
 let tile_edges ~(chain : Sparse_tile.chain) ~(tiles : Sparse_tile.tile_fn array) =
   let n_tiles = tiles.(0).Sparse_tile.n_tiles in
-  let n_touches =
-    Array.fold_left (fun acc conn -> acc + Access.n_touches conn) 0
-      chain.Sparse_tile.conn
-  in
-  let edges : (int, unit) Hashtbl.t = Hashtbl.create (max 64 n_touches) in
+  Irgraph.Scratch.with_buf @@ fun buf ->
   Array.iteri
     (fun l (conn : Access.t) ->
       let t_src = tiles.(l) and t_dst = tiles.(l + 1) in
       for b = 0 to Access.n_iter conn - 1 do
+        let tb = t_dst.Sparse_tile.tile_of.(b) in
         Access.iter_touches conn b (fun a ->
-            let ta = t_src.Sparse_tile.tile_of.(a)
-            and tb = t_dst.Sparse_tile.tile_of.(b) in
-            if ta <> tb then
-              Hashtbl.replace edges ((ta * n_tiles) + tb) ())
+            let ta = t_src.Sparse_tile.tile_of.(a) in
+            if ta <> tb then Irgraph.Scratch.push buf ((ta * n_tiles) + tb))
       done)
     chain.Sparse_tile.conn;
-  Hashtbl.fold (fun key () acc -> (key / n_tiles, key mod n_tiles) :: acc)
-    edges []
+  Irgraph.Scratch.sort_dedup buf;
+  Array.init (Irgraph.Scratch.length buf) (fun i ->
+      let key = Irgraph.Scratch.get buf i in
+      (key / n_tiles, key mod n_tiles))
 
-(* Levelize an explicit (deduplicated) edge list over [n_tiles] tiles.
-   Legality guarantees ta <= tb on every dependence, so the DAG's
-   edges all point from lower to higher tile ids and a single
+(* Levelize an explicit (deduplicated) edge array over [n_tiles]
+   tiles. Legality guarantees ta <= tb on every dependence, so the
+   DAG's edges all point from lower to higher tile ids and a single
    ascending pass levelizes it. *)
 let of_edges ~n_tiles ~tile_cost edges =
   if Array.length tile_cost <> n_tiles then
     invalid_arg "Tile_par.of_edges: tile_cost size";
   let preds = Array.make n_tiles [] in
-  List.iter
+  Array.iter
     (fun (ta, tb) ->
       if ta > tb then invalid_arg "Tile_par.of_edges: illegal tiling";
       preds.(tb) <- ta :: preds.(tb))
@@ -100,18 +97,28 @@ let average_parallelism t =
 let shared_data_conflicts t ~(access : Access.t)
     ~(tile_of_iter : int array) =
   let n_data = Access.n_data access in
-  (* For each datum, the set of (level, tile) of its touchers. *)
-  let conflicts = Hashtbl.create 64 in
   let touchers = Array.make n_data (-1) in
+  (* Collect the (possibly duplicated) conflicting pairs, then let the
+     conflict graph collapse multiplicity: [Csr.of_edges] keeps
+     duplicates by design and [num_distinct_edges] counts each
+     conflicting pair once. *)
+  Irgraph.Scratch.with_buf @@ fun pairs ->
   for it = 0 to Access.n_iter access - 1 do
     let tile = tile_of_iter.(it) in
     Access.iter_touches access it (fun d ->
         let prev = touchers.(d) in
         if prev >= 0 && prev <> tile && t.level_of.(prev) = t.level_of.(tile)
-        then Hashtbl.replace conflicts (min prev tile, max prev tile) ();
+        then
+          Irgraph.Scratch.push pairs
+            ((min prev tile * t.n_tiles) + max prev tile);
         touchers.(d) <- tile)
   done;
-  Hashtbl.length conflicts
+  let edges =
+    Array.init (Irgraph.Scratch.length pairs) (fun i ->
+        let key = Irgraph.Scratch.get pairs i in
+        (key / t.n_tiles, key mod t.n_tiles))
+  in
+  Irgraph.Csr.num_distinct_edges (Irgraph.Csr.of_edges ~n:t.n_tiles edges)
 
 (* Greedy list-scheduled makespan (longest-processing-time within each
    level, barrier between levels), with tile cost = iteration count. *)

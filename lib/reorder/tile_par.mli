@@ -10,16 +10,17 @@ type t = {
   tile_cost : int array; (** iterations per tile *)
 }
 
-(** Tile DAG edges induced by the chain's dependences (deduplicated). *)
+(** Tile DAG edges induced by the chain's dependences, deduplicated
+    and sorted ascending (by source, then destination). *)
 val tile_edges :
   chain:Sparse_tile.chain ->
   tiles:Sparse_tile.tile_fn array ->
-  (int * int) list
+  (int * int) array
 
-(** Levelize an explicit deduplicated edge list; raises
+(** Levelize an explicit deduplicated edge array; raises
     [Invalid_argument] if an edge points from a later to an earlier
     tile, or if [tile_cost] does not have [n_tiles] entries. *)
-val of_edges : n_tiles:int -> tile_cost:int array -> (int * int) list -> t
+val of_edges : n_tiles:int -> tile_cost:int array -> (int * int) array -> t
 
 (** Levelize; raises [Invalid_argument] if the tiling is illegal
     (an edge from a later to an earlier tile). *)

@@ -28,6 +28,17 @@ let test_csr_self_loops () =
   let g = Csr.of_edges ~n:3 [| (0, 0); (0, 1); (1, 1) |] in
   Alcotest.(check int) "self-loops dropped" 1 (Csr.num_edges g)
 
+let test_csr_multigraph_edges () =
+  (* num_edges counts parallel copies; num_distinct_edges collapses
+     them; edges lists u < v pairs, u-ascending, with multiplicity. *)
+  let g = Csr.of_edges ~n:4 [| (0, 1); (1, 0); (2, 3); (3, 3) |] in
+  Alcotest.(check int) "parallel copies counted" 3 (Csr.num_edges g);
+  Alcotest.(check int) "distinct pairs" 2 (Csr.num_distinct_edges g);
+  Alcotest.(check (array (pair int int)))
+    "edges u<v, u-ascending, with multiplicity"
+    [| (0, 1); (0, 1); (2, 3) |]
+    (Csr.edges g)
+
 let test_csr_of_accesses () =
   (* Iterations touching pairs: a clique is induced per iteration. *)
   let g = Csr.of_accesses ~n_data:4 [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |] in
@@ -236,7 +247,7 @@ let prop_components_consistent =
     (fun (n, edges) ->
       let g = Csr.of_edges ~n edges in
       let _, comp = Csr.connected_components g in
-      List.for_all (fun (u, v) -> comp.(u) = comp.(v)) (Csr.edges g))
+      Array.for_all (fun (u, v) -> comp.(u) = comp.(v)) (Csr.edges g))
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -247,6 +258,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_csr_basic;
           Alcotest.test_case "self loops" `Quick test_csr_self_loops;
+          Alcotest.test_case "multigraph edges" `Quick
+            test_csr_multigraph_edges;
           Alcotest.test_case "of_accesses" `Quick test_csr_of_accesses;
           Alcotest.test_case "bfs order" `Quick test_bfs_order;
           Alcotest.test_case "components" `Quick test_components;

@@ -419,13 +419,13 @@ let test_tile_par_of_edges () =
   (* 0 -> 1, 0 -> 2, {1,2} -> 3: levels {0} {1,2} {3}. *)
   let p =
     Reorder.Tile_par.of_edges ~n_tiles:4 ~tile_cost:[| 1; 1; 1; 1 |]
-      [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+      [| (0, 1); (0, 2); (1, 3); (2, 3) |]
   in
   Alcotest.(check int) "levels" 3 p.Reorder.Tile_par.n_levels;
   Alcotest.(check (array int)) "level_of" [| 0; 1; 1; 2 |]
     p.Reorder.Tile_par.level_of;
   match
-    Reorder.Tile_par.of_edges ~n_tiles:2 ~tile_cost:[| 1; 1 |] [ (1, 0) ]
+    Reorder.Tile_par.of_edges ~n_tiles:2 ~tile_cost:[| 1; 1 |] [| (1, 0) |]
   with
   | _ -> Alcotest.fail "backward edge accepted"
   | exception Invalid_argument _ -> ()

@@ -230,13 +230,42 @@ let test_disk_rejects_non_bijective_perm () =
   Out_channel.with_open_bin path (fun oc ->
       output_string oc
         (Fmt.str
-           {|{"version":1,"key":"%s","sigma":[0,0],"delta":[0,1],"schedule":null,"fns":[],"n_data_remaps":0,"cold_inspector_seconds":0.0}|}
+           {|{"version":2,"key":"%s","sigma":[0,0],"delta":[0,1],"schedule":null,"fns":[],"n_data_remaps":0,"cold_inspector_seconds":0.0}|}
            (F.to_hex key)));
   let cache = Cache.create ~dir () in
   Alcotest.(check bool) "non-bijective sigma is a miss" true
     (Cache.find cache ~key ~n_data:2 ~n_iter:2 ~loop_sizes:[| 2 |] = None);
   Alcotest.(check int) "disk error counted" 1
     (Cache.stats cache).Cache.disk_errors
+
+let test_disk_rejects_stale_format_version () =
+  (* A version-1 file (nested "tiles" schedule shape, from before the
+     flat-CSR migration) must degrade to a miss, never crash — the
+     re-inspection then overwrites it in the v2 flat shape. *)
+  let dir = fresh_dir () in
+  let key = key_of_string "stale-v1" in
+  let path = Filename.concat dir (F.to_hex key ^ ".json") in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc
+        (Fmt.str
+           {|{"version":1,"key":"%s","sigma":[0,1],"delta":[0,1],"schedule":{"n_tiles":1,"n_loops":1,"tiles":[[[0,1]]]},"fns":[],"n_data_remaps":0,"cold_inspector_seconds":0.0}|}
+           (F.to_hex key)));
+  let cache = Cache.create ~dir () in
+  Alcotest.(check bool) "v1 entry is a miss" true
+    (Cache.find cache ~key ~n_data:2 ~n_iter:2 ~loop_sizes:[| 2 |] = None);
+  Alcotest.(check int) "disk error counted" 1
+    (Cache.stats cache).Cache.disk_errors;
+  (* Storing through the current code writes the flat v2 shape. *)
+  Cache.store cache ~key (dummy_entry 2);
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let has_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rewritten as version 2" true
+    (has_sub contents {|"version":2|})
 
 (* ------------------------------------------------------------------ *)
 (* Metrics and Experiment integration                                  *)
@@ -324,6 +353,8 @@ let () =
             test_disk_corruption_degrades_to_miss;
           Alcotest.test_case "non-bijective perm -> miss" `Quick
             test_disk_rejects_non_bijective_perm;
+          Alcotest.test_case "stale v1 format -> miss" `Quick
+            test_disk_rejects_stale_format_version;
         ] );
       ( "integration",
         [

@@ -452,6 +452,101 @@ let prop_schedule_covers =
       let sched = Schedule.of_tile_fns tiles in
       Schedule.check_coverage sched ~loop_sizes:[| n_data; n_iter; n_data |])
 
+(* Reference schedule implementation over nested arrays — the pre-flat
+   representation, reimplemented independently so the flat-CSR
+   [Schedule] can be checked operation by operation against it. *)
+module Nested_sched = struct
+  type t = { nt : int; nl : int; rows : int array array array }
+  (* rows.(tile).(loop) = member iterations, ascending *)
+
+  let of_tile_fns (tiles : Sparse_tile.tile_fn array) =
+    let nt = tiles.(0).Sparse_tile.n_tiles in
+    let nl = Array.length tiles in
+    let rows = Array.init nt (fun _ -> Array.make nl [||]) in
+    Array.iteri
+      (fun l (tf : Sparse_tile.tile_fn) ->
+        let lists = Array.make nt [] in
+        let tile_of = tf.Sparse_tile.tile_of in
+        for it = Array.length tile_of - 1 downto 0 do
+          lists.(tile_of.(it)) <- it :: lists.(tile_of.(it))
+        done;
+        Array.iteri (fun t members -> rows.(t).(l) <- Array.of_list members)
+          lists)
+      tiles;
+    { nt; nl; rows }
+
+  let items s ~tile ~loop = s.rows.(tile).(loop)
+
+  let loop_order s l =
+    Array.concat (Array.to_list (Array.map (fun per -> per.(l)) s.rows))
+
+  let remap_loop s ~loop p =
+    let rows =
+      Array.map
+        (fun per ->
+          Array.mapi
+            (fun l row ->
+              if l <> loop then Array.copy row
+              else begin
+                let r = Array.map (Perm.forward p) row in
+                Array.sort compare r;
+                r
+              end)
+            per)
+        s.rows
+    in
+    { s with rows }
+
+  let permute_tiles s ~order =
+    { s with rows = Array.map (fun old -> s.rows.(old)) order }
+end
+
+let schedules_agree sched (r : Nested_sched.t) =
+  Schedule.n_tiles sched = r.Nested_sched.nt
+  && Schedule.n_loops sched = r.Nested_sched.nl
+  &&
+  let ok = ref true in
+  for tile = 0 to r.Nested_sched.nt - 1 do
+    for loop = 0 to r.Nested_sched.nl - 1 do
+      if Schedule.items sched ~tile ~loop <> Nested_sched.items r ~tile ~loop
+      then ok := false
+    done
+  done;
+  for l = 0 to r.Nested_sched.nl - 1 do
+    if Schedule.loop_order sched l <> Nested_sched.loop_order r l then
+      ok := false
+  done;
+  !ok
+
+let prop_schedule_flat_matches_nested =
+  QCheck.Test.make ~name:"flat schedule matches nested reference" ~count:100
+    arb_access (fun (n_data, left, right) ->
+      let acc = Access.of_pairs ~n_data left right in
+      let n_iter = Array.length left in
+      let chain =
+        Sparse_tile.make_chain
+          ~loop_sizes:[| n_data; n_iter; n_data |]
+          ~conn:[| acc; Access.transpose acc |]
+      in
+      let seed =
+        Sparse_tile.tile_fn_of_partition
+          (Irgraph.Partition.block ~n:n_iter ~part_size:3)
+      in
+      let tiles = Sparse_tile.full ~chain ~seed:1 ~seed_tiles:seed () in
+      let sched = Schedule.of_tile_fns tiles in
+      let r = Nested_sched.of_tile_fns tiles in
+      let rot n = Perm.of_forward (Array.init n (fun i -> (i + 1) mod n)) in
+      let p = rot n_iter in
+      let nt = Schedule.n_tiles sched in
+      let order = Array.init nt (fun t -> (t + 1) mod nt) in
+      schedules_agree sched r
+      && schedules_agree
+           (Schedule.remap_loop sched ~loop:1 p)
+           (Nested_sched.remap_loop r ~loop:1 p)
+      && schedules_agree
+           (Schedule.permute_tiles sched ~order)
+           (Nested_sched.permute_tiles r ~order))
+
 (* Data and iteration reorderings act on independent coordinates of an
    access pattern, so their application order cannot matter. *)
 let prop_map_data_reorder_iters_commute =
@@ -786,6 +881,7 @@ let () =
             prop_fst_always_legal;
             prop_cache_block_always_legal;
             prop_schedule_covers;
+            prop_schedule_flat_matches_nested;
             prop_map_data_reorder_iters_commute;
             prop_perm_compose_assoc;
             prop_perm_inverse_cancels;
