@@ -99,6 +99,7 @@ let bench_inspectors ~bench_name ~dataset_name =
       [
         make_test Compose.Inspector.Remap_each "remap-each";
         make_test Compose.Inspector.Remap_once "remap-once";
+        make_test Compose.Inspector.Fused "fused";
       ]
   in
   print_results
@@ -318,6 +319,27 @@ let hotpath_table () =
 let hotpath_only =
   Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_HOTPATH_ONLY" ~default:false ()
 
+(* ------------------------------------------------------------------ *)
+(* Inspector cold-cost table: serial Remap_once vs the fused one-pass
+   composition, serial and pooled, with bit-identity checks (writes
+   BENCH_INSPECTOR.json for the CI perf trajectory). *)
+
+let bench_inspector_json_path =
+  Option.value
+    (Sys.getenv_opt "RTRT_BENCH_INSPECTOR_JSON")
+    ~default:"BENCH_INSPECTOR.json"
+
+let inspector_table () =
+  let report = Harness.Inspctime.measure ~scale () in
+  Fmt.pr "%a" Harness.Inspctime.pp_report report;
+  if not (Harness.Inspctime.identical report) then
+    Fmt.pr "WARNING: a fused variant diverged from the serial baseline@.";
+  Harness.Inspctime.write_json ~path:bench_inspector_json_path report;
+  Fmt.pr "wrote %s@." bench_inspector_json_path
+
+let inspector_only =
+  Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_INSPECTOR_ONLY" ~default:false ()
+
 let () =
   Rtrt_obs.Config.init ();
   Fmt.pr "rtrt bench harness; dataset scale %d (RTRT_SCALE overrides)@." scale;
@@ -340,6 +362,13 @@ let () =
        JSON. *)
     section "Hot paths (flat-CSR schedule walk, tiled steady state)";
     hotpath_table ();
+    exit 0);
+
+  if inspector_only then (
+    (* Fast mode for the CI inspector job: only the fused cold-cost
+       table + JSON. *)
+    section "Inspector cold cost (serial vs fused vs fused+pool)";
+    inspector_table ();
     exit 0);
 
   section "Section 2.4: datasets";
@@ -423,6 +452,9 @@ let () =
 
   section "Hot paths (flat-CSR schedule walk, tiled steady state)";
   hotpath_table ();
+
+  section "Inspector cold cost (serial vs fused vs fused+pool)";
+  inspector_table ();
 
   section "Wall-clock executor benchmarks (Figures 6/7 cross-check)";
   List.iter

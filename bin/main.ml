@@ -12,7 +12,7 @@
      rtrt guide               Section 7 runtime composition selection
      rtrt ablations           design-choice ablations A1-A9
      rtrt raw                 absolute counts for one configuration
-     rtrt bench               wall-clock hot-path tables (--only hotpath)
+     rtrt bench               wall-clock tables (--only hotpath|inspector)
      rtrt json                one figure's rows as JSON (jq-ready)
      rtrt trace-report        span-tree summary of a JSONL trace
      rtrt all                 the figure suite end to end
@@ -382,13 +382,24 @@ let run_trace_report file scale steps =
     print_trace_report (events ())
 
 let run_bench only out scale =
+  let path default = Option.value out ~default in
   match only with
   | "hotpath" ->
+    let out = path "BENCH_HOTPATH.json" in
     let report = Harness.Hotpath.measure ~scale () in
     Fmt.pr "%a" Harness.Hotpath.pp_report report;
     Harness.Hotpath.write_json ~path:out report;
     Fmt.pr "wrote %s@." out
-  | o -> Fmt.invalid_arg "unknown bench table %s (expected hotpath)" o
+  | "inspector" ->
+    let out = path "BENCH_INSPECTOR.json" in
+    let report = Harness.Inspctime.measure ~scale () in
+    Fmt.pr "%a" Harness.Inspctime.pp_report report;
+    if not (Harness.Inspctime.identical report) then
+      Fmt.pr "WARNING: a fused variant diverged from the serial baseline@.";
+    Harness.Inspctime.write_json ~path:out report;
+    Fmt.pr "wrote %s@." out
+  | o ->
+    Fmt.invalid_arg "unknown bench table %s (expected hotpath or inspector)" o
 
 let run_codegen bench =
   let program =
@@ -554,18 +565,24 @@ let bench_cmd =
   let only =
     Arg.(
       value
-      & opt (enum [ ("hotpath", "hotpath") ]) "hotpath"
+      & opt (enum [ ("hotpath", "hotpath"); ("inspector", "inspector") ])
+          "hotpath"
       & info [ "only" ] ~docv:"TABLE"
           ~doc:
             "Which wall-clock table to run. $(b,hotpath): flat-CSR \
              schedule-walk bandwidth vs the nested reference, moldyn \
-             tiled-vs-plain steady state, and the inspector phase breakdown.")
+             tiled-vs-plain steady state, and the inspector phase breakdown. \
+             $(b,inspector): cold-inspection cost, serial vs fused vs \
+             fused+pool, with bit-identity checks.")
   in
   let out =
     Arg.(
       value
-      & opt string "BENCH_HOTPATH.json"
-      & info [ "out" ] ~docv:"FILE" ~doc:"Path for the JSON results.")
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Path for the JSON results (default BENCH_HOTPATH.json or \
+             BENCH_INSPECTOR.json, by table).")
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Wall-clock hot-path benchmarks")

@@ -5,9 +5,15 @@
 (** Section 6's remap trade-off: [Remap_each] remaps the kernel after
     every transformation (Figure 15); [Remap_once] adjusts only the
     index arrays along the way and remaps the data arrays a single
-    time at the end (Figure 11). Results are identical; inspector cost
-    differs (Figure 16). *)
-type strategy = Remap_each | Remap_once
+    time at the end (Figure 11); [Fused] goes one step further and
+    defers the index and schedule updates too — inspectors traverse a
+    *view* of the original access through the composed (sigma, delta)
+    accumulators (updated in place with {!Reorder.Perm.compose_into}),
+    so a composition performs one pass over the access per
+    transformation and one final remap. Results are identical across
+    all three (bit for bit); only the inspector cost differs
+    (Figure 16). *)
+type strategy = Remap_each | Remap_once | Fused
 
 type result = {
   kernel : Kernels.Kernel.t; (** transformed kernel for the executor *)
@@ -28,7 +34,10 @@ type result = {
     kernel's shape and access pattern, the plan's transformations and
     parameters, the remap strategy, and the symmetric-dependence flag.
     Defaults match {!run}'s defaults. The plan name is excluded — two
-    differently-named plans with the same transforms share a key. *)
+    differently-named plans with the same transforms share a key, and
+    [Fused] fingerprints as [Remap_once] (their results are
+    bit-identical, so cache entries interchange; the agreement is
+    verified when a fused run stores over an existing entry). *)
 val fingerprint :
   ?strategy:strategy ->
   ?share_symmetric_deps:bool ->
@@ -42,9 +51,13 @@ val fingerprint :
     [share_symmetric_deps] enables the Section 6 symmetric-dependence
     elision during sparse-tile growth (default true). Default strategy
     is [Remap_once]. When [pool] is given (and has more than one
-    domain), the Lexgroup and Gpart inspector hot paths run on the
-    pool; their output is bit-identical to the serial algorithms, so
-    results never depend on the domain count.
+    domain), the inspector hot paths — CPACK, lexGroup, Gpart,
+    multilevel, graph construction, tile growth (which then walks only
+    the predecessor dependence set, reconstructing the successor
+    direction by scatter-min), legality checking, tilePack, and the
+    fused view materialization — run on the pool; their output is
+    bit-identical to the serial algorithms, so results never depend on
+    the domain count.
 
     When [cache] is given, the inspection is keyed by {!fingerprint}:
     a hit skips every per-transformation inspector and replays the

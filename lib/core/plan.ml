@@ -72,6 +72,13 @@ let gpart_lexgroup ~part_size =
       Transform.Iter_reorder Transform.Lexgroup;
     ]
 
+let gpart_cpack ~part_size =
+  make ~name:"GC"
+    [
+      Transform.Data_reorder (Transform.Gpart { part_size });
+      Transform.Data_reorder Transform.Cpack;
+    ]
+
 let cpack_lexgroup_twice =
   make ~name:"CLCL"
     [

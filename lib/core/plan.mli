@@ -29,6 +29,10 @@ val cpack_lexgroup : t
 (** Gpart followed by lexGroup ("GL"). *)
 val gpart_lexgroup : part_size:int -> t
 
+(** Gpart followed by CPACK ("GC"): two data reorderings back to
+    back, the composition the fused inspector benchmark times. *)
+val gpart_cpack : part_size:int -> t
+
 (** CPACK, lexGroup, CPACK, lexGroup ("CLCL", Section 5.3). *)
 val cpack_lexgroup_twice : t
 

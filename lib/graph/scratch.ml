@@ -18,20 +18,50 @@ type t = { mutable buf : int array; mutable len : int }
 
 let c_grow = Rtrt_obs.Metrics.counter "hotpath.scratch.grows"
 let c_reuse = Rtrt_obs.Metrics.counter "hotpath.scratch.reuses"
+let g_peak_bytes = Rtrt_obs.Metrics.gauge "scratch.peak_bytes"
 
-let create ?(capacity = 256) () = { buf = Array.make (max 16 capacity) 0; len = 0 }
+(* Live backing-store bytes across every domain's pool (plus buffers
+   currently borrowed), and the high-water mark. The peak is what DLS
+   pooling pins for the rest of the process unless [trim] releases
+   it. *)
+let live_bytes = Atomic.make 0
+let peak_bytes = Atomic.make 0
+
+let bytes_per_cell = 8
+
+let account_alloc cells =
+  let b = Atomic.fetch_and_add live_bytes (cells * bytes_per_cell)
+          + (cells * bytes_per_cell) in
+  let rec bump () =
+    let p = Atomic.get peak_bytes in
+    if b > p then
+      if Atomic.compare_and_set peak_bytes p b then
+        Rtrt_obs.Metrics.set g_peak_bytes (float_of_int b)
+      else bump ()
+  in
+  bump ()
+
+let account_free cells =
+  ignore (Atomic.fetch_and_add live_bytes (-(cells * bytes_per_cell)))
+
+let create ?(capacity = 256) () =
+  let cap = max 16 capacity in
+  account_alloc cap;
+  { buf = Array.make cap 0; len = 0 }
 
 let length b = b.len
 let clear b = b.len <- 0
 
 let grow b n =
-  let cap = ref (Array.length b.buf) in
+  let old_cap = Array.length b.buf in
+  let cap = ref old_cap in
   while !cap < n do
     cap := !cap * 2
   done;
   let buf = Array.make !cap 0 in
   Array.blit b.buf 0 buf 0 b.len;
   b.buf <- buf;
+  account_alloc (!cap - old_cap);
   Rtrt_obs.Metrics.incr c_grow
 
 let ensure b n = if n > Array.length b.buf then grow b n
@@ -75,6 +105,31 @@ let with_buf f =
     | [] -> create ()
   in
   Fun.protect ~finally:(fun () -> p := b :: !p) (fun () -> f b)
+
+(* Release this domain's pooled backing stores down to [max_bytes]
+   (default: everything). Smaller buffers are kept in preference to
+   large ones — they are the cheapest to re-grow and the likeliest to
+   satisfy the next borrow. Only free (returned) buffers are dropped;
+   borrowed ones are untouched. *)
+let trim ?(max_bytes = 0) () =
+  let p = Domain.DLS.get pool in
+  let bufs =
+    List.sort (fun a b -> compare (Array.length a.buf) (Array.length b.buf)) !p
+  in
+  let kept = ref [] and budget = ref max_bytes in
+  List.iter
+    (fun b ->
+      let bytes = Array.length b.buf * bytes_per_cell in
+      if bytes <= !budget then begin
+        budget := !budget - bytes;
+        kept := b :: !kept
+      end
+      else account_free (Array.length b.buf))
+    bufs;
+  p := List.rev !kept
+
+let current_bytes () = Atomic.get live_bytes
+let peak_bytes () = Atomic.get peak_bytes
 
 (* ------------------------------------------------------------------ *)
 (* Closure-free int sorting                                            *)

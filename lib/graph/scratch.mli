@@ -42,6 +42,22 @@ val with_buf : (t -> 'a) -> 'a
     intact). Nested calls borrow distinct buffers. Do not retain the
     buffer (or [data]) past the call. *)
 
+val trim : ?max_bytes:int -> unit -> unit
+(** [trim ~max_bytes ()] releases the calling domain's pooled backing
+    stores until at most [max_bytes] (default 0: all of them) remain,
+    keeping smaller buffers in preference to large ones. Without this,
+    the DLS pool pins the largest inspection's working set for the
+    rest of the process. Buffers currently borrowed via {!with_buf}
+    are never touched. Call it from each domain that should shed its
+    pool (e.g. through the same [Pool.parallel] used to fill it). *)
+
+val current_bytes : unit -> int
+(** Live backing-store bytes across all domains (pooled + borrowed). *)
+
+val peak_bytes : unit -> int
+(** High-water mark of {!current_bytes} since process start; also
+    published as the [scratch.peak_bytes] gauge. *)
+
 val sort : t -> unit
 (** In-place ascending sort of the live prefix. *)
 

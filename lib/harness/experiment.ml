@@ -172,8 +172,8 @@ let measure_par ~pool (result : Compose.Inspector.result) sched ~wall_steps =
   }
 
 let measure ?cache ?pool ?strategy ?share_symmetric_deps ?layout_of
-    ?(warmup = 1) ?(trace_steps_n = 2) ?(wall_steps = 5) ~machine ~plan kernel
-    =
+    ?(warmup = 1) ?(trace_steps_n = 2) ?(wall_steps = 5)
+    ?(scratch_keep_bytes = 1 lsl 20) ~machine ~plan kernel =
   Rtrt_obs.Span.with_ ~name:"experiment.measure"
     ~attrs:
       [
@@ -221,6 +221,16 @@ let measure ?cache ?pool ?strategy ?share_symmetric_deps ?layout_of
       Some (measure_par ~pool result sched ~wall_steps)
     | _ -> None
   in
+  (* Shed the per-domain scratch pools this measurement grew (the
+     inspector's composition accumulators and workspaces would
+     otherwise stay pinned at the largest inspection's size for the
+     rest of the process), keeping a small warm set per domain. The
+     high-water mark survives in the [scratch.peak_bytes] gauge. *)
+  (match pool with
+  | Some pool when Rtrt_par.Pool.size pool > 1 ->
+    Rtrt_par.Pool.parallel pool (fun _ ->
+        Irgraph.Scratch.trim ~max_bytes:scratch_keep_bytes ())
+  | _ -> Irgraph.Scratch.trim ~max_bytes:scratch_keep_bytes ());
   {
     plan_name = Compose.Plan.name plan;
     inspector_seconds = result.Compose.Inspector.inspector_seconds;

@@ -60,7 +60,10 @@ val inspect :
     with Full growth, the tiled executor additionally runs on the
     pool and the serial-vs-parallel comparison lands in [par]. When
     [cache] is given, the inspection goes through the plan cache and
-    [plancache] reports the hit/miss traffic. *)
+    [plancache] reports the hit/miss traffic. At the end of a
+    measurement every participating domain's scratch pool is trimmed
+    to [scratch_keep_bytes] bytes (default 1 MiB), so transient
+    inspector working sets do not linger between plans. *)
 val measure :
   ?cache:Rtrt_plancache.Cache.t ->
   ?pool:Rtrt_par.Pool.t ->
@@ -70,6 +73,7 @@ val measure :
   ?warmup:int ->
   ?trace_steps_n:int ->
   ?wall_steps:int ->
+  ?scratch_keep_bytes:int ->
   machine:Cachesim.Machine.t ->
   plan:Compose.Plan.t ->
   Kernels.Kernel.t ->

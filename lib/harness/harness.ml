@@ -7,3 +7,4 @@ module Figures = Figures
 module Ablations = Ablations
 module Guidance = Guidance
 module Hotpath = Hotpath
+module Inspctime = Inspctime

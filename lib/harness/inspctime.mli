@@ -1,0 +1,51 @@
+(** Cold-inspection cost benchmark for composed plans: the serial
+    Remap_once inspector vs the fused one-pass composition, serial and
+    on a domain pool, on GC and the full-sparse-tiling compositions.
+    Every timed variant is verified bit-identical to the serial
+    baseline. Results feed BENCH_INSPECTOR.json and the
+    [inspctime.*] gauges. *)
+
+type timing = {
+  t_config : string;  (** "serial", "fused", or "fused+pN" *)
+  t_domains : int;  (** 0 when no pool was used *)
+  t_seconds : float;  (** best cold [inspector_seconds] of the repeats *)
+  t_speedup : float;  (** serial best / this best *)
+  t_identical : bool;  (** output bit-identical to the serial run *)
+}
+
+type row = {
+  row_plan : string;
+  row_serial_seconds : float;
+  row_timings : timing list;  (** serial first, then fused variants *)
+}
+
+type report = {
+  rep_scale : int;
+  rep_repeats : int;
+  rep_domains : int list;
+  rows : row list;
+}
+
+(** Time one plan's cold inspections (best of [repeats]) under serial
+    Remap_once, serial Fused, and Fused on a fresh pool per domain
+    count in [domains]; each variant's result is compared against the
+    serial baseline. *)
+val measure_plan :
+  repeats:int ->
+  domains:int list ->
+  Compose.Plan.t ->
+  Kernels.Kernel.t ->
+  row
+
+(** The whole table on moldyn/mol1: GC (Gpart then CPACK) plus the
+    CL+FST and GL+FST sparse-tiling compositions, part/seed size 64.
+    Defaults: best of 5, pools of 1, 2, and 4 domains. *)
+val measure : ?repeats:int -> ?domains:int list -> scale:int -> unit -> report
+
+(** Whether every timed variant matched the serial baseline bit for
+    bit. *)
+val identical : report -> bool
+
+val json_of_report : report -> Rtrt_obs.Json.t
+val write_json : path:string -> report -> unit
+val pp_report : report Fmt.t

@@ -5,17 +5,25 @@
 
 open Reorder
 
+(* Fused-composition views. A [view = (sigma, delta_inv)] presents the
+   composed access without materializing it: current iteration [cur]
+   touches [sigma.(d)] for each datum [d] of base row
+   [delta_inv.(cur)]. [None] is the base access itself. *)
+
 (* Lexicographical grouping as a parallel stable counting sort: each
    lane histograms its contiguous iteration chunk, a serial
    (datum-major, lane-minor) exclusive prefix turns the histograms
    into per-lane write cursors, and each lane scatters its chunk in
    order. The scatter position of every iteration equals the serial
    stable counting sort's, so the permutation is identical to
-   [Reorder.Lexgroup.run] bit for bit. *)
-let lexgroup ~pool (access : Access.t) =
+   [Reorder.Lexgroup.run] (resp. [run_view]) bit for bit. *)
+let lexgroup ~pool ?view (access : Access.t) =
   let lanes = Pool.size pool in
   let n_iter = Access.n_iter access in
-  if lanes = 1 || n_iter < 2 * lanes then Lexgroup.run access
+  if lanes = 1 || n_iter < 2 * lanes then
+    match view with
+    | None -> Lexgroup.run access
+    | Some (sigma, delta_inv) -> Lexgroup.run_view access ~sigma ~delta_inv
   else begin
     let n_data = Access.n_data access in
     let chunks = Chunk.even ~n:n_iter ~lanes in
@@ -25,7 +33,12 @@ let lexgroup ~pool (access : Access.t) =
         let s, len = chunks.(lane) in
         let mine = counts.(lane) in
         for it = s to s + len - 1 do
-          let k = Access.first_touch access it in
+          let k =
+            match view with
+            | None -> Access.first_touch access it
+            | Some (sigma, delta_inv) ->
+              sigma.(Access.first_touch access delta_inv.(it))
+          in
           key.(it) <- k;
           mine.(k) <- mine.(k) + 1
         done);
@@ -70,8 +83,8 @@ let scatter_parts ~pool ~n_data members =
    inherently sequential (and near-linear), but laying the partition
    members out consecutively parallelizes per part. Identical result
    to [Reorder.Gpart_reorder.run]. *)
-let gpart ~pool (access : Access.t) ~part_size =
-  let g = Access.to_graph access in
+let gpart ~pool ?graph (access : Access.t) ~part_size =
+  let g = match graph with Some g -> g | None -> Access.to_graph access in
   let partition = Irgraph.Partition.gpart g ~part_size in
   let members = Irgraph.Partition.members partition in
   Perm.of_inverse
@@ -83,9 +96,9 @@ let gpart ~pool (access : Access.t) ~part_size =
    ascending id at the end of their part, like CPACK's trailing loop).
    Partitions are processed concurrently; the result depends only on
    the access and [part_size], never on the domain count. *)
-let gpart_cpack ~pool (access : Access.t) ~part_size =
+let gpart_cpack ~pool ?graph (access : Access.t) ~part_size =
   let n_data = Access.n_data access in
-  let g = Access.to_graph access in
+  let g = match graph with Some g -> g | None -> Access.to_graph access in
   let partition = Irgraph.Partition.gpart g ~part_size in
   let members = Array.map Array.copy (Irgraph.Partition.members partition) in
   (* Global first-touch rank of every datum (one serial linear scan of
@@ -111,3 +124,375 @@ let gpart_cpack ~pool (access : Access.t) ~part_size =
           members.(p)
       done);
   Perm.of_inverse (scatter_parts ~pool ~n_data members)
+
+(* ------------------------------------------------------------------ *)
+(* Pooled CPACK                                                        *)
+
+(* CPACK as a three-pass parallel first-touch computation. Every touch
+   of the visit stream has a global position (prefix sums of row
+   lengths); a datum's placement rank is the minimum position at which
+   it is touched. Per-lane scans record each datum's first position
+   inside the lane's contiguous stream chunk, a min-merge across lanes
+   recovers the global first touch, and scattering each datum into a
+   stream-length slot array followed by an ordered compaction yields
+   exactly the serial first-touch order (positions are unique per
+   datum). Untouched data append in ascending id order, like [run]'s
+   trailing loop. Bit-identical to [Reorder.Cpack.run] /
+   [run_in_order] / [run_view] for every domain count. *)
+let cpack ~pool ?order ?view (access : Access.t) =
+  let lanes = Pool.size pool in
+  let m =
+    match order with Some o -> Array.length o | None -> Access.n_iter access
+  in
+  if lanes = 1 || m < 2 * lanes then
+    match view with
+    | None -> (
+      match order with
+      | None -> Cpack.run access
+      | Some order -> Cpack.run_in_order access ~order)
+    | Some (sigma, delta_inv) -> Cpack.run_view ?order access ~sigma ~delta_inv
+  else begin
+    let n_data = Access.n_data access in
+    let ptr = access.Access.ptr and dat = access.Access.dat in
+    (* Base row of the i-th visit. *)
+    let row i =
+      let cur = match order with Some o -> o.(i) | None -> i in
+      match view with Some (_, delta_inv) -> delta_inv.(cur) | None -> cur
+    in
+    let sigma = match view with Some (s, _) -> Some s | None -> None in
+    (* Global stream position of each visit's first touch. *)
+    let offsets = Array.make (m + 1) 0 in
+    for i = 0 to m - 1 do
+      let r = row i in
+      offsets.(i + 1) <- offsets.(i) + (ptr.(r + 1) - ptr.(r))
+    done;
+    let total = offsets.(m) in
+    let weights = Array.init m (fun i -> offsets.(i + 1) - offsets.(i)) in
+    let chunks = Chunk.weighted ~weights ~lanes in
+    (* Per-lane first-touch stream position of every datum. *)
+    let rank_l = Array.init lanes (fun _ -> Array.make n_data max_int) in
+    Pool.parallel pool (fun lane ->
+        let s, len = chunks.(lane) in
+        let mine = rank_l.(lane) in
+        for i = s to s + len - 1 do
+          let r = row i in
+          let pos = ref offsets.(i) in
+          (match sigma with
+          | None ->
+            for idx = ptr.(r) to ptr.(r + 1) - 1 do
+              let d = Array.unsafe_get dat idx in
+              if Array.unsafe_get mine d = max_int then
+                Array.unsafe_set mine d !pos;
+              incr pos
+            done
+          | Some sg ->
+            for idx = ptr.(r) to ptr.(r + 1) - 1 do
+              let d = Array.unsafe_get sg (Array.unsafe_get dat idx) in
+              if Array.unsafe_get mine d = max_int then
+                Array.unsafe_set mine d !pos;
+              incr pos
+            done)
+        done);
+    (* Min-merge across lanes; scatter each touched datum into its
+       first-touch slot (slots are unique). *)
+    let slot = Array.make total (-1) in
+    let dchunks = Chunk.even ~n:n_data ~lanes in
+    let untouched_l = Array.make lanes 0 in
+    Pool.parallel pool (fun lane ->
+        let s, len = dchunks.(lane) in
+        let untouched = ref 0 in
+        for d = s to s + len - 1 do
+          let best = ref max_int in
+          for l = 0 to lanes - 1 do
+            let r = Array.unsafe_get rank_l.(l) d in
+            if r < !best then best := r
+          done;
+          if !best < max_int then Array.unsafe_set slot !best d
+          else incr untouched
+        done;
+        untouched_l.(lane) <- !untouched);
+    (* Ordered compaction of the slot array = serial placement order. *)
+    let inv = Array.make n_data 0 in
+    let schunks = Chunk.even ~n:total ~lanes in
+    let base_off = Array.make (lanes + 1) 0 in
+    Pool.parallel pool (fun lane ->
+        let s, len = schunks.(lane) in
+        let c = ref 0 in
+        for p = s to s + len - 1 do
+          if Array.unsafe_get slot p >= 0 then incr c
+        done;
+        base_off.(lane + 1) <- !c);
+    for lane = 0 to lanes - 1 do
+      base_off.(lane + 1) <- base_off.(lane + 1) + base_off.(lane)
+    done;
+    let placed = base_off.(lanes) in
+    Pool.parallel pool (fun lane ->
+        let s, len = schunks.(lane) in
+        let cursor = ref base_off.(lane) in
+        for p = s to s + len - 1 do
+          let d = Array.unsafe_get slot p in
+          if d >= 0 then begin
+            Array.unsafe_set inv !cursor d;
+            incr cursor
+          end
+        done);
+    (* Untouched data keep ascending order after the placed prefix. *)
+    let ubase = Array.make (lanes + 1) 0 in
+    for lane = 0 to lanes - 1 do
+      ubase.(lane + 1) <- ubase.(lane) + untouched_l.(lane)
+    done;
+    Pool.parallel pool (fun lane ->
+        let s, len = dchunks.(lane) in
+        let cursor = ref (placed + ubase.(lane)) in
+        for d = s to s + len - 1 do
+          let touched = ref false in
+          for l = 0 to lanes - 1 do
+            if Array.unsafe_get rank_l.(l) d < max_int then touched := true
+          done;
+          if not !touched then begin
+            Array.unsafe_set inv !cursor d;
+            incr cursor
+          end
+        done);
+    Cpack.count_run access ~placed;
+    Perm.of_inverse inv
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pooled view materialization and graph construction                  *)
+
+(* Materialize a fused view into a concrete access: row [cur] is base
+   row [delta_inv.(cur)] mapped through [sigma]. Bit-identical to
+   [Access.reorder_iters delta (Access.map_data sigma base)]. *)
+let materialize ~pool (base : Access.t) ~sigma ~delta_inv =
+  let lanes = Pool.size pool in
+  let n_iter = Access.n_iter base and n_data = Access.n_data base in
+  let bptr = base.Access.ptr and bdat = base.Access.dat in
+  let ptr = Array.make (n_iter + 1) 0 in
+  for cur = 0 to n_iter - 1 do
+    let r = delta_inv.(cur) in
+    ptr.(cur + 1) <- ptr.(cur) + (bptr.(r + 1) - bptr.(r))
+  done;
+  let dat = Array.make ptr.(n_iter) 0 in
+  let weights = Array.init n_iter (fun cur -> ptr.(cur + 1) - ptr.(cur)) in
+  let chunks = Chunk.weighted ~weights ~lanes in
+  Pool.parallel pool (fun lane ->
+      let s, len = chunks.(lane) in
+      for cur = s to s + len - 1 do
+        let src = bptr.(delta_inv.(cur)) and dst = ptr.(cur) in
+        for k = 0 to ptr.(cur + 1) - dst - 1 do
+          Array.unsafe_set dat (dst + k)
+            (Array.unsafe_get sigma (Array.unsafe_get bdat (src + k)))
+        done
+      done);
+  Access.unsafe_make ~n_iter ~n_data ~ptr ~dat
+
+(* Data-affinity graph of an access (or of a fused view of it) built
+   in parallel: per-lane degree counting over contiguous iteration
+   chunks, a serial row-pointer prefix, per-(lane, node) write cursors
+   from a node-major lane-minor prefix, and a parallel arc scatter.
+   Each node's adjacency ends up in global iteration order — the exact
+   CSR [Access.to_graph] / [Csr.of_accesses] builds serially. *)
+let to_graph ~pool ?view (access : Access.t) =
+  let lanes = Pool.size pool in
+  let n_iter = Access.n_iter access and n_data = Access.n_data access in
+  let ptr = access.Access.ptr and dat = access.Access.dat in
+  let row it =
+    match view with Some (_, delta_inv) -> delta_inv.(it) | None -> it
+  in
+  let datum =
+    match view with
+    | Some (sigma, _) -> fun d -> Array.unsafe_get sigma d
+    | None -> fun d -> d
+  in
+  let weights =
+    Array.init n_iter (fun it ->
+        let r = row it in
+        let len = ptr.(r + 1) - ptr.(r) in
+        len * (len - 1) / 2)
+  in
+  let chunks = Chunk.weighted ~weights ~lanes in
+  let deg_l = Array.init lanes (fun _ -> Array.make n_data 0) in
+  let arcs_l = Array.make lanes 0 in
+  Pool.parallel pool (fun lane ->
+      let s, len = chunks.(lane) in
+      let deg = deg_l.(lane) in
+      let arcs = ref 0 in
+      for it = s to s + len - 1 do
+        let r = row it in
+        let lo = ptr.(r) and hi = ptr.(r + 1) in
+        for a = lo to hi - 1 do
+          for b = a + 1 to hi - 1 do
+            let u = datum (Array.unsafe_get dat a)
+            and v = datum (Array.unsafe_get dat b) in
+            if u <> v then begin
+              deg.(u) <- deg.(u) + 1;
+              deg.(v) <- deg.(v) + 1;
+              arcs := !arcs + 2
+            end
+          done
+        done
+      done;
+      arcs_l.(lane) <- !arcs);
+  let row_ptr = Array.make (n_data + 1) 0 in
+  for v = 0 to n_data - 1 do
+    let tot = ref 0 in
+    for l = 0 to lanes - 1 do
+      tot := !tot + deg_l.(l).(v)
+    done;
+    row_ptr.(v + 1) <- row_ptr.(v) + !tot
+  done;
+  (* Turn per-lane degrees into per-lane write cursors: lane L writes
+     node v's arcs after every earlier lane's (= earlier iterations'). *)
+  let dchunks = Chunk.even ~n:n_data ~lanes in
+  Pool.parallel pool (fun lane ->
+      let s, len = dchunks.(lane) in
+      for v = s to s + len - 1 do
+        let c = ref row_ptr.(v) in
+        for l = 0 to lanes - 1 do
+          let d = deg_l.(l).(v) in
+          deg_l.(l).(v) <- !c;
+          c := !c + d
+        done
+      done);
+  let col = Array.make (Array.fold_left ( + ) 0 arcs_l) 0 in
+  Pool.parallel pool (fun lane ->
+      let s, len = chunks.(lane) in
+      let cur = deg_l.(lane) in
+      for it = s to s + len - 1 do
+        let r = row it in
+        let lo = ptr.(r) and hi = ptr.(r + 1) in
+        for a = lo to hi - 1 do
+          for b = a + 1 to hi - 1 do
+            let u = datum (Array.unsafe_get dat a)
+            and v = datum (Array.unsafe_get dat b) in
+            if u <> v then begin
+              Array.unsafe_set col cur.(u) v;
+              cur.(u) <- cur.(u) + 1;
+              Array.unsafe_set col cur.(v) u;
+              cur.(v) <- cur.(v) + 1
+            end
+          done
+        done
+      done);
+  Irgraph.Csr.unsafe_make ~n:n_data ~row_ptr ~col
+
+(* ------------------------------------------------------------------ *)
+(* Pooled sparse-tile growth and legality                              *)
+
+(* Backward growth as a pooled scatter-min over the predecessor
+   connectivity (never materializes the successor transpose): each
+   lane scatters min into a private tile array over its contiguous
+   chunk of assigned-loop iterations; a min-merge across lanes equals
+   the serial scatter because min is order-independent. Bit-identical
+   to [Sparse_tile.grow_backward_scatter] (and hence to
+   [grow_backward] over the transposed connectivity). *)
+let grow_backward ~pool ~(conn : Access.t) ~(next : Sparse_tile.tile_fn) =
+  let lanes = Pool.size pool in
+  let nb = Access.n_iter conn in
+  if lanes = 1 || nb < 2 * lanes then
+    Sparse_tile.grow_backward_scatter ~conn ~next
+  else begin
+    if nb <> Array.length next.Sparse_tile.tile_of then
+      invalid_arg "Inspect.grow_backward: conn/next size mismatch";
+    let n = Access.n_data conn in
+    let ptr = conn.Access.ptr and dat = conn.Access.dat in
+    let next_of = next.Sparse_tile.tile_of in
+    let tile_l = Array.init lanes (fun _ -> Array.make n max_int) in
+    let chunks = Chunk.even ~n:nb ~lanes in
+    Pool.parallel pool (fun lane ->
+        let s, len = chunks.(lane) in
+        let mine = tile_l.(lane) in
+        for b = s to s + len - 1 do
+          let t = Array.unsafe_get next_of b in
+          for idx = ptr.(b) to ptr.(b + 1) - 1 do
+            let a = Array.unsafe_get dat idx in
+            if t < Array.unsafe_get mine a then Array.unsafe_set mine a t
+          done
+        done);
+    let tile_of = Array.make n 0 in
+    let dchunks = Chunk.even ~n ~lanes in
+    Pool.parallel pool (fun lane ->
+        let s, len = dchunks.(lane) in
+        for a = s to s + len - 1 do
+          let best = ref max_int in
+          for l = 0 to lanes - 1 do
+            let t = Array.unsafe_get tile_l.(l) a in
+            if t < !best then best := t
+          done;
+          tile_of.(a) <- (if !best = max_int then 0 else !best)
+        done);
+    Sparse_tile.count_growth ~conn next.Sparse_tile.n_tiles;
+    { Sparse_tile.n_tiles = next.Sparse_tile.n_tiles; tile_of }
+  end
+
+(* Forward growth: every assigned-loop iteration's max is independent,
+   so a plain chunked gather is trivially bit-identical to
+   [Sparse_tile.grow_forward]. *)
+let grow_forward ~pool ~(conn : Access.t) ~(prev : Sparse_tile.tile_fn) =
+  let lanes = Pool.size pool in
+  let nb = Access.n_iter conn in
+  if lanes = 1 || nb < 2 * lanes then Sparse_tile.grow_forward ~conn ~prev
+  else begin
+    if Access.n_data conn <> Array.length prev.Sparse_tile.tile_of then
+      invalid_arg "Inspect.grow_forward: conn/prev size mismatch";
+    let prev_of = prev.Sparse_tile.tile_of in
+    let ptr = conn.Access.ptr and dat = conn.Access.dat in
+    let tile_of = Array.make nb 0 in
+    let weights = Array.init nb (fun b -> ptr.(b + 1) - ptr.(b)) in
+    let chunks = Chunk.weighted ~weights ~lanes in
+    Pool.parallel pool (fun lane ->
+        let s, len = chunks.(lane) in
+        for b = s to s + len - 1 do
+          let t = ref 0 in
+          for idx = ptr.(b) to ptr.(b + 1) - 1 do
+            let p = Array.unsafe_get prev_of (Array.unsafe_get dat idx) in
+            if p > !t then t := p
+          done;
+          tile_of.(b) <- !t
+        done);
+    Sparse_tile.count_growth ~conn prev.Sparse_tile.n_tiles;
+    { Sparse_tile.n_tiles = prev.Sparse_tile.n_tiles; tile_of }
+  end
+
+(* Legality check parallel over each connectivity's assigned-loop
+   iterations; per-lane violation lists are collected in traversal
+   order and concatenated in lane order, which is exactly the serial
+   traversal order of [Sparse_tile.check_legality]. *)
+let check_legality ~pool ~(chain : Sparse_tile.chain) ~tiles =
+  let lanes = Pool.size pool in
+  if lanes = 1 then Sparse_tile.check_legality ~chain ~tiles
+  else begin
+    let pieces = ref [] in
+    Array.iteri
+      (fun l (conn : Access.t) ->
+        let t_src = tiles.(l).Sparse_tile.tile_of
+        and t_dst = tiles.(l + 1).Sparse_tile.tile_of in
+        let nb = Access.n_iter conn in
+        let chunks = Chunk.even ~n:nb ~lanes in
+        let found = Array.make lanes [] in
+        Pool.parallel pool (fun lane ->
+            let s, len = chunks.(lane) in
+            let acc = ref [] in
+            for b = s to s + len - 1 do
+              Access.iter_touches conn b (fun a ->
+                  if t_src.(a) > t_dst.(b) then acc := (l, a, b) :: !acc)
+            done;
+            found.(lane) <- List.rev !acc);
+        Array.iter (fun lst -> pieces := lst :: !pieces) found)
+      chain.Sparse_tile.conn;
+    List.concat (List.rev !pieces)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pooled multilevel partitioning                                      *)
+
+(* Multilevel data reordering with the coarsening hot paths chunked
+   across the pool's lanes (see [Irgraph.Multilevel.par]); the
+   partition — and hence the permutation — is bit-identical to the
+   serial [Multilevel_reorder.run] for every domain count. *)
+let multilevel ~pool ?graph (access : Access.t) ~part_size =
+  let par =
+    { Irgraph.Multilevel.lanes = Pool.size pool; run = Pool.parallel pool }
+  in
+  Multilevel_reorder.run ~par ?graph access ~part_size

@@ -1,21 +1,110 @@
 (** Parallel inspector hot paths. Each function computes a result that
-    is independent of the pool's domain count: [lexgroup] and [gpart]
-    are bit-identical to their serial counterparts, [gpart_cpack] is a
-    deterministic Gpart/CPACK fusion. *)
+    is independent of the pool's domain count: everything except
+    [gpart_cpack] is bit-identical to its serial counterpart in
+    {!Reorder} / {!Irgraph}, and [gpart_cpack] is a deterministic
+    Gpart/CPACK fusion.
 
-(** Identical to [Reorder.Lexgroup.run]: parallel stable counting sort
-    (per-lane bucket counting, serial offset merge, parallel
-    scatter). *)
-val lexgroup : pool:Pool.t -> Reorder.Access.t -> Reorder.Perm.t
+    Several functions accept a fused-composition
+    [view = (sigma, delta_inv)] of the base access: current iteration
+    [cur] touches [sigma.(d)] for each datum [d] of base row
+    [delta_inv.(cur)] — the composed access is traversed without ever
+    being materialized. *)
+
+(** Identical to [Reorder.Lexgroup.run] (with [view]: [run_view]):
+    parallel stable counting sort (per-lane bucket counting, serial
+    offset merge, parallel scatter). *)
+val lexgroup :
+  pool:Pool.t ->
+  ?view:int array * int array ->
+  Reorder.Access.t ->
+  Reorder.Perm.t
+
+(** Identical to [Reorder.Cpack.run] / [run_in_order] / [run_view]:
+    parallel first-touch ranking over the visit stream (per-lane scan,
+    min-merge, ordered compaction), untouched data appended in
+    ascending order. [order] optionally fixes the visit order over
+    (current) iterations. *)
+val cpack :
+  pool:Pool.t ->
+  ?order:int array ->
+  ?view:int array * int array ->
+  Reorder.Access.t ->
+  Reorder.Perm.t
 
 (** Identical to [Reorder.Gpart_reorder.run]: serial BFS partitioning,
-    parallel per-part member layout. *)
+    parallel per-part member layout. [graph] supplies a precomputed
+    affinity graph (e.g. from {!to_graph}). *)
 val gpart :
-  pool:Pool.t -> Reorder.Access.t -> part_size:int -> Reorder.Perm.t
+  pool:Pool.t ->
+  ?graph:Irgraph.Csr.t ->
+  Reorder.Access.t ->
+  part_size:int ->
+  Reorder.Perm.t
 
 (** Gpart partitioning with CPACK ordering applied independently
     inside every partition (processed concurrently): members are laid
     out by global first-touch rank within their part, untouched
     members last in ascending order. *)
 val gpart_cpack :
-  pool:Pool.t -> Reorder.Access.t -> part_size:int -> Reorder.Perm.t
+  pool:Pool.t ->
+  ?graph:Irgraph.Csr.t ->
+  Reorder.Access.t ->
+  part_size:int ->
+  Reorder.Perm.t
+
+(** Identical to [Reorder.Multilevel_reorder.run]: multilevel
+    partitioning with the coarsening hot paths chunked across pool
+    lanes. *)
+val multilevel :
+  pool:Pool.t ->
+  ?graph:Irgraph.Csr.t ->
+  Reorder.Access.t ->
+  part_size:int ->
+  Reorder.Perm.t
+
+(** Identical to
+    [Access.reorder_iters delta (Access.map_data sigma base)] where
+    [delta_inv] is [delta]'s inverse array: materializes the fused
+    view with one parallel blit-and-map pass. *)
+val materialize :
+  pool:Pool.t ->
+  Reorder.Access.t ->
+  sigma:int array ->
+  delta_inv:int array ->
+  Reorder.Access.t
+
+(** Identical to [Reorder.Access.to_graph] (on the materialized view
+    when [view] is given): parallel degree counting and arc scatter
+    yielding the exact serial CSR, adjacency in iteration order. *)
+val to_graph :
+  pool:Pool.t ->
+  ?view:int array * int array ->
+  Reorder.Access.t ->
+  Irgraph.Csr.t
+
+(** Identical to [Reorder.Sparse_tile.grow_backward_scatter] (and
+    hence to [grow_backward] over the transposed connectivity):
+    per-lane scatter-min over the predecessor set, min-merged across
+    lanes. Partially applied, this is a substituted grower for
+    [Sparse_tile.full]. *)
+val grow_backward :
+  pool:Pool.t ->
+  conn:Reorder.Access.t ->
+  next:Reorder.Sparse_tile.tile_fn ->
+  Reorder.Sparse_tile.tile_fn
+
+(** Identical to [Reorder.Sparse_tile.grow_forward]: chunked parallel
+    gather-max. *)
+val grow_forward :
+  pool:Pool.t ->
+  conn:Reorder.Access.t ->
+  prev:Reorder.Sparse_tile.tile_fn ->
+  Reorder.Sparse_tile.tile_fn
+
+(** Identical to [Reorder.Sparse_tile.check_legality], violations in
+    the same (traversal) order. *)
+val check_legality :
+  pool:Pool.t ->
+  chain:Reorder.Sparse_tile.chain ->
+  tiles:Reorder.Sparse_tile.tile_fn array ->
+  (int * int * int) list

@@ -16,6 +16,11 @@ let n_iter a = a.n_iter
 let n_data a = a.n_data
 let n_touches a = Array.length a.dat
 
+(* Trusted constructor for inspector hot paths that build valid CSR
+   arrays by construction (e.g. the pooled view materializer); skips
+   the O(touches) validation of [make]. The arrays are not copied. *)
+let unsafe_make ~n_iter ~n_data ~ptr ~dat = { n_iter; n_data; ptr; dat }
+
 let make ~n_iter ~n_data ~ptr ~dat =
   if Array.length ptr <> n_iter + 1 then invalid "Access.make: ptr length";
   if ptr.(0) <> 0 || ptr.(n_iter) <> Array.length dat then

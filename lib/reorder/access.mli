@@ -18,6 +18,11 @@ val n_touches : t -> int
 (** Raw constructor; validates CSR shape and location bounds. *)
 val make : n_iter:int -> n_data:int -> ptr:int array -> dat:int array -> t
 
+(** Trusted raw constructor (no validation, no copy); for inspector
+    hot paths whose arrays are valid CSR by construction. *)
+val unsafe_make :
+  n_iter:int -> n_data:int -> ptr:int array -> dat:int array -> t
+
 (** Iteration [j] touches [(left.(j), right.(j))] in that order (the j
     loop of moldyn/nbf/irreg). *)
 val of_pairs : n_data:int -> int array -> int array -> t

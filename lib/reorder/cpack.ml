@@ -15,6 +15,13 @@ let c_touches_scanned = Rtrt_obs.Metrics.counter "cpack.touches_scanned"
    relative order in the trailing catch-all loop). *)
 let c_first_touch = Rtrt_obs.Metrics.counter "cpack.first_touch_placements"
 
+(* Bump the run counters exactly as [run] does; for substituted
+   (pooled) CPACK implementations. *)
+let count_run (access : Access.t) ~placed =
+  Rtrt_obs.Metrics.incr c_runs;
+  Rtrt_obs.Metrics.add c_touches_scanned (Access.n_touches access);
+  Rtrt_obs.Metrics.add c_first_touch placed
+
 let run (access : Access.t) =
   let n_data = Access.n_data access in
   let already_ordered = Array.make n_data false in
@@ -36,6 +43,43 @@ let run (access : Access.t) =
   Rtrt_obs.Metrics.add c_first_touch !count;
   (* Remaining locations in original order, as in the paper's final
      loop over all nodes. *)
+  for loc = 0 to n_data - 1 do
+    place loc
+  done;
+  Perm.of_inverse inv
+
+(* CPACK over a *view* of the base access: current iteration [cur]
+   touches [sigma.(d)] for each datum [d] of base iteration
+   [delta_inv.(cur)] — the fused-composition traversal that never
+   materializes the intermediate access. [order] optionally gives an
+   explicit visit order over current iterations (tilePack's schedule
+   traversal); default is ascending. Bit-identical to [run] /
+   [run_in_order] on the materialized access. *)
+let run_view ?order (base : Access.t) ~(sigma : int array)
+    ~(delta_inv : int array) =
+  let n_data = Access.n_data base in
+  let already_ordered = Array.make n_data false in
+  let inv = Array.make n_data 0 in
+  let count = ref 0 in
+  let place loc =
+    if not already_ordered.(loc) then begin
+      inv.(!count) <- loc;
+      already_ordered.(loc) <- true;
+      incr count
+    end
+  in
+  let visit cur =
+    Access.iter_touches base delta_inv.(cur) (fun d -> place sigma.(d))
+  in
+  (match order with
+  | Some order -> Array.iter visit order
+  | None ->
+    for cur = 0 to Access.n_iter base - 1 do
+      visit cur
+    done);
+  Rtrt_obs.Metrics.incr c_runs;
+  Rtrt_obs.Metrics.add c_touches_scanned (Access.n_touches base);
+  Rtrt_obs.Metrics.add c_first_touch !count;
   for loc = 0 to n_data - 1 do
     place loc
   done;

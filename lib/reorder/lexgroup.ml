@@ -25,6 +25,30 @@ let run (access : Access.t) =
   done;
   Perm.unsafe_of_forward forward
 
+(* lexGroup over a fused-composition view: current iteration [cur]'s
+   key is the current position of the first location base iteration
+   [delta_inv.(cur)] touches, i.e. [sigma.(first_touch base
+   delta_inv.(cur))]. Bit-identical to [run] on the materialized
+   access (the counting sort sees the same key sequence). *)
+let run_view (base : Access.t) ~(sigma : int array) ~(delta_inv : int array) =
+  let n_iter = Access.n_iter base in
+  let n_data = Access.n_data base in
+  let key =
+    Array.init n_iter (fun cur -> sigma.(Access.first_touch base delta_inv.(cur)))
+  in
+  let count = Array.make (n_data + 1) 0 in
+  Array.iter (fun k -> count.(k + 1) <- count.(k + 1) + 1) key;
+  for d = 0 to n_data - 1 do
+    count.(d + 1) <- count.(d + 1) + count.(d)
+  done;
+  let forward = Array.make n_iter 0 in
+  for it = 0 to n_iter - 1 do
+    let k = key.(it) in
+    forward.(it) <- count.(k);
+    count.(k) <- count.(k) + 1
+  done;
+  Perm.unsafe_of_forward forward
+
 (* Group by the minimum touched location instead of the first; useful
    when the touch order within an iteration is not meaningful. *)
 let run_by_min (access : Access.t) =

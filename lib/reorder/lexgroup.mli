@@ -5,5 +5,10 @@
 (** [run access] returns the iteration reordering delta_lg. *)
 val run : Access.t -> Perm.t
 
+(** lexGroup over a fused-composition view of [base]: iteration [cur]
+    is keyed by [sigma.(first_touch base delta_inv.(cur))].
+    Bit-identical to {!run} on the materialized access. *)
+val run_view : Access.t -> sigma:int array -> delta_inv:int array -> Perm.t
+
 (** Variant keyed on the minimum touched location. *)
 val run_by_min : Access.t -> Perm.t

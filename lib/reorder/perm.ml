@@ -59,6 +59,29 @@ let compose p2 p1 =
   if size p2 <> size p1 then invalid "Perm.compose: size mismatch";
   { forward = Array.map (fun mid -> p2.forward.(mid)) p1.forward }
 
+(* In-place composition over a caller-owned forward array (typically a
+   Scratch-backed walk accumulator): acc.(old) <- p2(acc.(old)). Each
+   cell is read once and written once, so no aliasing hazard arises
+   from updating in place. *)
+let compose_into p2 acc =
+  let n = size p2 in
+  if Array.length acc < n then invalid "Perm.compose_into: accumulator size";
+  for i = 0 to n - 1 do
+    let mid = Array.unsafe_get acc i in
+    if mid < 0 || mid >= n then invalid "Perm.compose_into: value %d" mid;
+    Array.unsafe_set acc i (Array.unsafe_get p2.forward mid)
+  done
+
+(* Inverse into a caller-owned destination (needs a second buffer: the
+   scatter reads every source cell before its destination cell is
+   known). Only the first [size p] cells of [dst] are written. *)
+let invert_into p dst =
+  let n = size p in
+  if Array.length dst < n then invalid "Perm.invert_into: destination size";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst (Array.unsafe_get p.forward i) i
+  done
+
 (* Move each element to its new position: result.(forward i) = a.(i). *)
 let apply_to_array p a =
   let n = size p in

@@ -34,6 +34,16 @@ val invert : t -> t
 (** [compose p2 p1] applies [p1] first. *)
 val compose : t -> t -> t
 
+(** [compose_into p2 acc] composes in place over a caller-owned
+    forward accumulator (e.g. an [Irgraph.Scratch] backing store):
+    [acc.(old) <- forward p2 acc.(old)] for the first [size p2] cells.
+    No allocation; the walk-loop replacement for {!compose}. *)
+val compose_into : t -> int array -> unit
+
+(** [invert_into p dst] writes the inverse into the first [size p]
+    cells of [dst]: [dst.(forward p i) = i]. No allocation. *)
+val invert_into : t -> int array -> unit
+
 (** Move values to their new positions: [(apply p a).(forward p i) = a.(i)]. *)
 val apply_to_array : t -> 'a array -> 'a array
 

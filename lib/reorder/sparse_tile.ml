@@ -64,6 +64,31 @@ let grow_backward ~(conn : Access.t) ~(next : tile_fn) =
   count_growth ~conn next.n_tiles;
   { n_tiles = next.n_tiles; tile_of }
 
+(* Backward growth walking only the *predecessor* dependence set: the
+   paper's symmetric-dependence overhead reduction generalized. Where
+   [grow_backward] gathers min over successors (and therefore needs
+   the successor connectivity — a transpose, unless a symmetric twin
+   is shared), this scatters min over the same edge multiset read from
+   [conn] (each iteration of the assigned loop pushes its tile to its
+   predecessors). min is order-independent, so the result is
+   bit-identical to [grow_backward ~conn:(Access.transpose conn)]
+   without ever materializing the transpose. *)
+let grow_backward_scatter ~(conn : Access.t) ~(next : tile_fn) =
+  if Access.n_iter conn <> Array.length next.tile_of then
+    invalid "grow_backward_scatter: conn/next size mismatch";
+  let n = Access.n_data conn in
+  let tile_of = Array.make n max_int in
+  for b = 0 to Access.n_iter conn - 1 do
+    let t = next.tile_of.(b) in
+    Access.iter_touches conn b (fun a ->
+        if t < tile_of.(a) then tile_of.(a) <- t)
+  done;
+  for a = 0 to n - 1 do
+    if tile_of.(a) = max_int then tile_of.(a) <- 0
+  done;
+  count_growth ~conn next.n_tiles;
+  { n_tiles = next.n_tiles; tile_of }
+
 (* Forward growth (this loop runs after the assigned one): every
    predecessor's tile is a lower bound, so take the max. *)
 let grow_forward ~(conn : Access.t) ~(prev : tile_fn) =
@@ -130,22 +155,32 @@ let make_chain ~loop_sizes ~conn =
    (the paper's symmetric-dependence overhead reduction, Section 6:
    when two dependence sets satisfy the same constraints the inspector
    traverses only one). *)
-let full ?(shared_succ = []) ~chain ~seed ~(seed_tiles : tile_fn) () =
+let full ?(shared_succ = []) ?grow_backward:gb ?grow_forward:gf ~chain ~seed
+    ~(seed_tiles : tile_fn) () =
   let l_count = n_loops chain in
   if seed < 0 || seed >= l_count then invalid "Sparse_tile.full: seed";
   if Array.length seed_tiles.tile_of <> chain.loop_sizes.(seed) then
     invalid "Sparse_tile.full: seed partition size";
   let tiles = Array.make l_count seed_tiles in
   for l = seed - 1 downto 0 do
-    let succ_conn =
-      match List.assoc_opt l shared_succ with
-      | Some shared -> shared
-      | None -> Access.transpose chain.conn.(l)
-    in
-    tiles.(l) <- grow_backward ~conn:succ_conn ~next:tiles.(l + 1)
+    tiles.(l) <-
+      (match gb with
+      | Some grow ->
+        (* Substituted growers (scatter-min, possibly pooled) walk the
+           predecessor set [conn.(l)] directly, so neither the shared
+           symmetric twin nor a transpose is needed. *)
+        grow ~conn:chain.conn.(l) ~next:tiles.(l + 1)
+      | None ->
+        let succ_conn =
+          match List.assoc_opt l shared_succ with
+          | Some shared -> shared
+          | None -> Access.transpose chain.conn.(l)
+        in
+        grow_backward ~conn:succ_conn ~next:tiles.(l + 1))
   done;
   for l = seed + 1 to l_count - 1 do
-    tiles.(l) <- grow_forward ~conn:chain.conn.(l - 1) ~prev:tiles.(l - 1)
+    let grow = match gf with Some g -> g | None -> grow_forward in
+    tiles.(l) <- grow ~conn:chain.conn.(l - 1) ~prev:tiles.(l - 1)
   done;
   tiles
 

@@ -18,9 +18,21 @@ val check_tile_fn : tile_fn -> unit
     to tile 0). *)
 val grow_backward : conn:Access.t -> next:tile_fn -> tile_fn
 
+(** Backward growth walking only the predecessor set: scatter-min over
+    the same edge multiset [grow_backward] would gather from the
+    transposed connectivity, so bit-identical to
+    [grow_backward ~conn:(Access.transpose conn) ~next] without
+    materializing the transpose (the paper's symmetric-dependence
+    elision, generalized to asymmetric chains). *)
+val grow_backward_scatter : conn:Access.t -> next:tile_fn -> tile_fn
+
 (** Forward growth: [conn] maps each iteration to its *predecessors*;
     takes the max predecessor tile. *)
 val grow_forward : conn:Access.t -> prev:tile_fn -> tile_fn
+
+(** Bump the growth-pass observability counters exactly as the serial
+    growers do; for substituted (pooled) growth implementations. *)
+val count_growth : conn:Access.t -> int -> unit
 
 (** Cache-blocking growth: keep the tile only when all predecessors
     agree (and none is the leftover), otherwise fall into the shared
@@ -41,9 +53,16 @@ val make_chain : loop_sizes:int array -> conn:Access.t array -> chain
 (** Full sparse tiling from a seed partitioning of loop [seed]; one
     tile function per loop, side-by-side growth (min backward, max
     forward). [shared_succ] supplies precomputed successor connectivity
-    for backward loops (the Section 6 symmetric-dependence elision). *)
+    for backward loops (the Section 6 symmetric-dependence elision).
+    [grow_backward]/[grow_forward] substitute the growth passes (e.g.
+    {!grow_backward_scatter} or a pooled implementation); a substituted
+    backward grower receives the *predecessor* connectivity
+    [conn.(l)] directly and [shared_succ] is then unused. Substituted
+    growers must be bit-identical to the defaults. *)
 val full :
   ?shared_succ:(int * Access.t) list ->
+  ?grow_backward:(conn:Access.t -> next:tile_fn -> tile_fn) ->
+  ?grow_forward:(conn:Access.t -> prev:tile_fn -> tile_fn) ->
   chain:chain ->
   seed:int ->
   seed_tiles:tile_fn ->
