@@ -128,60 +128,11 @@ let bench_par_json_path =
 
 let par_speedup_table () =
   let config = { config with Harness.Figures.domains = par_domains } in
-  let rows =
-    Harness.Figures.executor_time ~machine:Cachesim.Machine.pentium4 ~config ()
+  let report =
+    Harness.Parbench.measure ~machine:Cachesim.Machine.pentium4 ~config ()
   in
-  Fmt.pr "domains %d, scale %d@." par_domains scale;
-  let flat =
-    List.concat_map
-      (fun (r : Harness.Figures.exec_row) ->
-        List.map
-          (fun (plan, p) -> (r.Harness.Figures.bench, r.dataset, plan, p))
-          r.Harness.Figures.per_plan_par)
-      rows
-  in
-  List.iter
-    (fun (bench, dataset, plan, (p : Harness.Experiment.par_measurement)) ->
-      Fmt.pr "  %-8s %-6s %-24s %5.2fx measured (modeled %5.2fx, makespan %d) %s@."
-        bench dataset plan p.Harness.Experiment.measured_speedup
-        p.modeled_speedup p.modeled_makespan
-        (if p.bitwise_equal then "bitwise equal" else "OUTPUT DIFFERS"))
-    flat;
-  if flat = [] then
-    Fmt.pr "  (no Full-growth sparse-tiled plans produced a schedule)@.";
-  let json =
-    Rtrt_obs.Json.(
-      Obj
-        [
-          ("domains", Int par_domains);
-          ("scale", Int scale);
-          ( "rows",
-            List
-              (List.map
-                 (fun ( bench,
-                        dataset,
-                        plan,
-                        (p : Harness.Experiment.par_measurement) ) ->
-                   Obj
-                     [
-                       ("bench", String bench);
-                       ("dataset", String dataset);
-                       ("plan", String plan);
-                       ("domains", Int p.Harness.Experiment.domains);
-                       ( "serial_seconds_per_step",
-                         Float p.serial_seconds_per_step );
-                       ("par_seconds_per_step", Float p.par_seconds_per_step);
-                       ("measured_speedup", Float p.measured_speedup);
-                       ("modeled_speedup", Float p.modeled_speedup);
-                       ("modeled_makespan", Int p.modeled_makespan);
-                       ("bitwise_equal", Bool p.bitwise_equal);
-                     ])
-                 flat) );
-        ])
-  in
-  Out_channel.with_open_text bench_par_json_path (fun oc ->
-      output_string oc (Rtrt_obs.Json.to_string json);
-      output_char oc '\n');
+  Fmt.pr "%a" Harness.Parbench.pp_report report;
+  Harness.Parbench.write_json ~path:bench_par_json_path report;
   Fmt.pr "wrote %s@." bench_par_json_path
 
 let par_only =

@@ -12,7 +12,8 @@
      rtrt guide               Section 7 runtime composition selection
      rtrt ablations           design-choice ablations A1-A9
      rtrt raw                 absolute counts for one configuration
-     rtrt bench               wall-clock tables (--only hotpath|inspector)
+     rtrt bench               wall-clock tables (--only hotpath|inspector|par)
+     rtrt bench-diff          regression gate between two BENCH_*.json files
      rtrt json                one figure's rows as JSON (jq-ready)
      rtrt trace-report        span-tree summary of a JSONL trace
      rtrt all                 the figure suite end to end
@@ -381,9 +382,18 @@ let run_trace_report file scale steps =
       scale;
     print_trace_report (events ())
 
-let run_bench only out scale =
+let run_bench only out domains scale =
   let path default = Option.value out ~default in
   match only with
+  | "par" ->
+    let out = path "BENCH_PAR.json" in
+    let config = config_of ~domains ~scale ~steps:2 () in
+    let report =
+      Harness.Parbench.measure ~machine:Cachesim.Machine.pentium4 ~config ()
+    in
+    Fmt.pr "%a" Harness.Parbench.pp_report report;
+    Harness.Parbench.write_json ~path:out report;
+    Fmt.pr "wrote %s@." out
   | "hotpath" ->
     let out = path "BENCH_HOTPATH.json" in
     let report = Harness.Hotpath.measure ~scale () in
@@ -399,7 +409,26 @@ let run_bench only out scale =
     Harness.Inspctime.write_json ~path:out report;
     Fmt.pr "wrote %s@." out
   | o ->
-    Fmt.invalid_arg "unknown bench table %s (expected hotpath or inspector)" o
+    Fmt.invalid_arg "unknown bench table %s (expected hotpath, inspector, or par)"
+      o
+
+let run_bench_diff old_path new_path tolerance ratios_only all =
+  match
+    Harness.Benchdiff.compare_files ~tolerance ~ratios_only ~old_path
+      ~new_path ()
+  with
+  | rows ->
+    Fmt.pr "bench-diff %s -> %s (tolerance %.0f%%%s)@.@." old_path new_path
+      (tolerance *. 100.0)
+      (if ratios_only then ", ratios only" else "");
+    Harness.Benchdiff.pp_table ~all Fmt.stdout rows;
+    if Harness.Benchdiff.has_regression rows then begin
+      Fmt.epr "rtrt: bench-diff: regression detected@.";
+      exit 1
+    end
+  | exception Failure msg ->
+    Fmt.epr "rtrt: bench-diff: %s@." msg;
+    exit 2
 
 let run_codegen bench =
   let program =
@@ -565,7 +594,12 @@ let bench_cmd =
   let only =
     Arg.(
       value
-      & opt (enum [ ("hotpath", "hotpath"); ("inspector", "inspector") ])
+      & opt
+          (enum
+             [
+               ("hotpath", "hotpath"); ("inspector", "inspector");
+               ("par", "par");
+             ])
           "hotpath"
       & info [ "only" ] ~docv:"TABLE"
           ~doc:
@@ -573,7 +607,9 @@ let bench_cmd =
              schedule-walk bandwidth vs the nested reference, moldyn \
              tiled-vs-plain steady state, and the inspector phase breakdown. \
              $(b,inspector): cold-inspection cost, serial vs fused vs \
-             fused+pool, with bit-identity checks.")
+             fused+pool, with bit-identity checks. $(b,par): serial vs \
+             domain-pool tiled execution with the makespan model's \
+             prediction (honours --domains / RTRT_DOMAINS).")
   in
   let out =
     Arg.(
@@ -581,16 +617,65 @@ let bench_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
           ~doc:
-            "Path for the JSON results (default BENCH_HOTPATH.json or \
-             BENCH_INSPECTOR.json, by table).")
+            "Path for the JSON results (default BENCH_HOTPATH.json, \
+             BENCH_INSPECTOR.json, or BENCH_PAR.json, by table).")
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Wall-clock hot-path benchmarks")
     Term.(
-      const (fun trace only out scale ->
+      const (fun trace only out domains scale ->
           setup_trace trace;
-          run_bench only out scale)
-      $ trace_arg $ only $ out $ scale_arg)
+          run_bench only out domains scale)
+      $ trace_arg $ only $ out $ domains_arg $ scale_arg)
+
+let bench_diff_cmd =
+  let old_path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline BENCH_*.json.")
+  in
+  let new_path =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate BENCH_*.json.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:
+            "Relative tolerance before a gated metric's change counts as a \
+             regression or improvement (0.1 = 10%).")
+  in
+  let ratios_only =
+    Arg.(
+      value
+      & flag
+      & info [ "ratios-only" ]
+          ~doc:
+            "Gate only on dimensionless or modeled metrics (speedups, \
+             normalized ratios, identity booleans) — absolute timings still \
+             print but cannot fail the diff. For CI, where baseline and \
+             candidate ran on different machines.")
+  in
+  let all =
+    Arg.(
+      value
+      & flag
+      & info [ "all" ]
+          ~doc:"Print every metric row, including unchanged informational ones.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_*.json files metric-by-metric; exit 1 on \
+          regression")
+    Term.(
+      const run_bench_diff $ old_path $ new_path $ tolerance $ ratios_only
+      $ all)
 
 let trace_report_cmd =
   let file =
@@ -622,6 +707,6 @@ let () =
        (Cmd.group info
           [
             datasets_cmd; figure6_cmd; figure7_cmd; figure8_cmd; figure9_cmd;
-            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; bench_cmd; json_cmd;
-            trace_report_cmd; all_cmd;
+            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; bench_cmd;
+            bench_diff_cmd; json_cmd; trace_report_cmd; all_cmd;
           ]))

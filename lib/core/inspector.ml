@@ -319,7 +319,7 @@ let fingerprint ?(strategy = Remap_once) ?(share_symmetric_deps = true) plan
    replayed result is bit-identical to the cold run's. *)
 let replay (entry : Rtrt_plancache.Cache.entry) (kernel : Kernels.Kernel.t) =
   Rtrt_obs.Span.with_span ~name:"inspector.replay" @@ fun span ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rtrt_obs.Clock.now_s () in
   let kernel = kernel.Kernels.Kernel.copy () in
   let k = kernel.Kernels.Kernel.apply_iter_perm entry.delta_total in
   let k, remaps =
@@ -329,7 +329,7 @@ let replay (entry : Rtrt_plancache.Cache.entry) (kernel : Kernels.Kernel.t) =
       (k.Kernels.Kernel.apply_data_perm entry.sigma_total, 1)
     end
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Rtrt_obs.Clock.now_s () -. t0 in
   Rtrt_obs.Span.set_attr span "inspector_seconds" (Rtrt_obs.Json.Float seconds);
   {
     kernel = k;
@@ -365,7 +365,7 @@ let run ?cache ?pool ?(strategy = Remap_once) ?(share_symmetric_deps = true)
         ("strategy", Rtrt_obs.Json.String (strategy_name strategy));
       ]
   @@ fun root_span ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rtrt_obs.Clock.now_s () in
   let n_nodes = kernel.Kernels.Kernel.n_nodes in
   let n_inter = kernel.Kernels.Kernel.n_inter in
   (* The composed forward accumulators (and delta's inverse) live in
@@ -562,7 +562,7 @@ let run ?cache ?pool ?(strategy = Remap_once) ?(share_symmetric_deps = true)
         k.Kernels.Kernel.apply_data_perm sigma_total
       end
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Rtrt_obs.Clock.now_s () -. t0 in
   Rtrt_obs.Span.set_attr root_span "inspector_seconds"
     (Rtrt_obs.Json.Float seconds);
   Rtrt_obs.Span.set_attr root_span "n_data_remaps"

@@ -44,12 +44,11 @@ type measurement = {
   n_tiles : int; (* 1 when not sparse tiled *)
   par : par_measurement option; (* parallel run, when a pool was given *)
   plancache : plancache_report option; (* when a cache was given *)
+  profile : Rtrt_obs.Profile.phase list;
+      (* per-phase GC + monotonic timing deltas *)
 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let y = f () in
-  (y, Unix.gettimeofday () -. t0)
+let time f = Rtrt_obs.Clock.time f
 
 (* Run the inspector and verify the result. *)
 let inspect ?cache ?pool ?strategy ?share_symmetric_deps plan kernel =
@@ -182,9 +181,10 @@ let measure ?cache ?pool ?strategy ?share_symmetric_deps ?layout_of
       ]
   @@ fun () ->
   let pc_before = Option.map Rtrt_plancache.Cache.stats cache in
-  let result =
-    inspect ?cache ?pool ?strategy ?share_symmetric_deps plan
-      (kernel : Kernels.Kernel.t)
+  let result, ph_inspect =
+    Rtrt_obs.Profile.record ~name:"inspect" (fun () ->
+        inspect ?cache ?pool ?strategy ?share_symmetric_deps plan
+          (kernel : Kernels.Kernel.t))
   in
   let plancache =
     match (cache, pc_before) with
@@ -210,16 +210,24 @@ let measure ?cache ?pool ?strategy ?share_symmetric_deps ?layout_of
         }
     | _ -> None
   in
-  let cycles, misses, accesses, ratio =
-    trace_steps ?layout_of result ~machine ~warmup ~steps:trace_steps_n
+  let (cycles, misses, accesses, ratio), ph_model =
+    Rtrt_obs.Profile.record ~name:"cache_model" (fun () ->
+        trace_steps ?layout_of result ~machine ~warmup ~steps:trace_steps_n)
   in
-  let exec_seconds = wall_clock_steps result ~steps:wall_steps in
-  let par =
+  let exec_seconds, ph_wall =
+    Rtrt_obs.Profile.record ~name:"wall_clock" (fun () ->
+        wall_clock_steps result ~steps:wall_steps)
+  in
+  let par, ph_par =
     match (pool, result.Compose.Inspector.schedule) with
     | Some pool, Some sched
       when Rtrt_par.Pool.size pool > 1 && plan_full_growth plan ->
-      Some (measure_par ~pool result sched ~wall_steps)
-    | _ -> None
+      let p, ph =
+        Rtrt_obs.Profile.record ~name:"par" (fun () ->
+            measure_par ~pool result sched ~wall_steps)
+      in
+      (Some p, [ ph ])
+    | _ -> (None, [])
   in
   (* Shed the per-domain scratch pools this measurement grew (the
      inspector's composition accumulators and workspaces would
@@ -246,6 +254,7 @@ let measure ?cache ?pool ?strategy ?share_symmetric_deps ?layout_of
       | Some s -> Reorder.Schedule.n_tiles s);
     par;
     plancache;
+    profile = [ ph_inspect; ph_model; ph_wall ] @ ph_par;
   }
 
 (* Normalized against the first (base) measurement, as Figures 6-7. *)

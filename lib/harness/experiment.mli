@@ -40,6 +40,9 @@ type measurement = {
       (** parallel run, when a multi-domain pool was given and the plan
           sparse-tiles with Full growth *)
   plancache : plancache_report option;  (** when a cache was given *)
+  profile : Rtrt_obs.Profile.phase list;
+      (** per-phase GC + monotonic timing deltas (inspect, cache_model,
+          wall_clock, and par when measured) *)
 }
 
 (** Run the inspector and verify the result (raises on an illegal

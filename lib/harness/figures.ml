@@ -121,6 +121,8 @@ type exec_row = {
       (* plan, normalized modeled cycles, normalized wall clock *)
   per_plan_par : (string * Experiment.par_measurement) list;
       (* plans that additionally ran on a domain pool *)
+  per_plan_profile : (string * Rtrt_obs.Profile.phase list) list;
+      (* per-plan GC + phase-timing profiles, same order as per_plan *)
 }
 
 let run_suite ~machine ~config kernel =
@@ -160,6 +162,11 @@ let executor_time ~machine ~config () =
                   Option.map
                     (fun p -> (m.Experiment.plan_name, p))
                     m.Experiment.par)
+                ms;
+            per_plan_profile =
+              List.map
+                (fun (m : Experiment.measurement) ->
+                  (m.Experiment.plan_name, m.Experiment.profile))
                 ms;
           })
         datasets)
@@ -406,6 +413,16 @@ let json_exec_rows rows =
                           ("par", json_par_measurement p);
                         ])
                     r.per_plan_par) );
+             ( "profiles",
+               J.List
+                 (List.map
+                    (fun (plan, phases) ->
+                      J.Obj
+                        [
+                          ("plan", J.String plan);
+                          ("profile", Rtrt_obs.Profile.json_of_phases phases);
+                        ])
+                    r.per_plan_profile) );
            ])
        rows)
 

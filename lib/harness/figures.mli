@@ -57,6 +57,8 @@ type exec_row = {
       (** plan, normalized modeled cycles, normalized wall clock *)
   per_plan_par : (string * Experiment.par_measurement) list;
       (** plans that additionally ran on a domain pool *)
+  per_plan_profile : (string * Rtrt_obs.Profile.phase list) list;
+      (** per-plan GC + phase-timing profiles, same order as [per_plan] *)
 }
 
 val executor_time :

@@ -8,3 +8,5 @@ module Ablations = Ablations
 module Guidance = Guidance
 module Hotpath = Hotpath
 module Inspctime = Inspctime
+module Parbench = Parbench
+module Benchdiff = Benchdiff

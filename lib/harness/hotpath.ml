@@ -48,14 +48,10 @@ type report = {
   walk : walk_result;
   exec : exec_result;
   phases : phase list;
+  rep_profile : Rtrt_obs.Profile.phase list;
 }
 
-let now () = Unix.gettimeofday ()
-
-let time f =
-  let t0 = now () in
-  f ();
-  now () -. t0
+let time f = snd (Rtrt_obs.Clock.time f)
 
 (* ------------------------------------------------------------------ *)
 (* Schedule walk                                                       *)
@@ -224,12 +220,23 @@ let measure ~scale () =
     | Some s -> s
     | None -> invalid_arg "Hotpath.measure: plan produced no schedule"
   in
+  let walk, ph_walk =
+    Rtrt_obs.Profile.record ~name:"walk" (fun () -> bench_walk sched)
+  in
+  let exec, ph_exec =
+    Rtrt_obs.Profile.record ~name:"exec" (fun () -> bench_exec kernel result)
+  in
+  let phases, ph_insp =
+    Rtrt_obs.Profile.record ~name:"inspector_phases" (fun () ->
+        inspector_phases plan kernel)
+  in
   {
     rep_scale = scale;
     rep_plan = Compose.Plan.name plan;
-    walk = bench_walk sched;
-    exec = bench_exec kernel result;
-    phases = inspector_phases plan kernel;
+    walk;
+    exec;
+    phases;
+    rep_profile = [ ph_walk; ph_exec; ph_insp ];
   }
 
 let json_of_report r =
@@ -269,6 +276,7 @@ let json_of_report r =
                      ("self_seconds", Float p.phase_self_s);
                    ])
                r.phases) );
+        ("profile", Rtrt_obs.Profile.json_of_phases r.rep_profile);
       ])
 
 let write_json ~path r =

@@ -34,6 +34,8 @@ type report = {
   walk : walk_result;
   exec : exec_result;
   phases : phase list;
+  rep_profile : Rtrt_obs.Profile.phase list;
+      (** GC + monotonic timing per benchmark section *)
 }
 
 (** Walk every (tile, loop) row of [sched] both ways; passes are

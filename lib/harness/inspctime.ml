@@ -31,6 +31,7 @@ type report = {
   rep_repeats : int;
   rep_domains : int list;
   rows : row list;
+  rep_profile : Rtrt_obs.Profile.phase list;  (* one phase per plan row *)
 }
 
 (* Best-of-N cold inspections; each run pays the full inspector (no
@@ -123,11 +124,15 @@ let plans ~part_size ~seed_part_size =
 let measure ?(repeats = 5) ?(domains = [ 1; 2; 4 ]) ~scale () =
   let dataset = Option.get (Datagen.Generators.by_name ~scale "mol1") in
   let kernel = (Option.get (Kernels.by_name "moldyn")) dataset in
-  let rows =
+  let rows_profiled =
     List.map
-      (fun plan -> measure_plan ~repeats ~domains plan kernel)
+      (fun plan ->
+        Rtrt_obs.Profile.record
+          ~name:("plan:" ^ Compose.Plan.name plan)
+          (fun () -> measure_plan ~repeats ~domains plan kernel))
       (plans ~part_size:64 ~seed_part_size:64)
   in
+  let rows = List.map fst rows_profiled in
   (match rows with
   | first :: _ ->
     List.iter
@@ -144,7 +149,13 @@ let measure ?(repeats = 5) ?(domains = [ 1; 2; 4 ]) ~scale () =
       (fun t -> Rtrt_obs.Metrics.set g_fused_pool_speedup t.t_speedup)
       max_pool
   | [] -> ());
-  { rep_scale = scale; rep_repeats = repeats; rep_domains = domains; rows }
+  {
+    rep_scale = scale;
+    rep_repeats = repeats;
+    rep_domains = domains;
+    rows;
+    rep_profile = List.map snd rows_profiled;
+  }
 
 let identical r =
   List.for_all
@@ -182,6 +193,7 @@ let json_of_report r =
                             row.row_timings) );
                    ])
                r.rows) );
+        ("profile", Rtrt_obs.Profile.json_of_phases r.rep_profile);
       ])
 
 let write_json ~path r =

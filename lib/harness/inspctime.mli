@@ -24,6 +24,8 @@ type report = {
   rep_repeats : int;
   rep_domains : int list;
   rows : row list;
+  rep_profile : Rtrt_obs.Profile.phase list;
+      (** GC + monotonic timing, one phase per plan row *)
 }
 
 (** Time one plan's cold inspections (best of [repeats]) under serial

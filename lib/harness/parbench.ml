@@ -1,0 +1,97 @@
+(* Parallel speedup table: serial vs pool execution of the Full-growth
+   tiled executors, with the Tile_par makespan model's prediction
+   alongside. Shared by `rtrt bench --only par` and the bench binary's
+   RTRT_BENCH_PAR_ONLY fast mode; the JSON lands in BENCH_PAR.json for
+   the CI perf trajectory. *)
+
+type row = {
+  pb_bench : string;
+  pb_dataset : string;
+  pb_plan : string;
+  pb_par : Experiment.par_measurement;
+}
+
+type report = {
+  rep_domains : int;
+  rep_scale : int;
+  rows : row list;
+  rep_profile : Rtrt_obs.Profile.phase list;
+}
+
+let measure ~machine ~(config : Figures.config) () =
+  let exec_rows, profile =
+    Rtrt_obs.Profile.record ~name:"executor_time" (fun () ->
+        Figures.executor_time ~machine ~config ())
+  in
+  let rows =
+    List.concat_map
+      (fun (r : Figures.exec_row) ->
+        List.map
+          (fun (plan, p) ->
+            {
+              pb_bench = r.Figures.bench;
+              pb_dataset = r.Figures.dataset;
+              pb_plan = plan;
+              pb_par = p;
+            })
+          r.Figures.per_plan_par)
+      exec_rows
+  in
+  {
+    rep_domains = config.Figures.domains;
+    rep_scale = config.Figures.scale;
+    rows;
+    rep_profile = [ profile ];
+  }
+
+let json_of_report r =
+  Rtrt_obs.Json.(
+    Obj
+      [
+        ("domains", Int r.rep_domains);
+        ("scale", Int r.rep_scale);
+        ( "rows",
+          List
+            (List.map
+               (fun row ->
+                 let p = row.pb_par in
+                 Obj
+                   [
+                     ("bench", String row.pb_bench);
+                     ("dataset", String row.pb_dataset);
+                     ("plan", String row.pb_plan);
+                     ("domains", Int p.Experiment.domains);
+                     ( "serial_seconds_per_step",
+                       Float p.Experiment.serial_seconds_per_step );
+                     ( "par_seconds_per_step",
+                       Float p.Experiment.par_seconds_per_step );
+                     ("measured_speedup", Float p.Experiment.measured_speedup);
+                     ("modeled_speedup", Float p.Experiment.modeled_speedup);
+                     ("modeled_makespan", Int p.Experiment.modeled_makespan);
+                     ("bitwise_equal", Bool p.Experiment.bitwise_equal);
+                   ])
+               r.rows) );
+        ("profile", Rtrt_obs.Profile.json_of_phases r.rep_profile);
+      ])
+
+let write_json ~path r =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Rtrt_obs.Json.to_string (json_of_report r));
+      output_char oc '\n')
+
+let pp_report ppf r =
+  Fmt.pf ppf "domains %d, scale %d@." r.rep_domains r.rep_scale;
+  List.iter
+    (fun row ->
+      let p = row.pb_par in
+      Fmt.pf ppf
+        "  %-8s %-6s %-24s %5.2fx measured (modeled %5.2fx, makespan %d) %s@."
+        row.pb_bench row.pb_dataset row.pb_plan
+        p.Experiment.measured_speedup p.Experiment.modeled_speedup
+        p.Experiment.modeled_makespan
+        (if p.Experiment.bitwise_equal then "bitwise equal"
+         else "OUTPUT DIFFERS");
+      ())
+    r.rows;
+  if r.rows = [] then
+    Fmt.pf ppf "  (no Full-growth sparse-tiled plans produced a schedule)@."

@@ -1,0 +1,27 @@
+(** Parallel speedup table (serial vs domain-pool execution of the
+    Full-growth tiled executors, next to the Tile_par makespan model's
+    prediction). Shared by [rtrt bench --only par] and the bench
+    binary; the JSON feeds BENCH_PAR.json. *)
+
+type row = {
+  pb_bench : string;
+  pb_dataset : string;
+  pb_plan : string;
+  pb_par : Experiment.par_measurement;
+}
+
+type report = {
+  rep_domains : int;
+  rep_scale : int;
+  rows : row list;
+  rep_profile : Rtrt_obs.Profile.phase list;
+}
+
+(** Run the Figures 6/7 suite with [config] (domains/scale taken from
+    it) and keep the plans that ran on the pool. *)
+val measure :
+  machine:Cachesim.Machine.t -> config:Figures.config -> unit -> report
+
+val json_of_report : report -> Rtrt_obs.Json.t
+val write_json : path:string -> report -> unit
+val pp_report : report Fmt.t

@@ -1,0 +1,34 @@
+(* The single time base for the tree.
+
+   Every duration — span lengths, histogram samples, bench numbers,
+   pool lane accounting — derives from [now_ns], a CLOCK_MONOTONIC
+   read through a noalloc C stub. Monotonic time has an arbitrary
+   epoch, so absolute values are only meaningful as differences; the
+   one place that needs human-readable absolute time (the trace
+   header) uses [wall_s], the only Unix.gettimeofday call site left in
+   the library tree. *)
+
+external now_ns_unboxed : unit -> (int64[@unboxed])
+  = "rtrt_clock_monotonic_ns_byte" "rtrt_clock_monotonic_ns_unboxed"
+[@@noalloc]
+
+(* Native int: 63 bits of nanoseconds wrap after ~146 years of uptime,
+   and plain int arithmetic keeps the hot paths allocation-free. *)
+let now_ns () = Int64.to_int (now_ns_unboxed ())
+let ns_per_s = 1e9
+let to_s ns = float_of_int ns /. ns_per_s
+let now_s () = to_s (now_ns ())
+let elapsed_ns t0 = now_ns () - t0
+
+let time f =
+  let t0 = now_ns () in
+  let y = f () in
+  (y, to_s (now_ns () - t0))
+
+let time_ns f =
+  let t0 = now_ns () in
+  let y = f () in
+  (y, now_ns () - t0)
+
+(* Wall-clock seconds since the Unix epoch — trace headers only. *)
+let wall_s () = Unix.gettimeofday ()

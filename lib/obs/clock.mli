@@ -1,0 +1,29 @@
+(** The single monotonic time base shared by spans, histograms, pool
+    accounting, and the bench harness. Readings come from
+    [CLOCK_MONOTONIC] via a noalloc C stub: they never go backwards
+    and have an arbitrary epoch, so only differences are meaningful. *)
+
+(** Monotonic nanoseconds as a native int (wraps after ~146 years). *)
+val now_ns : unit -> int
+
+(** Monotonic seconds ([now_ns] scaled); same epoch caveat. *)
+val now_s : unit -> float
+
+(** Nanoseconds to seconds. *)
+val to_s : int -> float
+
+(** [elapsed_ns t0] = [now_ns () - t0]. *)
+val elapsed_ns : int -> int
+
+(** [time f] runs [f ()] and returns its result with the elapsed
+    monotonic seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_ns f] runs [f ()] and returns its result with the elapsed
+    monotonic nanoseconds. *)
+val time_ns : (unit -> 'a) -> 'a * int
+
+(** Wall-clock seconds since the Unix epoch. This is the only
+    [Unix.gettimeofday] site in the tree; it exists solely so trace
+    headers can carry a human-readable timestamp. *)
+val wall_s : unit -> float

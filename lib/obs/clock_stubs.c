@@ -1,0 +1,25 @@
+/* Monotonic clock primitive for Rtrt_obs.Clock.
+
+   CLOCK_MONOTONIC never jumps backwards under NTP slews or wall-clock
+   adjustments, which is what every duration measurement in the tree
+   wants. The native-code entry point returns an unboxed int64 and is
+   [@@noalloc], so a timestamp read is a plain C call with no OCaml
+   allocation. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t rtrt_clock_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value rtrt_clock_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(rtrt_clock_monotonic_ns_unboxed(unit));
+}

@@ -84,12 +84,12 @@ let install = function
   | Off -> Runtime.disable ()
   | Pretty ->
     register_exit_hook ();
-    Runtime.set_sink (Sink.pretty Fmt.stderr)
+    Metrics.switch_sink (Sink.pretty Fmt.stderr)
   | Jsonl path -> (
     match Sink.jsonl_file path with
     | sink ->
       register_exit_hook ();
-      Runtime.set_sink sink;
+      Metrics.switch_sink sink;
       Fmt.epr "rtrt: writing jsonl trace to %s@." path
     | exception Sys_error msg ->
       Fmt.epr "rtrt: cannot open jsonl trace (%s); tracing disabled@." msg;

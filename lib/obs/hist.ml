@@ -1,0 +1,224 @@
+(* Fixed-bucket log-linear latency histograms (HDR-style).
+
+   Buckets cover the non-negative int range with 16 sub-buckets per
+   power of two (sub_bits = 4): values below 16 get exact unit
+   buckets, and every larger bucket has width 2^(e-4) for values near
+   2^e, i.e. at most 1/16 = 6.25% relative error. That bounds the
+   error of any quantile estimate by one bucket's relative width,
+   which is plenty for latency distributions spanning nanoseconds to
+   seconds.
+
+   Hot path: [record] is one enabled-branch when tracing is off; when
+   on, it is a bit-scan plus three atomic adds and two CAS loops
+   (min/max) — safe from any domain, no allocation. Extraction
+   ([stats], [quantile]) walks the bucket array; it is only called at
+   flush/report time.
+
+   Histograms live in a registry beside the counter/gauge tables in
+   Metrics; [flush] lowers each touched histogram to derived Gauge
+   metrics (<name>.{count,min_ns,max_ns,mean_ns,p50_ns,p90_ns,p99_ns})
+   so the Sink event schema — and every existing trace consumer —
+   stays unchanged. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits (* 16 sub-buckets per octave *)
+
+(* Enough buckets for any 62-bit value: highest index is
+   (62 - sub_bits + 1) * 16 + 15 < 960. *)
+let n_buckets = 960
+
+type t = {
+  h_name : string;
+  buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_min : int Atomic.t; (* max_int while empty *)
+  h_max : int Atomic.t; (* -1 while empty *)
+}
+
+let name h = h.h_name
+
+(* Index of the most significant set bit of v >= 1. Float.frexp gets
+   within one position in constant time; the loops correct for
+   rounding at power-of-two boundaries (at most one step each). *)
+let msb v =
+  let e = ref (snd (Float.frexp (float_of_int v)) - 1) in
+  while v lsr !e = 0 do
+    decr e
+  done;
+  while v lsr !e > 1 do
+    incr e
+  done;
+  !e
+
+let index_of v =
+  if v < sub then v
+  else begin
+    let shift = msb v - sub_bits in
+    ((shift + 1) lsl sub_bits) + ((v lsr shift) land (sub - 1))
+  end
+
+(* Smallest value mapping to [index]; buckets are contiguous, so
+   bucket [i] covers [lower_bound i, lower_bound (i+1) - 1]. *)
+let lower_bound index =
+  if index < sub then index
+  else
+    let shift = (index lsr sub_bits) - 1 in
+    (sub lor (index land (sub - 1))) lsl shift
+
+(* Midpoint used as the representative value of a bucket. *)
+let midpoint index = (lower_bound index + lower_bound (index + 1) - 1) / 2
+
+let registry_mutex = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let hist name =
+  Mutex.lock registry_mutex;
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_min = Atomic.make max_int;
+          h_max = Atomic.make (-1);
+        }
+      in
+      Hashtbl.add registry name h;
+      h
+  in
+  Mutex.unlock registry_mutex;
+  h
+
+let rec cas_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then cas_min cell v
+
+let rec cas_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then cas_max cell v
+
+let record h ns =
+  if Runtime.is_enabled () then begin
+    let ns = if ns < 0 then 0 else ns in
+    Atomic.incr h.buckets.(index_of ns);
+    Atomic.incr h.h_count;
+    ignore (Atomic.fetch_and_add h.h_sum ns);
+    cas_min h.h_min ns;
+    cas_max h.h_max ns
+  end
+
+let record_s h s = record h (int_of_float (s *. 1e9))
+let count h = Atomic.get h.h_count
+
+type stats = {
+  st_count : int;
+  st_min : int;
+  st_max : int;
+  st_mean : float;
+  st_p50 : int;
+  st_p90 : int;
+  st_p99 : int;
+}
+
+(* Quantile over a snapshot of the buckets: the representative value
+   of the first bucket whose cumulative count reaches q * total,
+   clamped to the observed [min, max] so q=0/q=1 are exact. Concurrent
+   recorders can skew a live read by a sample or two — extraction is
+   meant for quiescent flush/report points. *)
+let quantile_of ~counts ~total ~mn ~mx q =
+  if total = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int total)) in
+    let rank = if rank < 1 then 1 else if rank > total then total else rank in
+    let acc = ref 0 in
+    let i = ref 0 in
+    while !acc < rank && !i < n_buckets do
+      acc := !acc + counts.(!i);
+      incr i
+    done;
+    let v = midpoint (!i - 1) in
+    if v < mn then mn else if v > mx then mx else v
+  end
+
+let stats h =
+  let counts = Array.map Atomic.get h.buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then
+    {
+      st_count = 0;
+      st_min = 0;
+      st_max = 0;
+      st_mean = 0.0;
+      st_p50 = 0;
+      st_p90 = 0;
+      st_p99 = 0;
+    }
+  else begin
+    let mn = Atomic.get h.h_min and mx = Atomic.get h.h_max in
+    let q = quantile_of ~counts ~total ~mn ~mx in
+    {
+      st_count = total;
+      st_min = mn;
+      st_max = mx;
+      st_mean = float_of_int (Atomic.get h.h_sum) /. float_of_int total;
+      st_p50 = q 0.50;
+      st_p90 = q 0.90;
+      st_p99 = q 0.99;
+    }
+  end
+
+let quantile h q =
+  let counts = Array.map Atomic.get h.buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  quantile_of ~counts ~total ~mn:(Atomic.get h.h_min)
+    ~mx:(Atomic.get h.h_max) q
+
+let reset_one h =
+  Array.iter (fun b -> Atomic.set b 0) h.buckets;
+  Atomic.set h.h_count 0;
+  Atomic.set h.h_sum 0;
+  Atomic.set h.h_min max_int;
+  Atomic.set h.h_max (-1)
+
+let snapshot_registry () =
+  Mutex.lock registry_mutex;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun a b -> compare a.h_name b.h_name) hs
+
+let reset () = List.iter reset_one (snapshot_registry ())
+
+(* Derived (name, value) pairs for the touched histograms, in the
+   shape Metrics.dump interleaves with counters and gauges. *)
+let derived h =
+  let st = stats h in
+  [
+    (h.h_name ^ ".count", float_of_int st.st_count);
+    (h.h_name ^ ".min_ns", float_of_int st.st_min);
+    (h.h_name ^ ".max_ns", float_of_int st.st_max);
+    (h.h_name ^ ".mean_ns", st.st_mean);
+    (h.h_name ^ ".p50_ns", float_of_int st.st_p50);
+    (h.h_name ^ ".p90_ns", float_of_int st.st_p90);
+    (h.h_name ^ ".p99_ns", float_of_int st.st_p99);
+  ]
+
+let dump () =
+  List.concat_map
+    (fun h -> if count h > 0 then derived h else [])
+    (snapshot_registry ())
+
+let flush () =
+  if Runtime.is_enabled () then begin
+    let t = Runtime.now () in
+    List.iter
+      (fun (name, v) ->
+        Runtime.emit
+          (Sink.Metric
+             { m_name = name; m_kind = Sink.Gauge; m_value = v; m_time = t }))
+      (dump ())
+  end

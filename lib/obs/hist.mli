@@ -1,0 +1,66 @@
+(** Fixed-bucket log-linear latency histograms.
+
+    Buckets have 16 sub-buckets per power of two, so any recorded
+    value lands in a bucket whose relative width is at most 6.25% —
+    and every quantile estimate is within one bucket width of an exact
+    quantile of the recorded samples. [record] costs one branch when
+    tracing is disabled; when enabled it is a handful of atomic
+    updates and is safe from any domain.
+
+    Histograms register in a global registry like counters/gauges and
+    are lowered at flush time to derived [Gauge] metrics named
+    [<name>.{count,min_ns,max_ns,mean_ns,p50_ns,p90_ns,p99_ns}], so
+    the sink event schema is unchanged. {!Metrics.flush},
+    {!Metrics.dump} and {!Metrics.reset} include them. *)
+
+type t
+
+(** Idempotent per name: returns the existing handle if registered. *)
+val hist : string -> t
+
+val name : t -> string
+
+(** Record a non-negative nanosecond sample (negative values clamp to
+    0). One branch when tracing is off. *)
+val record : t -> int -> unit
+
+(** Record a duration in seconds (converted to ns). *)
+val record_s : t -> float -> unit
+
+(** Samples recorded since the last reset. *)
+val count : t -> int
+
+type stats = {
+  st_count : int;
+  st_min : int;        (** ns; 0 when empty *)
+  st_max : int;        (** ns; 0 when empty *)
+  st_mean : float;     (** ns; 0.0 when empty *)
+  st_p50 : int;        (** ns *)
+  st_p90 : int;        (** ns *)
+  st_p99 : int;        (** ns *)
+}
+
+(** Summary over the current contents. Extraction reads the buckets
+    non-atomically as a whole; call at quiescent points. *)
+val stats : t -> stats
+
+(** [quantile h q] for q in [0, 1]: representative value of the first
+    bucket whose cumulative count reaches [q * count], clamped to the
+    observed min/max. 0 when empty. *)
+val quantile : t -> float -> int
+
+(** Zero every registered histogram. *)
+val reset : unit -> unit
+
+(** Derived (name, value) pairs of every touched histogram, sorted by
+    histogram name. *)
+val dump : unit -> (string * float) list
+
+(** Emit the derived pairs as Gauge Metric events to the active sink. *)
+val flush : unit -> unit
+
+(**/**)
+
+(* Exposed for the qcheck property tests. *)
+val index_of : int -> int
+val lower_bound : int -> int

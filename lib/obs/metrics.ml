@@ -5,11 +5,18 @@
    operations ([add], [incr], [set]) are a single enabled-branch plus
    an atomic update, so instrumented code pays nothing measurable when
    tracing is off. Values live in [Atomic.t] cells so instrumented
-   code may run inside worker domains without losing increments;
-   handle registration is serialized by a mutex so pool lanes may
-   create handles concurrently. [flush] emits one Metric event per
-   touched handle to the active sink (and is called automatically at
-   exit by Config). *)
+   code may run inside worker domains without losing increments.
+
+   Registration and whole-registry traversals (dump/flush/reset) are
+   serialized by [registry_mutex]: pool lanes may create handles
+   concurrently with a dump on another domain without the Hashtbl
+   resize racing the fold and silently dropping entries.
+
+   Lifecycle: [switch_sink] is the supported way to change sinks
+   mid-run — it flushes accumulated values to the OLD sink, installs
+   the new one, then resets, so no stale value is ever attributed to
+   the new trace. Histogram handles ({!Hist}) ride the same
+   reset/dump/flush paths, lowered to derived gauges. *)
 
 type counter = { c_name : string; c_value : int Atomic.t }
 
@@ -67,25 +74,38 @@ let reset () =
       Atomic.set g.g_value 0.0;
       Atomic.set g.g_set false)
     gauges;
-  Mutex.unlock registry_mutex
+  Mutex.unlock registry_mutex;
+  Hist.reset ()
 
-(* Touched handles only, sorted by name for deterministic output. *)
+(* Snapshot the handle lists under the mutex so a concurrent
+   registration (Hashtbl resize) cannot race the fold; values are read
+   after, from the atomic cells. *)
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters [] in
+  let gs = Hashtbl.fold (fun _ g acc -> g :: acc) gauges [] in
+  Mutex.unlock registry_mutex;
+  (cs, gs)
+
+(* Touched handles only, sorted by name for deterministic output.
+   Histogram summaries are interleaved as derived gauges. *)
 let dump () =
+  let cs, gs = snapshot () in
   let cs =
-    Hashtbl.fold
-      (fun _ c acc ->
+    List.filter_map
+      (fun c ->
         let v = Atomic.get c.c_value in
-        if v <> 0 then (c.c_name, float_of_int v) :: acc else acc)
-      counters []
+        if v <> 0 then Some (c.c_name, float_of_int v) else None)
+      cs
   in
   let gs =
-    Hashtbl.fold
-      (fun _ g acc ->
-        if Atomic.get g.g_set then (g.g_name, Atomic.get g.g_value) :: acc
-        else acc)
-      gauges []
+    List.filter_map
+      (fun g ->
+        if Atomic.get g.g_set then Some (g.g_name, Atomic.get g.g_value)
+        else None)
+      gs
   in
-  List.sort compare (cs @ gs)
+  List.sort compare (cs @ gs @ Hist.dump ())
 
 let flush () =
   if Runtime.is_enabled () then begin
@@ -94,20 +114,20 @@ let flush () =
       Runtime.emit
         (Sink.Metric { m_name = name; m_kind = kind; m_value = v; m_time = t })
     in
-    let cs =
-      Hashtbl.fold
-        (fun _ c acc -> if Atomic.get c.c_value <> 0 then c :: acc else acc)
-        counters []
-    in
+    let cs, gs = snapshot () in
+    let cs = List.filter (fun c -> Atomic.get c.c_value <> 0) cs in
     List.iter
       (fun c -> emit Sink.Counter c.c_name (float_of_int (Atomic.get c.c_value)))
       (List.sort (fun a b -> compare a.c_name b.c_name) cs);
-    let gs =
-      Hashtbl.fold
-        (fun _ g acc -> if Atomic.get g.g_set then g :: acc else acc)
-        gauges []
-    in
+    let gs = List.filter (fun g -> Atomic.get g.g_set) gs in
     List.iter
       (fun g -> emit Sink.Gauge g.g_name (Atomic.get g.g_value))
-      (List.sort (fun a b -> compare a.g_name b.g_name) gs)
+      (List.sort (fun a b -> compare a.g_name b.g_name) gs);
+    Hist.flush ()
   end
+
+let switch_sink s =
+  flush ();
+  (* no-op when disabled; otherwise the old sink gets the totals *)
+  Runtime.set_sink s;
+  reset ()

@@ -1,0 +1,29 @@
+(** Per-phase execution profiles: monotonic timings plus
+    [Gc.quick_stat] deltas (minor/major words, collections) captured
+    around a closure. Capture is always on — two [quick_stat] reads
+    cost nanoseconds — so figure JSON carries profile blocks even with
+    tracing disabled. *)
+
+type phase = {
+  ph_name : string;
+  ph_seconds : float;            (** monotonic wall time *)
+  ph_minor_words : float;
+  ph_promoted_words : float;
+  ph_major_words : float;
+  ph_minor_collections : int;
+  ph_major_collections : int;
+  ph_compactions : int;
+  ph_heap_words : int;           (** major heap size at phase end *)
+}
+
+(** [record ~name f] runs [f ()] and returns its result with the
+    phase profile. *)
+val record : name:string -> (unit -> 'a) -> 'a * phase
+
+val json_of_phase : phase -> Json.t
+
+(** Self-describing profile block:
+    [{"schema":"rtrt.profile/1","clock":"monotonic","phases":[...]}] *)
+val json_of_phases : phase list -> Json.t
+
+val pp_phase : Format.formatter -> phase -> unit

@@ -1,8 +1,11 @@
 (** [Rtrt_obs]: zero-dependency structured tracing and metrics for the
     inspector/executor pipeline.
 
+    - {!Clock}: the single monotonic time base (ns) for every duration;
     - {!Span}: hierarchical timed spans ([Span.with_ ~name f]);
     - {!Metrics}: named counters and gauges for domain events;
+    - {!Hist}: fixed-bucket log-scale latency histograms;
+    - {!Profile}: per-phase GC + timing profiles for figure JSON;
     - {!Sink}: pluggable event consumers (null / pretty / JSONL /
       in-memory);
     - {!Config}: the [RTRT_TRACE] env + CLI surface;
@@ -15,17 +18,21 @@
 
 module Json = Json
 module Sink = Sink
+module Clock = Clock
 module Span = Span
 module Metrics = Metrics
+module Hist = Hist
+module Profile = Profile
 module Report = Report
 module Config = Config
 
 (** Is tracing currently enabled? *)
 let enabled = Runtime.is_enabled
 
-(** Route events to [sink] and enable tracing (closes the previous
-    sink). *)
-let set_sink = Runtime.set_sink
+(** Route events to [sink] and enable tracing. Flushes accumulated
+    metrics to the previous sink and resets them, so values never leak
+    across traces (see {!Metrics.switch_sink}). *)
+let set_sink = Metrics.switch_sink
 
 (** Disable tracing, closing the active sink. *)
 let disable = Runtime.disable

@@ -1,13 +1,18 @@
 (* Global tracing state. Everything the hot paths touch funnels through
    [is_enabled]: with tracing off, a span is one branch and a counter
-   add is one branch — no allocation, no clock read. *)
+   add is one branch — no allocation, no clock read.
+
+   [now] is monotonic (Clock.now_s): span starts/durations never go
+   backwards under wall-clock adjustments. Each [set_sink] emits one
+   wall-clock header metric (trace.wall_start_unix_s) so a trace still
+   carries a human-readable absolute timestamp. *)
 
 let enabled = ref false
 let sink = ref Sink.null
 let stack : Sink.span list ref = ref []
 let next_id = ref 0
 
-let now () = Unix.gettimeofday ()
+let now () = Clock.now_s ()
 let is_enabled () = !enabled
 let emit e = !sink.Sink.emit e
 let flush () = !sink.Sink.flush ()
@@ -16,7 +21,16 @@ let set_sink s =
   !sink.Sink.close ();
   sink := s;
   stack := [];
-  enabled := true
+  enabled := true;
+  (* Trace header: the one wall-clock timestamp per trace. *)
+  emit
+    (Sink.Metric
+       {
+         m_name = "trace.wall_start_unix_s";
+         m_kind = Sink.Gauge;
+         m_value = Clock.wall_s ();
+         m_time = now ();
+       })
 
 let disable () =
   !sink.Sink.close ();

@@ -13,7 +13,7 @@ type span = {
   parent : int option;
   name : string;
   depth : int;
-  start : float; (* Unix.gettimeofday at open *)
+  start : float; (* monotonic seconds (Clock.now_s) at open *)
   mutable attrs : (string * Json.t) list;
 }
 

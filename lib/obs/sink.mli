@@ -5,7 +5,7 @@ type span = {
   parent : int option;
   name : string;
   depth : int;
-  start : float;
+  start : float;  (** monotonic seconds at open *)
   mutable attrs : (string * Json.t) list;
       (** attributes may still be added while the span is open; the
           [Span_end] event carries the final set *)

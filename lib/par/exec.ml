@@ -65,6 +65,9 @@ let lane_counters pool =
   Array.init (Pool.size pool) (fun l ->
       Rtrt_obs.Metrics.counter (Fmt.str "par.domain%d.iterations" l))
 
+(* Whole-step latency (all levels, all phases of one time step). *)
+let h_step = Rtrt_obs.Hist.hist "par.step"
+
 (* Level-major tile order: levels ascending, tile ids ascending within
    a level (Tile_par builds levels ascending already, but recompute
    from [level_of] so any levelization source works). *)
@@ -201,6 +204,8 @@ let run t ~steps ~body ~stash ~apply =
   let nl = Reorder.Schedule.n_loops sched in
   let counters = t.c_lane_iters in
   for _s = 1 to steps do
+    let prof = Rtrt_obs.enabled () in
+    let t0 = if prof then Rtrt_obs.Clock.now_ns () else 0 in
     Array.iter
       (fun lv ->
         if not lv.l_par then
@@ -245,7 +250,8 @@ let run t ~steps ~body ~stash ~apply =
                       red.r_ptr.(di + 1)
                   done)
           done)
-      t.levels
+      t.levels;
+    if prof then Rtrt_obs.Hist.record h_step (Rtrt_obs.Clock.now_ns () - t0)
   done
 
 (* Level-by-level parallel driver for executors that are not

@@ -9,7 +9,28 @@
    phases.
 
    Lane 0 is the calling domain itself, so [create ~domains:n] spawns
-   n-1 workers and a pool of 1 degenerates to plain serial calls. *)
+   n-1 workers and a pool of 1 degenerates to plain serial calls.
+
+   Per-lane accounting: when tracing is enabled at dispatch time, each
+   round is split per lane into
+     idle    = lane start - dispatch stamp   (wake/dispatch latency)
+     work    = lane done  - lane start       (inside the job)
+     barrier = round end  - lane done        (waiting for stragglers)
+   where "round end" is the latest lane-done stamp. The three pieces
+   sum exactly to (round end - dispatch) for every lane, so per-lane
+   totals satisfy work + barrier + idle = accounted_ns — the invariant
+   test_par checks. Stamps are written lock-free into per-lane slots
+   and read by lane 0 after the barrier (mutex hand-off orders them);
+   accumulators are only ever touched by their own lane or after the
+   barrier, so no atomics are needed. Barrier waits also feed the
+   pool.barrier_wait histogram; per-lane totals are published as
+   pool.lane<i>.{work,barrier,idle}_ns gauges at shutdown. *)
+
+type lane_stats = {
+  work_ns : int;
+  barrier_ns : int;
+  idle_ns : int;
+}
 
 type t = {
   domains : int;
@@ -21,8 +42,19 @@ type t = {
   mutable failure : exn option;  (* first exception of the round *)
   mutable stop : bool;
   mutable workers : unit Domain.t array;
+  (* accounting *)
+  mutable profiled : bool;       (* current round is accounted *)
+  mutable t_dispatch : int;      (* ns stamp of current dispatch *)
+  lane_start : int array;        (* per-lane job-entry stamp, ns *)
+  lane_done : int array;         (* per-lane job-exit stamp, ns *)
+  acc_work : int array;          (* per-lane totals across rounds *)
+  acc_barrier : int array;
+  acc_idle : int array;
+  mutable accounted_rounds : int;
+  mutable accounted_ns : int;    (* sum of (round end - dispatch) *)
 }
 
+let h_barrier = Rtrt_obs.Hist.hist "pool.barrier_wait"
 let size t = t.domains
 
 let record_failure t exn =
@@ -39,8 +71,11 @@ let rec worker_loop t lane seen_epoch =
   else begin
     let epoch = t.epoch in
     let job = Option.get t.job in
+    let profiled = t.profiled in
     Mutex.unlock t.mutex;
+    if profiled then t.lane_start.(lane) <- Rtrt_obs.Clock.now_ns ();
     (try job lane with exn -> record_failure t exn);
+    if profiled then t.lane_done.(lane) <- Rtrt_obs.Clock.now_ns ();
     Mutex.lock t.mutex;
     t.pending <- t.pending - 1;
     if t.pending = 0 then Condition.broadcast t.cond;
@@ -61,12 +96,38 @@ let create ~domains =
       failure = None;
       stop = false;
       workers = [||];
+      profiled = false;
+      t_dispatch = 0;
+      lane_start = Array.make domains 0;
+      lane_done = Array.make domains 0;
+      acc_work = Array.make domains 0;
+      acc_barrier = Array.make domains 0;
+      acc_idle = Array.make domains 0;
+      accounted_rounds = 0;
+      accounted_ns = 0;
     }
   in
   t.workers <-
     Array.init (domains - 1) (fun i ->
         Domain.spawn (fun () -> worker_loop t (i + 1) 0));
   t
+
+(* Lane 0 only, after the barrier: every lane_done stamp is visible
+   (mutex hand-off) and no lane is running. *)
+let settle_round t =
+  let t_end = ref t.lane_done.(0) in
+  for l = 1 to t.domains - 1 do
+    if t.lane_done.(l) > !t_end then t_end := t.lane_done.(l)
+  done;
+  for l = 0 to t.domains - 1 do
+    let wait = !t_end - t.lane_done.(l) in
+    t.acc_idle.(l) <- t.acc_idle.(l) + (t.lane_start.(l) - t.t_dispatch);
+    t.acc_work.(l) <- t.acc_work.(l) + (t.lane_done.(l) - t.lane_start.(l));
+    t.acc_barrier.(l) <- t.acc_barrier.(l) + wait;
+    Rtrt_obs.Hist.record h_barrier wait
+  done;
+  t.accounted_rounds <- t.accounted_rounds + 1;
+  t.accounted_ns <- t.accounted_ns + (!t_end - t.t_dispatch)
 
 let parallel t f =
   if t.domains = 1 then f 0
@@ -76,6 +137,9 @@ let parallel t f =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.parallel: pool is shut down"
     end;
+    let profiled = Rtrt_obs.enabled () in
+    t.profiled <- profiled;
+    if profiled then t.t_dispatch <- Rtrt_obs.Clock.now_ns ();
     t.job <- Some f;
     t.failure <- None;
     t.pending <- t.domains - 1;
@@ -84,7 +148,9 @@ let parallel t f =
     Mutex.unlock t.mutex;
     (* Lane 0 works too; its exception must still wait for the
        barrier so no worker is left running inside freed state. *)
+    if profiled then t.lane_start.(0) <- Rtrt_obs.Clock.now_ns ();
     (try f 0 with exn -> record_failure t exn);
+    if profiled then t.lane_done.(0) <- Rtrt_obs.Clock.now_ns ();
     Mutex.lock t.mutex;
     while t.pending > 0 do
       Condition.wait t.cond t.mutex
@@ -93,8 +159,36 @@ let parallel t f =
     t.job <- None;
     t.failure <- None;
     Mutex.unlock t.mutex;
+    if profiled then settle_round t;
     match failure with None -> () | Some exn -> raise exn
   end
+
+let lane_stats t =
+  Array.init t.domains (fun l ->
+      {
+        work_ns = t.acc_work.(l);
+        barrier_ns = t.acc_barrier.(l);
+        idle_ns = t.acc_idle.(l);
+      })
+
+let accounted_rounds t = t.accounted_rounds
+let accounted_ns t = t.accounted_ns
+
+(* Publish per-lane totals as gauges. Gauges are last-write-wins, so
+   with several pools in one trace the most recently shut-down pool's
+   breakdown is reported. *)
+let publish_stats t =
+  if t.accounted_rounds > 0 then
+    for l = 0 to t.domains - 1 do
+      let set suffix v =
+        Rtrt_obs.Metrics.set
+          (Rtrt_obs.Metrics.gauge (Fmt.str "pool.lane%d.%s" l suffix))
+          (float_of_int v)
+      in
+      set "work_ns" t.acc_work.(l);
+      set "barrier_ns" t.acc_barrier.(l);
+      set "idle_ns" t.acc_idle.(l)
+    done
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -104,7 +198,8 @@ let shutdown t =
   end;
   Mutex.unlock t.mutex;
   Array.iter Domain.join t.workers;
-  t.workers <- [||]
+  t.workers <- [||];
+  publish_stats t
 
 let with_pool ~domains f =
   let t = create ~domains in

@@ -18,9 +18,35 @@ val size : t -> int
     A pool of size 1 runs [f 0] inline. *)
 val parallel : t -> (int -> unit) -> unit
 
-(** Join the workers. The pool must not be used afterwards;
-    idempotent. *)
+(** Join the workers and publish per-lane accounting as
+    [pool.lane<i>.{work,barrier,idle}_ns] gauges. The pool must not be
+    used afterwards; idempotent. *)
 val shutdown : t -> unit
+
+(** {2 Per-lane accounting}
+
+    When tracing is enabled at dispatch time, every {!parallel} round
+    is split per lane into dispatch/idle time (wake latency), work
+    time (inside the job) and barrier wait (for stragglers); barrier
+    waits also feed the [pool.barrier_wait] histogram. With tracing
+    off, no clocks are read. *)
+
+type lane_stats = {
+  work_ns : int;     (** total ns inside jobs *)
+  barrier_ns : int;  (** total ns waiting at the end-of-round barrier *)
+  idle_ns : int;     (** total dispatch/wake latency ns *)
+}
+
+(** Accumulated per-lane totals over the accounted rounds. For every
+    lane, [work + barrier + idle = accounted_ns] exactly. Call at
+    quiescent points (no parallel call in flight). *)
+val lane_stats : t -> lane_stats array
+
+(** Number of rounds that were accounted (tracing enabled). *)
+val accounted_rounds : t -> int
+
+(** Sum over accounted rounds of (round end - dispatch) ns. *)
+val accounted_ns : t -> int
 
 (** [with_pool ~domains f] creates a pool, runs [f], and shuts the
     pool down even on exceptions. *)

@@ -15,6 +15,7 @@ let mk ?(plan = "p") ?(insp = 1.0) ?(exec = 1.0) ?(cycles = 100.0) () =
     n_tiles = 1;
     par = None;
     plancache = None;
+    profile = [];
   }
 
 let test_normalize () =
@@ -198,6 +199,193 @@ let test_guidance_empty () =
         (Harness.Guidance.best ~machine:Cachesim.Machine.pentium4
            ~steps_budget:1 ~plans:[] kernel))
 
+(* ------------------------------------------------------------------ *)
+(* Bench-diff: flattening, direction heuristics, verdicts             *)
+
+let bench_json ~speedup ~seconds ~misses =
+  Rtrt_obs.Json.(
+    Obj
+      [
+        ("schema", String "rtrt.bench/1");
+        ("scale", Int 1024);
+        ( "rows",
+          List
+            [
+              Obj
+                [
+                  ("bench", String "moldyn");
+                  ("plan", String "cpack_lexgroup");
+                  ("measured_speedup", Float speedup);
+                  ("serial_seconds_per_step", Float seconds);
+                  ("misses_per_step", Float misses);
+                  ("bitwise_equal", Bool true);
+                ];
+            ] );
+      ])
+
+let find_row rows path =
+  match
+    List.find_opt (fun r -> r.Harness.Benchdiff.r_path = path) rows
+  with
+  | Some r -> r
+  | None ->
+    Alcotest.fail
+      (Fmt.str "no row for %s (have: %s)" path
+         (String.concat ", "
+            (List.map (fun r -> r.Harness.Benchdiff.r_path) rows)))
+
+let row_path = "rows[moldyn/cpack_lexgroup]"
+let verdict = Alcotest.testable (fun ppf v ->
+    Fmt.string ppf
+      (match v with
+      | Harness.Benchdiff.Improved -> "improved"
+      | Regressed -> "regressed"
+      | Equal -> "equal"
+      | Neutral -> "neutral"
+      | Missing -> "missing"
+      | Added -> "added"))
+    ( = )
+
+let test_benchdiff_equal () =
+  let j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  let rows = Harness.Benchdiff.compare_json j j in
+  Alcotest.(check bool) "identical inputs never regress" false
+    (Harness.Benchdiff.has_regression rows);
+  Alcotest.check verdict "speedup equal" Harness.Benchdiff.Equal
+    (find_row rows (row_path ^ ".measured_speedup")).r_verdict;
+  (* Informational keys are neutral, never gates. *)
+  Alcotest.check verdict "scale is info" Harness.Benchdiff.Neutral
+    (find_row rows "scale").r_verdict
+
+let test_benchdiff_regressed () =
+  let old_j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  (* Speedup halves (higher-better down) and seconds double
+     (lower-better up): both regress. *)
+  let new_j = bench_json ~speedup:1.5 ~seconds:1.0 ~misses:100.0 in
+  let rows = Harness.Benchdiff.compare_json old_j new_j in
+  Alcotest.(check bool) "regression detected" true
+    (Harness.Benchdiff.has_regression rows);
+  Alcotest.check verdict "speedup regressed" Harness.Benchdiff.Regressed
+    (find_row rows (row_path ^ ".measured_speedup")).r_verdict;
+  Alcotest.check verdict "seconds regressed" Harness.Benchdiff.Regressed
+    (find_row rows (row_path ^ ".serial_seconds_per_step")).r_verdict;
+  Alcotest.check verdict "misses unchanged" Harness.Benchdiff.Equal
+    (find_row rows (row_path ^ ".misses_per_step")).r_verdict;
+  Alcotest.(check int) "two regressions" 2
+    (List.length (Harness.Benchdiff.regressions rows))
+
+let test_benchdiff_improved () =
+  let old_j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  let new_j = bench_json ~speedup:4.0 ~seconds:0.25 ~misses:50.0 in
+  let rows = Harness.Benchdiff.compare_json old_j new_j in
+  Alcotest.(check bool) "improvements never gate" false
+    (Harness.Benchdiff.has_regression rows);
+  Alcotest.check verdict "speedup improved" Harness.Benchdiff.Improved
+    (find_row rows (row_path ^ ".measured_speedup")).r_verdict;
+  Alcotest.check verdict "seconds improved" Harness.Benchdiff.Improved
+    (find_row rows (row_path ^ ".serial_seconds_per_step")).r_verdict
+
+let test_benchdiff_tolerance () =
+  let old_j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  (* 5% worse: inside the default 10% tolerance, outside 1%. *)
+  let new_j = bench_json ~speedup:2.85 ~seconds:0.5 ~misses:100.0 in
+  let lenient = Harness.Benchdiff.compare_json old_j new_j in
+  Alcotest.check verdict "within default tolerance" Harness.Benchdiff.Equal
+    (find_row lenient (row_path ^ ".measured_speedup")).r_verdict;
+  let strict = Harness.Benchdiff.compare_json ~tolerance:0.01 old_j new_j in
+  Alcotest.check verdict "outside strict tolerance"
+    Harness.Benchdiff.Regressed
+    (find_row strict (row_path ^ ".measured_speedup")).r_verdict
+
+let test_benchdiff_boolean_flip () =
+  (* bitwise_equal true -> false is a full-magnitude drop in a
+     higher-better metric: regression at any tolerance. *)
+  let old_j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  let new_j =
+    match bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 with
+    | Rtrt_obs.Json.Obj kvs ->
+      Rtrt_obs.Json.Obj
+        (List.map
+           (function
+             | "rows", Rtrt_obs.Json.List [ Rtrt_obs.Json.Obj row ] ->
+               ( "rows",
+                 Rtrt_obs.Json.List
+                   [
+                     Rtrt_obs.Json.Obj
+                       (List.map
+                          (function
+                            | "bitwise_equal", _ ->
+                              ("bitwise_equal", Rtrt_obs.Json.Bool false)
+                            | kv -> kv)
+                          row);
+                   ] )
+             | kv -> kv)
+           kvs)
+    | _ -> assert false
+  in
+  let rows = Harness.Benchdiff.compare_json old_j new_j in
+  Alcotest.check verdict "bitwise flip regresses" Harness.Benchdiff.Regressed
+    (find_row rows (row_path ^ ".bitwise_equal")).r_verdict
+
+let test_benchdiff_missing_added () =
+  let old_j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  let new_j = Rtrt_obs.Json.(Obj [ ("schema", String "rtrt.bench/1"); ("extra", Int 7) ]) in
+  let rows = Harness.Benchdiff.compare_json old_j new_j in
+  Alcotest.check verdict "dropped metric is Missing" Harness.Benchdiff.Missing
+    (find_row rows (row_path ^ ".measured_speedup")).r_verdict;
+  Alcotest.check verdict "new metric is Added" Harness.Benchdiff.Added
+    (find_row rows "extra").r_verdict;
+  (* Missing/Added report but do not gate. *)
+  Alcotest.(check bool) "no regression" false
+    (Harness.Benchdiff.has_regression rows)
+
+let test_benchdiff_ratios_only () =
+  let old_j = bench_json ~speedup:3.0 ~seconds:0.5 ~misses:100.0 in
+  (* Seconds blow up (machine-dependent) but the speedup holds:
+     ratios_only must not gate on the timing. *)
+  let new_j = bench_json ~speedup:3.0 ~seconds:5.0 ~misses:100.0 in
+  let gated = Harness.Benchdiff.compare_json old_j new_j in
+  Alcotest.(check bool) "absolute timing gates by default" true
+    (Harness.Benchdiff.has_regression gated);
+  let ratios = Harness.Benchdiff.compare_json ~ratios_only:true old_j new_j in
+  Alcotest.(check bool) "ratios_only ignores absolute timing" false
+    (Harness.Benchdiff.has_regression ratios);
+  Alcotest.check verdict "timing demoted to info" Harness.Benchdiff.Neutral
+    (find_row ratios (row_path ^ ".serial_seconds_per_step")).r_verdict
+
+let test_benchdiff_directions () =
+  List.iter
+    (fun (path, expected) ->
+      let got = Harness.Benchdiff.direction_of path in
+      let name = function
+        | Harness.Benchdiff.Lower_better -> "lower"
+        | Higher_better -> "higher"
+        | Info -> "info"
+      in
+      Alcotest.(check string) path (name expected) (name got))
+    [
+      ("rows[x].measured_speedup", Harness.Benchdiff.Higher_better);
+      ("rows[x].bitwise_equal", Harness.Benchdiff.Higher_better);
+      ("rows[x].serial_seconds_per_step", Harness.Benchdiff.Lower_better);
+      ("hist.p99_ns", Harness.Benchdiff.Lower_better);
+      ("rows[x].misses_per_step", Harness.Benchdiff.Lower_better);
+      ("scale", Harness.Benchdiff.Info);
+      ("domains", Harness.Benchdiff.Info);
+      ("profile[inspect].minor_collections", Harness.Benchdiff.Info);
+      ("schema", Harness.Benchdiff.Info);
+    ];
+  List.iter
+    (fun (path, expected) ->
+      Alcotest.(check bool) ("ratio_like " ^ path) expected
+        (Harness.Benchdiff.ratio_like path))
+    [
+      ("rows[x].measured_speedup", true);
+      ("rows[x].bitwise_equal", true);
+      ("rows[x].miss_ratio", true);
+      ("rows[x].serial_seconds_per_step", false);
+      ("scale", false);
+    ]
+
 let () =
   Alcotest.run "harness"
     [
@@ -228,5 +416,24 @@ let () =
           Alcotest.test_case "smoke" `Slow test_ablations_smoke;
           Alcotest.test_case "regrouping direction" `Quick
             test_ablation_regrouping_direction;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "identical inputs are equal" `Quick
+            test_benchdiff_equal;
+          Alcotest.test_case "regressions detected" `Quick
+            test_benchdiff_regressed;
+          Alcotest.test_case "improvements never gate" `Quick
+            test_benchdiff_improved;
+          Alcotest.test_case "tolerance boundary" `Quick
+            test_benchdiff_tolerance;
+          Alcotest.test_case "boolean flip regresses" `Quick
+            test_benchdiff_boolean_flip;
+          Alcotest.test_case "missing and added" `Quick
+            test_benchdiff_missing_added;
+          Alcotest.test_case "ratios-only gating" `Quick
+            test_benchdiff_ratios_only;
+          Alcotest.test_case "direction heuristics" `Quick
+            test_benchdiff_directions;
         ] );
     ]

@@ -25,8 +25,9 @@ let test_span_nesting () =
             Rtrt_obs.Span.with_ ~name:"child" (fun () ->
                 Rtrt_obs.Span.with_ ~name:"grandchild" busy)))
   in
-  (* 4 spans, each with a start and an end event. *)
-  Alcotest.(check int) "eight events" 8 (List.length events);
+  (* 4 spans, each with a start and an end event, plus the wall-clock
+     trace-header metric set_sink emits. *)
+  Alcotest.(check int) "nine events" 9 (List.length events);
   match Rtrt_obs.Report.tree_of_events events with
   | [ root ] ->
     Alcotest.(check string) "root name" "root" (span_name root);
@@ -113,6 +114,182 @@ let test_counter_accumulation () =
   (* Same name returns the same handle. *)
   Alcotest.(check bool) "registry is idempotent" true
     (Rtrt_obs.Metrics.counter "test.counter" == c)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let test_hist_basic () =
+  let h = Rtrt_obs.Hist.hist "basic.hist" in
+  ignore
+    (with_memory_sink (fun () ->
+         (* Values below 16 land in exact unit buckets. *)
+         List.iter (Rtrt_obs.Hist.record h) [ 5; 5; 7; 10; 15 ];
+         Rtrt_obs.Hist.record h (-3) (* clamps to 0 *)));
+  let st = Rtrt_obs.Hist.stats h in
+  Alcotest.(check int) "count" 6 st.Rtrt_obs.Hist.st_count;
+  Alcotest.(check int) "min (clamped sample)" 0 st.Rtrt_obs.Hist.st_min;
+  Alcotest.(check int) "max" 15 st.Rtrt_obs.Hist.st_max;
+  Alcotest.(check (float 1e-9)) "mean is exact" 7.0 st.Rtrt_obs.Hist.st_mean;
+  Alcotest.(check int) "p50" 5 st.Rtrt_obs.Hist.st_p50;
+  Alcotest.(check int) "p99 clamps to max" 15 st.Rtrt_obs.Hist.st_p99;
+  (* Derived pairs appear in dump under <name>.<stat>. *)
+  let dumped = Rtrt_obs.Hist.dump () in
+  Alcotest.(check bool) "dump has basic.hist.count" true
+    (List.assoc_opt "basic.hist.count" dumped = Some 6.0);
+  Alcotest.(check bool) "dump has basic.hist.p50_ns" true
+    (List.assoc_opt "basic.hist.p50_ns" dumped = Some 5.0)
+
+let test_hist_disabled_noop () =
+  Alcotest.(check bool) "tracing off" false (Rtrt_obs.enabled ());
+  let h = Rtrt_obs.Hist.hist "disabled.hist" in
+  Rtrt_obs.Hist.record h 123;
+  Alcotest.(check int) "record is a no-op when disabled" 0
+    (Rtrt_obs.Hist.count h);
+  (* Same name returns the same handle, like counters. *)
+  Alcotest.(check bool) "registry is idempotent" true
+    (Rtrt_obs.Hist.hist "disabled.hist" == h)
+
+(* Bucket geometry: [lower_bound (index_of v)] brackets v, and bucket
+   widths stay within the documented 6.25% relative error (unit
+   buckets below 16). *)
+let prop_hist_buckets =
+  let arb =
+    QCheck.make ~print:string_of_int
+      QCheck.Gen.(
+        frequency
+          [
+            (1, int_bound 15);
+            (2, int_bound 4095);
+            (2, int_bound ((1 lsl 30) - 1));
+          ])
+  in
+  QCheck.Test.make ~name:"bucket bounds bracket the value" ~count:1000 arb
+    (fun v ->
+      let idx = Rtrt_obs.Hist.index_of v in
+      let lo = Rtrt_obs.Hist.lower_bound idx in
+      let hi = Rtrt_obs.Hist.lower_bound (idx + 1) in
+      if not (lo <= v && v < hi) then
+        QCheck.Test.fail_reportf "v=%d outside bucket [%d, %d)" v lo hi;
+      if v < 16 then hi - lo = 1 else (hi - lo) * 16 <= lo)
+
+(* Quantile estimates are within one bucket width of the exact
+   rank-order quantile of the recorded samples. *)
+let prop_hist_quantiles =
+  let arb =
+    QCheck.make
+      ~print:QCheck.Print.(list int)
+      QCheck.Gen.(
+        list_size (int_range 1 300)
+          (frequency
+             [
+               (1, int_bound 15);
+               (2, int_bound 4095);
+               (2, int_bound ((1 lsl 30) - 1));
+             ]))
+  in
+  QCheck.Test.make ~name:"quantiles within one bucket of exact" ~count:100 arb
+    (fun samples ->
+      let h = Rtrt_obs.Hist.hist "qcheck.hist" in
+      (* set_sink resets every histogram, so each trial starts clean. *)
+      ignore
+        (with_memory_sink (fun () ->
+             List.iter (Rtrt_obs.Hist.record h) samples));
+      let n = List.length samples in
+      let sorted = List.sort compare samples in
+      let st = Rtrt_obs.Hist.stats h in
+      if st.Rtrt_obs.Hist.st_count <> n then
+        QCheck.Test.fail_reportf "count %d, wanted %d"
+          st.Rtrt_obs.Hist.st_count n;
+      if st.Rtrt_obs.Hist.st_min <> List.hd sorted then
+        QCheck.Test.fail_reportf "min %d, wanted %d" st.Rtrt_obs.Hist.st_min
+          (List.hd sorted);
+      if st.Rtrt_obs.Hist.st_max <> List.nth sorted (n - 1) then
+        QCheck.Test.fail_reportf "max %d, wanted %d" st.Rtrt_obs.Hist.st_max
+          (List.nth sorted (n - 1));
+      let exact_mean =
+        float_of_int (List.fold_left ( + ) 0 samples) /. float_of_int n
+      in
+      if Float.abs (st.Rtrt_obs.Hist.st_mean -. exact_mean) > 1e-6 then
+        QCheck.Test.fail_reportf "mean %f, wanted %f"
+          st.Rtrt_obs.Hist.st_mean exact_mean;
+      List.for_all
+        (fun q ->
+          let rank =
+            let r = int_of_float (ceil (q *. float_of_int n)) in
+            max 1 (min n r)
+          in
+          let exact = List.nth sorted (rank - 1) in
+          let est = Rtrt_obs.Hist.quantile h q in
+          let idx = Rtrt_obs.Hist.index_of exact in
+          let width =
+            Rtrt_obs.Hist.lower_bound (idx + 1)
+            - Rtrt_obs.Hist.lower_bound idx
+          in
+          if abs (est - exact) > width then
+            QCheck.Test.fail_reportf
+              "q=%.2f: estimate %d vs exact %d exceeds bucket width %d" q est
+              exact width
+          else true)
+        [ 0.5; 0.9; 0.99 ])
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_clock_monotonic () =
+  let prev = ref (Rtrt_obs.Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Rtrt_obs.Clock.now_ns () in
+    if t < !prev then Alcotest.fail "clock went backwards";
+    prev := t
+  done;
+  let (), dt = Rtrt_obs.Clock.time busy in
+  Alcotest.(check bool) "time elapsed non-negative" true (dt >= 0.0);
+  let (), ns = Rtrt_obs.Clock.time_ns busy in
+  Alcotest.(check bool) "time_ns elapsed non-negative" true (ns >= 0);
+  Alcotest.(check (float 1e-12)) "to_s scales" 1.5 (Rtrt_obs.Clock.to_s 1_500_000_000);
+  (* wall_s is Unix-epoch seconds: the one wall-clock reading kept for
+     trace headers. Sanity-check the epoch range (2017..2112). *)
+  let w = Rtrt_obs.Clock.wall_s () in
+  Alcotest.(check bool) "wall clock in a sane epoch range" true
+    (w > 1.5e9 && w < 4.5e9)
+
+(* ------------------------------------------------------------------ *)
+(* Sink lifecycle: switching flushes the old trace and resets state    *)
+
+let test_switch_sink_flushes_and_resets () =
+  let sink_a, events_a = Rtrt_obs.Sink.memory () in
+  let sink_b, events_b = Rtrt_obs.Sink.memory () in
+  Rtrt_obs.set_sink sink_a;
+  let c = Rtrt_obs.Metrics.counter "switch.counter" in
+  let h = Rtrt_obs.Hist.hist "switch.hist" in
+  Rtrt_obs.Metrics.add c 11;
+  Rtrt_obs.Hist.record h 1_000;
+  Alcotest.(check int) "recorded while sink A active" 1 (Rtrt_obs.Hist.count h);
+  (* Switching flushes pending values to the old sink... *)
+  Rtrt_obs.set_sink sink_b;
+  let find name ms =
+    List.find_opt (fun (m : Rtrt_obs.Sink.metric) -> m.m_name = name) ms
+  in
+  let ms_a = Rtrt_obs.Report.metrics (events_a ()) in
+  (match find "switch.counter" ms_a with
+  | Some m ->
+    Alcotest.(check (float 0.0)) "counter flushed to old sink" 11.0
+      m.Rtrt_obs.Sink.m_value
+  | None -> Alcotest.fail "counter not flushed to old sink");
+  (match find "switch.hist.count" ms_a with
+  | Some m ->
+    Alcotest.(check (float 0.0)) "hist derived metric flushed" 1.0
+      m.Rtrt_obs.Sink.m_value
+  | None -> Alcotest.fail "histogram not flushed to old sink");
+  (* ...and resets state so the new trace starts clean. *)
+  Alcotest.(check int) "counter reset on switch" 0 (Rtrt_obs.Metrics.value c);
+  Alcotest.(check int) "histogram reset on switch" 0 (Rtrt_obs.Hist.count h);
+  Rtrt_obs.disable ();
+  let ms_b = Rtrt_obs.Report.metrics (events_b ()) in
+  Alcotest.(check bool) "new trace has its own header" true
+    (find "trace.wall_start_unix_s" ms_b <> None);
+  Alcotest.(check bool) "no stale counter in new trace" true
+    (find "switch.counter" ms_b = None)
 
 (* ------------------------------------------------------------------ *)
 (* JSON / JSONL                                                        *)
@@ -228,8 +405,8 @@ let test_jsonl_sink_roundtrip () =
   Rtrt_obs.disable () (* closes the file *);
   let events = Rtrt_obs.Report.events_of_jsonl path in
   Sys.remove path;
-  (* 2 span starts + 2 span ends + 1 counter. *)
-  Alcotest.(check int) "five events" 5 (List.length events);
+  (* trace header + 2 span starts + 2 span ends + 1 counter. *)
+  Alcotest.(check int) "six events" 6 (List.length events);
   (match Rtrt_obs.Report.tree_of_events events with
   | [ a ] ->
     Alcotest.(check string) "root is a" "a" (span_name a);
@@ -241,11 +418,22 @@ let test_jsonl_sink_roundtrip () =
     Alcotest.(check bool) "durations nest" true
       ((List.hd a.children).dur <= a.dur)
   | roots -> Alcotest.fail (Fmt.str "expected 1 root, got %d" (List.length roots)));
-  match Rtrt_obs.Report.metrics events with
-  | [ m ] ->
-    Alcotest.(check string) "counter name" "jsonl.test" m.Rtrt_obs.Sink.m_name;
+  let ms = Rtrt_obs.Report.metrics events in
+  (* The trace header plus our counter. *)
+  Alcotest.(check int) "two metrics" 2 (List.length ms);
+  Alcotest.(check bool) "header metric present" true
+    (List.exists
+       (fun (m : Rtrt_obs.Sink.metric) ->
+         m.Rtrt_obs.Sink.m_name = "trace.wall_start_unix_s")
+       ms);
+  match
+    List.find_opt
+      (fun (m : Rtrt_obs.Sink.metric) -> m.Rtrt_obs.Sink.m_name = "jsonl.test")
+      ms
+  with
+  | Some m ->
     Alcotest.(check (float 0.0)) "counter value" 7.0 m.Rtrt_obs.Sink.m_value
-  | ms -> Alcotest.fail (Fmt.str "expected 1 metric, got %d" (List.length ms))
+  | None -> Alcotest.fail "counter metric missing"
 
 (* ------------------------------------------------------------------ *)
 (* Figure JSON export                                                  *)
@@ -417,7 +605,19 @@ let () =
         [
           Alcotest.test_case "counter accumulation" `Quick
             test_counter_accumulation;
+          Alcotest.test_case "switch_sink flushes and resets" `Quick
+            test_switch_sink_flushes_and_resets;
         ] );
+      ( "hist",
+        [
+          Alcotest.test_case "basic stats" `Quick test_hist_basic;
+          Alcotest.test_case "disabled record is a no-op" `Quick
+            test_hist_disabled_noop;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_hist_buckets; prop_hist_quantiles ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
       ( "json",
         [
           Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;

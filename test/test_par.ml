@@ -558,6 +558,102 @@ let with_memory_sink f =
   Fun.protect ~finally:Rtrt_obs.disable f;
   events ()
 
+(* Per-lane accounting: with tracing on, every round is accounted and
+   each lane's work/barrier/idle split sums exactly to the pool's
+   accounted wall time; barrier waits feed the pool.barrier_wait
+   histogram; shutdown publishes per-lane gauges. *)
+let test_pool_accounting () =
+  let lanes = 4 and rounds = 5 in
+  let h = Rtrt_obs.Hist.hist "pool.barrier_wait" in
+  ignore
+    (with_memory_sink (fun () ->
+         Rtrt_par.Pool.with_pool ~domains:lanes (fun pool ->
+             for _ = 1 to rounds do
+               Rtrt_par.Pool.parallel pool (fun lane ->
+                   (* Skewed work so barrier waits are non-trivial. *)
+                   ignore
+                     (Sys.opaque_identity
+                        (Array.init (1024 * (lane + 1)) (fun i -> i * i))))
+             done;
+             Alcotest.(check int) "all rounds accounted" rounds
+               (Rtrt_par.Pool.accounted_rounds pool);
+             let total = Rtrt_par.Pool.accounted_ns pool in
+             Alcotest.(check bool) "accounted time positive" true (total > 0);
+             let stats = Rtrt_par.Pool.lane_stats pool in
+             Alcotest.(check int) "a stats entry per lane" lanes
+               (Array.length stats);
+             Array.iteri
+               (fun lane
+                    { Rtrt_par.Pool.work_ns; barrier_ns; idle_ns } ->
+                 Alcotest.(check bool)
+                   (Fmt.str "lane %d components non-negative" lane)
+                   true
+                   (work_ns >= 0 && barrier_ns >= 0 && idle_ns >= 0);
+                 Alcotest.(check int)
+                   (Fmt.str "lane %d: work + barrier + idle = accounted" lane)
+                   total
+                   (work_ns + barrier_ns + idle_ns))
+               stats;
+             Alcotest.(check int) "barrier histogram fed by every lane"
+               (rounds * lanes) (Rtrt_obs.Hist.count h));
+         (* with_pool shut the pool down, publishing per-lane gauges. *)
+         List.iter
+           (fun name ->
+             match
+               Rtrt_obs.Metrics.gauge_value (Rtrt_obs.Metrics.gauge name)
+             with
+             | Some v ->
+               Alcotest.(check bool) (name ^ " non-negative") true (v >= 0.0)
+             | None -> Alcotest.fail (name ^ " gauge missing"))
+           [
+             "pool.lane0.work_ns"; "pool.lane0.barrier_ns";
+             "pool.lane0.idle_ns"; "pool.lane3.work_ns";
+           ]))
+
+let test_pool_accounting_disabled () =
+  Alcotest.(check bool) "tracing off" false (Rtrt_obs.enabled ());
+  Rtrt_par.Pool.with_pool ~domains:2 (fun pool ->
+      Rtrt_par.Pool.parallel pool (fun _ -> ());
+      Alcotest.(check int) "no rounds accounted" 0
+        (Rtrt_par.Pool.accounted_rounds pool);
+      Alcotest.(check int) "no accounted ns" 0
+        (Rtrt_par.Pool.accounted_ns pool))
+
+(* Registration from one domain racing dump on another: every handle
+   must appear — the registry traversals snapshot under the mutex, so
+   a Hashtbl resize can no longer truncate a concurrent dump. *)
+let test_concurrent_registration () =
+  let n_each = 200 in
+  ignore
+    (with_memory_sink (fun () ->
+         let other =
+           Domain.spawn (fun () ->
+               for i = 1 to n_each do
+                 Rtrt_obs.Metrics.incr
+                   (Rtrt_obs.Metrics.counter (Fmt.str "stress.a.%d" i));
+                 ignore (Rtrt_obs.Metrics.dump ())
+               done)
+         in
+         for i = 1 to n_each do
+           Rtrt_obs.Metrics.incr
+             (Rtrt_obs.Metrics.counter (Fmt.str "stress.b.%d" i));
+           ignore (Rtrt_obs.Metrics.dump ())
+         done;
+         Domain.join other;
+         let dump = Rtrt_obs.Metrics.dump () in
+         let count prefix =
+           List.length
+             (List.filter
+                (fun (name, _) ->
+                  String.length name >= String.length prefix
+                  && String.sub name 0 (String.length prefix) = prefix)
+                dump)
+         in
+         Alcotest.(check int) "all domain-A counters dumped" n_each
+           (count "stress.a.");
+         Alcotest.(check int) "all domain-B counters dumped" n_each
+           (count "stress.b.")))
+
 let test_metrics_atomic () =
   let c = Rtrt_obs.Metrics.counter "par.test.hits" in
   Rtrt_obs.Metrics.reset ();
@@ -645,7 +741,15 @@ let () =
                prop_par_multilevel;
              ] );
       ( "obs",
-        [ Alcotest.test_case "atomic metrics" `Quick test_metrics_atomic ] );
+        [
+          Alcotest.test_case "atomic metrics" `Quick test_metrics_atomic;
+          Alcotest.test_case "pool accounting invariant" `Quick
+            test_pool_accounting;
+          Alcotest.test_case "accounting off when disabled" `Quick
+            test_pool_accounting_disabled;
+          Alcotest.test_case "concurrent registration vs dump" `Quick
+            test_concurrent_registration;
+        ] );
       ( "tile-par",
         [
           Alcotest.test_case "of_edges" `Quick test_tile_par_of_edges;
