@@ -4,7 +4,12 @@
 
 (** Multicore execution of the tiled schedule vs. the serial executor
     on the identical (level-major renumbered) schedule, plus the
-    Tile_par makespan model's prediction. *)
+    Tile_par makespan model's prediction. The executor runs at
+    whatever tier the auto-fallback decision picked ([par_tier],
+    {!Rtrt_par.Exec.tier_name}) with [par_batch] steps per pool
+    dispatch; the pool's calibrated barrier cost and the per-step
+    dispatch/barrier wait observed during the run separate
+    synchronization overhead from work. *)
 type par_measurement = {
   domains : int;
   serial_seconds_per_step : float;
@@ -13,6 +18,15 @@ type par_measurement = {
   modeled_speedup : float;
   modeled_makespan : int;
   bitwise_equal : bool;
+  par_tier : string;  (** "parallel" or "serial" (auto-fallback) *)
+  par_batch : int;  (** steps per pool dispatch *)
+  modeled_par_seconds_per_step : float;
+      (** the tier decision's modeled parallel step time *)
+  barrier_cost_ns : float;  (** pool calibration, {!Rtrt_par.Pool.barrier_cost_ns} *)
+  dispatch_wait_ns_per_step : float;
+      (** per-step [pool.dispatch_wait] during the parallel run *)
+  barrier_wait_ns_per_step : float;
+      (** per-step per-lane barrier wait during the parallel run *)
 }
 
 (** Plan-cache traffic around one measurement. When [pc_hit], the

@@ -125,7 +125,16 @@ type exec_row = {
       (* per-plan GC + phase-timing profiles, same order as per_plan *)
 }
 
-let run_suite ~machine ~config kernel =
+(* One pool for a whole figure table: every row's measurements reuse
+   the same domains (and the same one-shot barrier calibration), so no
+   row pays domain spawn cost — and the lane count is stable across a
+   report, which Parbench asserts. *)
+let with_config_pool ~config f =
+  if config.domains > 1 then
+    Rtrt_par.Pool.with_pool ~domains:config.domains (fun pool -> f (Some pool))
+  else f None
+
+let run_suite ?pool ~machine ~config kernel =
   let measure_all pool =
     let plans = suite_for ~machine kernel in
     List.map
@@ -135,18 +144,18 @@ let run_suite ~machine ~config kernel =
           ~machine ~plan kernel)
       plans
   in
-  if config.domains > 1 then
-    Rtrt_par.Pool.with_pool ~domains:config.domains (fun pool ->
-        measure_all (Some pool))
-  else measure_all None
+  match pool with
+  | Some _ -> measure_all pool
+  | None -> with_config_pool ~config measure_all
 
 let executor_time ~machine ~config () =
+  with_config_pool ~config @@ fun pool ->
   List.concat_map
     (fun (bench, datasets) ->
       List.map
         (fun ds_name ->
           let kernel = kernel_of ~name:bench (dataset_of ~config ds_name) in
-          let ms = run_suite ~machine ~config kernel in
+          let ms = run_suite ?pool ~machine ~config kernel in
           let normalized = Experiment.normalize ms in
           {
             bench;
@@ -199,12 +208,13 @@ type amort_row = {
 }
 
 let amortization ~machine ~config () =
+  with_config_pool ~config @@ fun pool ->
   List.concat_map
     (fun (bench, datasets) ->
       List.map
         (fun ds_name ->
           let kernel = kernel_of ~name:bench (dataset_of ~config ds_name) in
-          match run_suite ~machine ~config kernel with
+          match run_suite ?pool ~machine ~config kernel with
           | [] -> { a_bench = bench; a_dataset = ds_name; a_per_plan = [] }
           | base :: rest ->
             {
@@ -382,6 +392,15 @@ let json_par_measurement (p : Experiment.par_measurement) =
       ("modeled_speedup", J.Float p.Experiment.modeled_speedup);
       ("modeled_makespan", J.Int p.Experiment.modeled_makespan);
       ("bitwise_equal", J.Bool p.Experiment.bitwise_equal);
+      ("tier", J.String p.Experiment.par_tier);
+      ("batch", J.Int p.Experiment.par_batch);
+      ( "modeled_par_seconds_per_step",
+        J.Float p.Experiment.modeled_par_seconds_per_step );
+      ("barrier_cost_ns", J.Float p.Experiment.barrier_cost_ns);
+      ( "dispatch_wait_ns_per_step",
+        J.Float p.Experiment.dispatch_wait_ns_per_step );
+      ( "barrier_wait_ns_per_step",
+        J.Float p.Experiment.barrier_wait_ns_per_step );
     ]
 
 let json_exec_rows rows =

@@ -27,8 +27,13 @@ val seed_size_for : target_bytes:int -> Kernels.Kernel.t -> int
 (** The eight standard compositions, sized for a machine's L1. *)
 val suite_for : machine:Cachesim.Machine.t -> Kernels.Kernel.t -> Compose.Plan.t list
 
-(** Measure the full suite on one kernel. *)
+(** Measure the full suite on one kernel. [pool] reuses an existing
+    domain pool across measurements (the figure drivers thread one
+    pool through every row so repeated measurements never pay domain
+    spawn or recalibration cost); without it, a pool is created for
+    this call when [config.domains > 1]. *)
 val run_suite :
+  ?pool:Rtrt_par.Pool.t ->
   machine:Cachesim.Machine.t ->
   config:config ->
   Kernels.Kernel.t ->

@@ -14,6 +14,7 @@ type row = {
 type report = {
   rep_domains : int;
   rep_scale : int;
+  rep_lane_count_stable : bool;
   rows : row list;
   rep_profile : Rtrt_obs.Profile.phase list;
 }
@@ -37,9 +38,19 @@ let measure ~machine ~(config : Figures.config) () =
           r.Figures.per_plan_par)
       exec_rows
   in
+  (* Every row must have run on the same pool width as configured —
+     the figure driver threads one pool through the whole table, so a
+     row with a different lane count means a pool was silently
+     recreated (the per-row spawn cost this report exists to avoid). *)
+  let lane_count_stable =
+    List.for_all (fun row -> row.pb_par.Experiment.domains = config.Figures.domains) rows
+  in
+  if not lane_count_stable then
+    invalid_arg "Parbench.measure: lane count varied across rows";
   {
     rep_domains = config.Figures.domains;
     rep_scale = config.Figures.scale;
+    rep_lane_count_stable = lane_count_stable;
     rows;
     rep_profile = [ profile ];
   }
@@ -50,6 +61,7 @@ let json_of_report r =
       [
         ("domains", Int r.rep_domains);
         ("scale", Int r.rep_scale);
+        ("lane_count_stable", Bool r.rep_lane_count_stable);
         ( "rows",
           List
             (List.map
@@ -69,6 +81,15 @@ let json_of_report r =
                      ("modeled_speedup", Float p.Experiment.modeled_speedup);
                      ("modeled_makespan", Int p.Experiment.modeled_makespan);
                      ("bitwise_equal", Bool p.Experiment.bitwise_equal);
+                     ("tier", String p.Experiment.par_tier);
+                     ("batch", Int p.Experiment.par_batch);
+                     ( "modeled_par_seconds_per_step",
+                       Float p.Experiment.modeled_par_seconds_per_step );
+                     ("barrier_cost_ns", Float p.Experiment.barrier_cost_ns);
+                     ( "dispatch_wait_ns_per_step",
+                       Float p.Experiment.dispatch_wait_ns_per_step );
+                     ( "barrier_wait_ns_per_step",
+                       Float p.Experiment.barrier_wait_ns_per_step );
                    ])
                r.rows) );
         ("profile", Rtrt_obs.Profile.json_of_phases r.rep_profile);
@@ -85,10 +106,13 @@ let pp_report ppf r =
     (fun row ->
       let p = row.pb_par in
       Fmt.pf ppf
-        "  %-8s %-6s %-24s %5.2fx measured (modeled %5.2fx, makespan %d) %s@."
+        "  %-8s %-6s %-24s %5.2fx measured (modeled %5.2fx, makespan %d) \
+         [%s, batch %d, dispatch %.0fns/step, barrier %.0fns/step] %s@."
         row.pb_bench row.pb_dataset row.pb_plan
         p.Experiment.measured_speedup p.Experiment.modeled_speedup
-        p.Experiment.modeled_makespan
+        p.Experiment.modeled_makespan p.Experiment.par_tier
+        p.Experiment.par_batch p.Experiment.dispatch_wait_ns_per_step
+        p.Experiment.barrier_wait_ns_per_step
         (if p.Experiment.bitwise_equal then "bitwise equal"
          else "OUTPUT DIFFERS");
       ())

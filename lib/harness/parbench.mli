@@ -13,12 +13,19 @@ type row = {
 type report = {
   rep_domains : int;
   rep_scale : int;
+  rep_lane_count_stable : bool;
+      (** every row ran on a pool of exactly [rep_domains] lanes;
+          [measure] raises when this fails, so a written report always
+          has [true] *)
   rows : row list;
   rep_profile : Rtrt_obs.Profile.phase list;
 }
 
 (** Run the Figures 6/7 suite with [config] (domains/scale taken from
-    it) and keep the plans that ran on the pool. *)
+    it) and keep the plans that ran on the pool. All rows share one
+    domain pool (and its one-shot barrier calibration); raises
+    [Invalid_argument] if any row's lane count deviates from
+    [config.domains]. *)
 val measure :
   machine:Cachesim.Machine.t -> config:Figures.config -> unit -> report
 

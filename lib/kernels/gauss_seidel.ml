@@ -224,7 +224,7 @@ let run_tiled_par ~pool t tiling (par : Reorder.Tile_par.t) =
   let sched = schedule tiling in
   Rtrt_par.Exec.run_levels ~pool ~levels:par.Reorder.Tile_par.levels
     ~weight:(fun tile -> par.Reorder.Tile_par.tile_cost.(tile))
-    ~exec:(fun tile -> run_tile t sched ~tile)
+    (fun tile -> run_tile t sched ~tile)
 
 (* Dependences of one Gauss-Seidel sweep for wavefront scheduling:
    node [v] depends on its lower-numbered neighbors (whose
@@ -240,13 +240,12 @@ let wavefront_preds graph =
    concurrently; bitwise equal to [run_plain] because a level never
    contains two adjacent nodes (each reads only values written in
    earlier or later levels, the same versions the serial sweep
-   reads). *)
+   reads). All sweeps execute inside one pool dispatch
+   ([~rounds:sweeps]), synchronized by in-job barriers. *)
 let run_wavefront_par ~pool t (w : Reorder.Wavefront.t) ~sweeps =
   let weight v = Irgraph.Csr.degree t.graph v in
-  for _s = 1 to sweeps do
-    Rtrt_par.Exec.run_levels ~pool ~levels:w.Reorder.Wavefront.levels ~weight
-      ~exec:(update t)
-  done
+  Rtrt_par.Exec.run_levels ~rounds:sweeps ~pool
+    ~levels:w.Reorder.Wavefront.levels ~weight (update t)
 
 (* Traced executors for the cache model: u and f are the two arrays. *)
 let trace_update graph ~touch_u ~touch_f v =

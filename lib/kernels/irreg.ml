@@ -139,7 +139,12 @@ let plan_par_st st ~pool sched ~level_of =
   {
     Kernel.par_sched = Rtrt_par.Exec.schedule exec;
     par_run =
-      (fun ~steps -> Rtrt_par.Exec.run exec ~steps ~body ~stash ~apply);
+      (fun ?batch ?tier ?profile ~steps () ->
+        Rtrt_par.Exec.run ?batch ?tier ?profile exec ~steps ~body ~stash
+          ~apply);
+    par_decide =
+      (fun ~serial_ns_per_step ~batch ->
+        Rtrt_par.Exec.decide exec ~serial_ns_per_step ~batch);
   }
 
 let trace_j ~touch ~touch_inter left right j =

@@ -17,10 +17,20 @@
 
 (* A parallel tiled executor instance: the level-major renumbered
    schedule it executes (the serial twin for comparison) plus the run
-   function, built by [plan_par] over an Exec engine. *)
+   function, built by [plan_par] over an Exec engine. [par_run] takes
+   the engine's batching/tier/profiling knobs; [par_decide] evaluates
+   the auto-fallback tier model against a measured serial step time. *)
 type par_exec = {
   par_sched : Reorder.Schedule.t;
-  par_run : steps:int -> unit;
+  par_run :
+    ?batch:int ->
+    ?tier:Rtrt_par.Exec.tier ->
+    ?profile:bool ->
+    steps:int ->
+    unit ->
+    unit;
+  par_decide :
+    serial_ns_per_step:float -> batch:int -> Rtrt_par.Exec.decision;
 }
 
 type t = {

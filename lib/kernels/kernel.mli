@@ -12,7 +12,19 @@
     run function. *)
 type par_exec = {
   par_sched : Reorder.Schedule.t;
-  par_run : steps:int -> unit;
+  par_run :
+    ?batch:int ->
+    ?tier:Rtrt_par.Exec.tier ->
+    ?profile:bool ->
+    steps:int ->
+    unit ->
+    unit;
+      (** [batch] steps per pool dispatch (default 1); [tier] the
+          execution strategy (default [Parallel]); [profile] forces
+          pool accounting for the run. *)
+  par_decide :
+    serial_ns_per_step:float -> batch:int -> Rtrt_par.Exec.decision;
+      (** The engine's auto-fallback tier model, for selecting [tier]. *)
 }
 
 type t = {

@@ -32,8 +32,42 @@
      lane, so the fold order per datum is the serial one and the
      result is bit-exact.
 
+   Execution model (persistent workers): every lane owns a [slice] —
+   its chunk of each level's tiles and of each reduction's data,
+   computed ONCE at plan time. [run ~batch:k] dispatches the pool once
+   per k whole time steps; inside the job each lane walks the level
+   program over its slice, synchronizing through the pool's in-job
+   sense-reversing barrier. Serial levels run on lane 0; a barrier is
+   inserted lazily, only when ownership next changes hands (the
+   [pending] flag), so consecutive serial levels cost no
+   synchronization at all. The per-(step,level,pos) barrier count is a
+   pure function of the plan, which both the auto-fallback cost model
+   and the exception-drain path reuse.
+
+   Auto-fallback tier: [decide] compares serial time against a model
+   of the parallel step — serial work scaled by the critical-path
+   fraction (sum over levels of the heaviest lane chunk), plus the
+   measured per-barrier cost times the barriers per step, plus the
+   dispatch cost amortized over the batch — and selects [Serial] when
+   parallelism cannot pay. [run ~tier:Serial] then executes the plain
+   tile-major loop on the calling domain (bitwise identical by
+   construction, it IS the serial order).
+
    References are packed as [(iter lsl 1) lor slot] with slot 0 =
    left endpoint, slot 1 = right endpoint. *)
+
+type tier = Parallel | Serial
+
+let tier_name = function Parallel -> "parallel" | Serial -> "serial"
+
+type decision = {
+  d_tier : tier;
+  d_serial_ns_per_step : float;
+  d_modeled_par_ns_per_step : float;
+  d_barriers_per_step : int;
+  d_barrier_cost_ns : float;
+  d_dispatch_cost_ns : float;
+}
 
 type red = {
   r_data : int array;            (* touched data, discovery order *)
@@ -50,12 +84,28 @@ type level = {
   l_red : red option array;      (* per chain position *)
 }
 
+(* A lane's pinned share of the whole plan: one (first, count) tile
+   range per level and one (lo, n) datum range per (level, position)
+   reduction. Built once at [make]; steps only read it. *)
+type slice = {
+  s_first : int array;           (* per level: absolute first tile *)
+  s_count : int array;           (* per level: tiles owned *)
+  s_red_lo : int array;          (* per level * n_chain + pos *)
+  s_red_n : int array;
+}
+
 type t = {
   pool : Pool.t;
   sched : Reorder.Schedule.t;    (* level-major renumbered *)
   n_chain : int;
   levels : level array;
+  slices : slice array;          (* per lane *)
   c_lane_iters : Rtrt_obs.Metrics.counter array;
+  any_par : bool;
+  total_weight : int;            (* iterations per step, all positions *)
+  par_weight : int;              (* modeled critical path (heaviest lane) *)
+  barriers_first : int;          (* in-job barriers, first step of a batch *)
+  barriers_steady : int;         (* in-job barriers, subsequent steps *)
 }
 
 let schedule t = t.sched
@@ -155,6 +205,32 @@ let build_red sched ~l_first ~l_count ~pos ~left ~right ~lanes ~count ~index_of
   let weights = Array.init !n_data (fun i -> r_ptr.(i + 1) - r_ptr.(i)) in
   { r_data; r_ptr; r_refs; r_lane_data = Chunk.weighted ~weights ~lanes }
 
+(* In-job barriers executed by one step, given whether a serial level
+   is still pending a barrier on entry. Every lane computes the same
+   program, so this is exact, and the exception-drain path relies on
+   it. *)
+let step_barriers levels n_chain ~pending_in =
+  let count = ref 0 in
+  let pending = ref pending_in in
+  Array.iter
+    (fun lv ->
+      if not lv.l_par then pending := true
+      else begin
+        if !pending then incr count;
+        pending := false;
+        for pos = 0 to n_chain - 1 do
+          count := !count + (match lv.l_red.(pos) with None -> 1 | Some _ -> 2)
+        done
+      end)
+    levels;
+  (!count, !pending)
+
+(* Total in-job barriers of a [k]-step batch (a batch always enters
+   with no pending barrier: the dispatch itself synchronized). *)
+let batch_barriers t ~k =
+  if k <= 0 then 0
+  else t.barriers_first + ((k - 1) * t.barriers_steady)
+
 let make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data =
   let n_tiles = Reorder.Schedule.n_tiles sched in
   if Array.length level_of <> n_tiles then
@@ -187,97 +263,374 @@ let make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data =
         in
         { l_first; l_count; l_par; l_lane_tiles; l_red })
   in
-  { pool; sched; n_chain; levels; c_lane_iters = lane_counters pool }
+  let n_levels = Array.length levels in
+  (* Pin every lane's share once: tile ranges per level, datum ranges
+     per reduction position. *)
+  let slices =
+    Array.init lanes (fun lane ->
+        let s_first = Array.make n_levels 0 in
+        let s_count = Array.make n_levels 0 in
+        let s_red_lo = Array.make (n_levels * n_chain) 0 in
+        let s_red_n = Array.make (n_levels * n_chain) 0 in
+        Array.iteri
+          (fun l lv ->
+            if lv.l_par then begin
+              let off, len = lv.l_lane_tiles.(lane) in
+              s_first.(l) <- lv.l_first + off;
+              s_count.(l) <- len;
+              Array.iteri
+                (fun pos red ->
+                  match red with
+                  | None -> ()
+                  | Some red ->
+                    let lo, n = red.r_lane_data.(lane) in
+                    s_red_lo.((l * n_chain) + pos) <- lo;
+                    s_red_n.((l * n_chain) + pos) <- n)
+                lv.l_red
+            end)
+          levels;
+        { s_first; s_count; s_red_lo; s_red_n })
+  in
+  let any_par = Array.exists (fun lv -> lv.l_par) levels in
+  let total_weight =
+    Array.fold_left
+      (fun acc lv ->
+        let w = ref 0 in
+        for i = 0 to lv.l_count - 1 do
+          w := !w + tile_weight sched (lv.l_first + i)
+        done;
+        acc + !w)
+      0 levels
+  in
+  (* Modeled parallel critical path: per level, the heaviest lane's
+     chunk (serial levels contribute whole). *)
+  let par_weight =
+    Array.fold_left
+      (fun acc lv ->
+        if not lv.l_par then begin
+          let w = ref 0 in
+          for i = 0 to lv.l_count - 1 do
+            w := !w + tile_weight sched (lv.l_first + i)
+          done;
+          acc + !w
+        end
+        else begin
+          let heaviest = ref 0 in
+          Array.iter
+            (fun (off, len) ->
+              let w = ref 0 in
+              for i = off to off + len - 1 do
+                w := !w + tile_weight sched (lv.l_first + i)
+              done;
+              if !w > !heaviest then heaviest := !w)
+            lv.l_lane_tiles;
+          acc + !heaviest
+        end)
+      0 levels
+  in
+  let barriers_first, pending_out =
+    step_barriers levels n_chain ~pending_in:false
+  in
+  let barriers_steady, _ = step_barriers levels n_chain ~pending_in:pending_out in
+  {
+    pool;
+    sched;
+    n_chain;
+    levels;
+    slices;
+    c_lane_iters = lane_counters pool;
+    any_par;
+    total_weight;
+    par_weight;
+    barriers_first;
+    barriers_steady;
+  }
 
-let run t ~steps ~body ~stash ~apply =
+(* ------------------------------------------------------------------ *)
+(* Auto-fallback tier                                                  *)
+
+let decide t ~serial_ns_per_step ~batch =
+  let lanes = Pool.size t.pool in
+  if lanes = 1 || not t.any_par then
+    {
+      d_tier = Serial;
+      d_serial_ns_per_step = serial_ns_per_step;
+      d_modeled_par_ns_per_step = serial_ns_per_step;
+      d_barriers_per_step = 0;
+      d_barrier_cost_ns = 0.0;
+      d_dispatch_cost_ns = 0.0;
+    }
+  else begin
+    let barrier_cost = Pool.barrier_cost_ns t.pool in
+    let dispatch_cost = Pool.dispatch_cost_ns t.pool in
+    let barriers = t.barriers_steady in
+    let frac =
+      float_of_int t.par_weight /. float_of_int (max 1 t.total_weight)
+    in
+    let modeled =
+      (serial_ns_per_step *. frac)
+      +. (float_of_int barriers *. barrier_cost)
+      +. (dispatch_cost /. float_of_int (max 1 batch))
+    in
+    {
+      d_tier = (if modeled < serial_ns_per_step then Parallel else Serial);
+      d_serial_ns_per_step = serial_ns_per_step;
+      d_modeled_par_ns_per_step = modeled;
+      d_barriers_per_step = barriers;
+      d_barrier_cost_ns = barrier_cost;
+      d_dispatch_cost_ns = dispatch_cost;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+(* Serial tier: the plain tile-major loop (levels are contiguous
+   ascending tiles, so tile-major IS level-major serial order). *)
+let run_serial t ~steps ~body =
+  let sched = t.sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
+  let nl = Reorder.Schedule.n_loops sched in
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let iters = ref 0 in
+  for _s = 1 to steps do
+    let prof = Rtrt_obs.enabled () in
+    let t0 = if prof then Rtrt_obs.Clock.now_ns () else 0 in
+    for tile = 0 to n_tiles - 1 do
+      for pos = 0 to t.n_chain - 1 do
+        let r = (tile * nl) + pos in
+        let lo = rp.(r) and hi = rp.(r + 1) in
+        iters := !iters + (hi - lo);
+        body ~pos fl lo hi
+      done
+    done;
+    if prof then Rtrt_obs.Hist.record h_step (Rtrt_obs.Clock.now_ns () - t0)
+  done;
+  Rtrt_obs.Metrics.add t.c_lane_iters.(0) !iters
+
+(* One lane's walk of a [k]-step batch. All cross-lane synchronization
+   is the pool's in-job barrier; the [pending] flag defers the barrier
+   after a lane-0-only serial level until ownership next changes. On
+   exception the lane drains its remaining barrier quota (every lane
+   executes exactly [batch_barriers] per batch), so the other lanes
+   cannot deadlock, then rethrows into the pool's failure slot. *)
+let run_lane t lane ~k ~prof ~body ~stash ~apply =
+  let sched = t.sched in
+  let rp = Reorder.Schedule.row_ptr sched in
+  let fl = Reorder.Schedule.flat_items sched in
+  let nl = Reorder.Schedule.n_loops sched in
+  let pool = t.pool in
+  let levels = t.levels in
+  let n_levels = Array.length levels in
+  let n_chain = t.n_chain in
+  let slice = t.slices.(lane) in
+  let iters = ref 0 in
+  let bars = ref 0 in
+  let pending = ref false in
+  (try
+     for _step = 1 to k do
+       let t0 = if prof && lane = 0 then Rtrt_obs.Clock.now_ns () else 0 in
+       for l = 0 to n_levels - 1 do
+         let lv = Array.unsafe_get levels l in
+         if not lv.l_par then begin
+           if lane = 0 then
+             for i = 0 to lv.l_count - 1 do
+               let tile = lv.l_first + i in
+               for pos = 0 to n_chain - 1 do
+                 let r = (tile * nl) + pos in
+                 let lo = rp.(r) and hi = rp.(r + 1) in
+                 iters := !iters + (hi - lo);
+                 body ~pos fl lo hi
+               done
+             done;
+           pending := true
+         end
+         else begin
+           if !pending then begin
+             Pool.barrier pool ~lane;
+             incr bars;
+             pending := false
+           end;
+           let first = slice.s_first.(l) in
+           let count = slice.s_count.(l) in
+           for pos = 0 to n_chain - 1 do
+             match lv.l_red.(pos) with
+             | None ->
+               for tile = first to first + count - 1 do
+                 let r = (tile * nl) + pos in
+                 let lo = rp.(r) and hi = rp.(r + 1) in
+                 iters := !iters + (hi - lo);
+                 body ~pos fl lo hi
+               done;
+               Pool.barrier pool ~lane;
+               incr bars
+             | Some red ->
+               for tile = first to first + count - 1 do
+                 let r = (tile * nl) + pos in
+                 let lo = rp.(r) and hi = rp.(r + 1) in
+                 iters := !iters + (hi - lo);
+                 stash ~pos fl lo hi
+               done;
+               Pool.barrier pool ~lane;
+               incr bars;
+               let di0 = slice.s_red_lo.((l * n_chain) + pos) in
+               let din = slice.s_red_n.((l * n_chain) + pos) in
+               for di = di0 to di0 + din - 1 do
+                 apply ~pos ~datum:red.r_data.(di) red.r_refs red.r_ptr.(di)
+                   red.r_ptr.(di + 1)
+               done;
+               Pool.barrier pool ~lane;
+               incr bars
+           done
+         end
+       done;
+       if prof && lane = 0 then
+         Rtrt_obs.Hist.record h_step (Rtrt_obs.Clock.now_ns () - t0)
+     done
+   with exn ->
+     let quota = batch_barriers t ~k in
+     while !bars < quota do
+       Pool.barrier pool ~lane;
+       incr bars
+     done;
+     Rtrt_obs.Metrics.add t.c_lane_iters.(lane) !iters;
+     raise exn);
+  Rtrt_obs.Metrics.add t.c_lane_iters.(lane) !iters
+
+let run ?(batch = 1) ?(tier = Parallel) ?profile t ~steps ~body ~stash ~apply =
   Rtrt_obs.Span.with_ ~name:"par.run_tiled"
     ~attrs:
       [
         ("domains", Rtrt_obs.Json.Int (Pool.size t.pool));
         ("levels", Rtrt_obs.Json.Int (Array.length t.levels));
         ("steps", Rtrt_obs.Json.Int steps);
+        ("batch", Rtrt_obs.Json.Int batch);
+        ("tier", Rtrt_obs.Json.String (tier_name tier));
       ]
   @@ fun () ->
-  let sched = t.sched in
-  let rp = Reorder.Schedule.row_ptr sched in
-  let fl = Reorder.Schedule.flat_items sched in
-  let nl = Reorder.Schedule.n_loops sched in
-  let counters = t.c_lane_iters in
-  for _s = 1 to steps do
-    let prof = Rtrt_obs.enabled () in
-    let t0 = if prof then Rtrt_obs.Clock.now_ns () else 0 in
-    Array.iter
-      (fun lv ->
-        if not lv.l_par then
-          (* Serial path, in exactly the serial executor's tile-major
-             order (also taken by singleton levels, where no other
-             tile can race). *)
-          for i = 0 to lv.l_count - 1 do
-            let tile = lv.l_first + i in
-            for pos = 0 to t.n_chain - 1 do
-              let r = (tile * nl) + pos in
-              let lo = rp.(r) and hi = rp.(r + 1) in
-              Rtrt_obs.Metrics.add counters.(0) (hi - lo);
-              body ~pos fl lo hi
-            done
-          done
-        else
-          for pos = 0 to t.n_chain - 1 do
-            match lv.l_red.(pos) with
-            | None ->
-              Pool.parallel t.pool (fun lane ->
-                  let s, len = lv.l_lane_tiles.(lane) in
-                  for i = s to s + len - 1 do
-                    let r = ((lv.l_first + i) * nl) + pos in
-                    let lo = rp.(r) and hi = rp.(r + 1) in
-                    Rtrt_obs.Metrics.add counters.(lane) (hi - lo);
-                    body ~pos fl lo hi
-                  done)
-            | Some red ->
-              Pool.parallel t.pool (fun lane ->
-                  let s, len = lv.l_lane_tiles.(lane) in
-                  for i = s to s + len - 1 do
-                    let r = ((lv.l_first + i) * nl) + pos in
-                    let lo = rp.(r) and hi = rp.(r + 1) in
-                    Rtrt_obs.Metrics.add counters.(lane) (hi - lo);
-                    stash ~pos fl lo hi
-                  done);
-              Pool.parallel t.pool (fun lane ->
-                  let s, len = red.r_lane_data.(lane) in
-                  for di = s to s + len - 1 do
-                    apply ~pos ~datum:red.r_data.(di) red.r_refs
-                      red.r_ptr.(di)
-                      red.r_ptr.(di + 1)
-                  done)
-          done)
-      t.levels;
-    if prof then Rtrt_obs.Hist.record h_step (Rtrt_obs.Clock.now_ns () - t0)
-  done
+  if steps > 0 then
+    if tier = Serial || Pool.size t.pool = 1 || not t.any_par then
+      run_serial t ~steps ~body
+    else begin
+      let batch = max 1 batch in
+      let remaining = ref steps in
+      while !remaining > 0 do
+        let k = min batch !remaining in
+        let prof =
+          match profile with Some p -> p | None -> Rtrt_obs.enabled ()
+        in
+        Pool.parallel ~profile:prof t.pool (fun lane ->
+            run_lane t lane ~k ~prof ~body ~stash ~apply);
+        remaining := !remaining - k
+      done
+    end
 
-(* Level-by-level parallel driver for executors that are not
-   Schedule-based (Gauss-Seidel tiles, wavefront iterations): run each
-   level's items concurrently, weighted by [weight], with a barrier
-   between levels. Items of one level must be pairwise independent —
-   then any per-lane order is bit-exact, and we keep ascending order
-   within each lane. *)
-let run_levels ~pool ~levels ~weight ~exec =
+(* ------------------------------------------------------------------ *)
+(* Level-by-level driver                                               *)
+
+(* Parallel driver for executors that are not Schedule-based
+   (Gauss-Seidel tiles, wavefront iterations): run each level's items
+   concurrently, weighted by [weight], with a barrier between
+   levels. Items of one level must be pairwise independent — then any
+   per-lane order is bit-exact, and we keep ascending order within
+   each lane.
+
+   Chunks are computed once, the whole [rounds] repetitions execute
+   inside ONE pool dispatch (in-job barriers between levels), and
+   singleton levels run on lane 0 with the same lazy pending-barrier
+   rule as [run]. [~rounds] is the level-driver's step batching: a
+   wavefront executor passes its sweep count and pays one dispatch
+   total. *)
+let run_levels ?(rounds = 1) ?profile ~pool ~levels ~weight exec =
   let lanes = Pool.size pool in
   let counters = lane_counters pool in
-  Array.iter
-    (fun members ->
-      let n = Array.length members in
-      if lanes = 1 || n <= 1 then begin
-        Rtrt_obs.Metrics.add counters.(0) n;
-        Array.iter exec members
-      end
-      else begin
-        let weights = Array.map weight members in
-        let chunks = Chunk.weighted ~weights ~lanes in
-        Pool.parallel pool (fun lane ->
-            let s, len = chunks.(lane) in
-            Rtrt_obs.Metrics.add counters.(lane) len;
-            for i = s to s + len - 1 do
-              exec members.(i)
-            done)
-      end)
-    levels
+  let n_levels = Array.length levels in
+  let l_par =
+    Array.map (fun members -> lanes > 1 && Array.length members > 1) levels
+  in
+  let any_par = Array.exists Fun.id l_par in
+  if rounds > 0 then begin
+    if not any_par then begin
+      let n = ref 0 in
+      for _r = 1 to rounds do
+        Array.iter
+          (fun members ->
+            n := !n + Array.length members;
+            Array.iter exec members)
+          levels
+      done;
+      Rtrt_obs.Metrics.add counters.(0) !n
+    end
+    else begin
+      let chunks =
+        Array.mapi
+          (fun l members ->
+            if not l_par.(l) then [||]
+            else
+              let weights = Array.map weight members in
+              Chunk.weighted ~weights ~lanes)
+          levels
+      in
+      (* Barriers per round: serial levels defer to the next parallel
+         level, so the count depends on whether a round enters with a
+         barrier pending (identical for every round after the first,
+         since the pending-out state is a function of the last level
+         only). *)
+      let round_barriers ~pending_in =
+        let count = ref 0 in
+        let pending = ref pending_in in
+        for l = 0 to n_levels - 1 do
+          if not l_par.(l) then pending := true
+          else begin
+            if !pending then incr count;
+            pending := false;
+            incr count
+          end
+        done;
+        (!count, !pending)
+      in
+      let first, pending_out = round_barriers ~pending_in:false in
+      let steady, _ = round_barriers ~pending_in:pending_out in
+      let quota = first + ((rounds - 1) * steady) in
+      Pool.parallel ?profile pool (fun lane ->
+          let iters = ref 0 in
+          let bars = ref 0 in
+          let pending = ref false in
+          (try
+             for _r = 1 to rounds do
+               for l = 0 to n_levels - 1 do
+                 let members = levels.(l) in
+                 if not l_par.(l) then begin
+                   if lane = 0 then begin
+                     iters := !iters + Array.length members;
+                     Array.iter exec members
+                   end;
+                   pending := true
+                 end
+                 else begin
+                   if !pending then begin
+                     Pool.barrier pool ~lane;
+                     incr bars;
+                     pending := false
+                   end;
+                   let s, len = chunks.(l).(lane) in
+                   iters := !iters + len;
+                   for i = s to s + len - 1 do
+                     exec members.(i)
+                   done;
+                   Pool.barrier pool ~lane;
+                   incr bars
+                 end
+               done
+             done
+           with exn ->
+             while !bars < quota do
+               Pool.barrier pool ~lane;
+               incr bars
+             done;
+             Rtrt_obs.Metrics.add counters.(lane) !iters;
+             raise exn);
+          Rtrt_obs.Metrics.add counters.(lane) !iters)
+    end
+  end

@@ -1,16 +1,42 @@
 (** The parallel tiled-executor engine: level-major tile renumbering,
-    phase-major execution with barriers per (level, chain position),
-    and stash/apply reduction combining that reproduces the serial
-    executor's float operations bit for bit. *)
+    per-lane slices pinned at plan time, phase-major execution with
+    in-job barriers per (level, chain position), step batching, an
+    auto-fallback serial tier, and stash/apply reduction combining
+    that reproduces the serial executor's float operations bit for
+    bit. *)
 
 type t
 
+(** Which execution strategy {!run} uses. [Serial] runs the plain
+    tile-major loop on the calling domain — bitwise identical by
+    construction — and is what {!decide} selects when the modeled
+    parallel step cannot beat the serial one. *)
+type tier = Parallel | Serial
+
+val tier_name : tier -> string
+
+(** The auto-fallback decision and the model behind it, for reporting.
+    [d_modeled_par_ns_per_step] =
+    serial x (critical-path weight / total weight)
+    + barriers-per-step x {!Pool.barrier_cost_ns}
+    + {!Pool.dispatch_cost_ns} / batch. *)
+type decision = {
+  d_tier : tier;
+  d_serial_ns_per_step : float;
+  d_modeled_par_ns_per_step : float;
+  d_barriers_per_step : int;
+  d_barrier_cost_ns : float;
+  d_dispatch_cost_ns : float;
+}
+
 (** [make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data]
     renumbers [sched] level-major (per [level_of], the tile dependence
-    DAG levelization) and precomputes per-level lane assignments plus,
-    for every chain position where [is_reduction pos] holds, the
-    per-datum combine lists derived from the [left]/[right] endpoint
-    arrays ([n_data] data locations). *)
+    DAG levelization) and precomputes per-lane slices — each lane's
+    chunk of every level's tiles and of every reduction position's
+    data, chunked once per plan, not per step — plus, for every chain
+    position where [is_reduction pos] holds, the per-datum combine
+    lists derived from the [left]/[right] endpoint arrays ([n_data]
+    data locations). *)
 val make :
   pool:Pool.t ->
   sched:Reorder.Schedule.t ->
@@ -27,6 +53,12 @@ val schedule : t -> Reorder.Schedule.t
 
 val n_levels : t -> int
 
+(** [decide t ~serial_ns_per_step ~batch] evaluates the auto-fallback
+    model against a measured serial step time and picks the tier.
+    Triggers the pool's one-shot barrier/dispatch calibration on first
+    use. *)
+val decide : t -> serial_ns_per_step:float -> batch:int -> decision
+
 (** [run t ~steps ~body ~stash ~apply] executes the plan. [body ~pos
     items lo hi] is the serial loop body for chain position [pos]
     (used for serial levels and non-reduction positions); it runs the
@@ -36,8 +68,19 @@ val n_levels : t -> int
     iteration's contribution into per-iteration scratch, and
     [apply ~pos ~datum refs lo hi] folds [refs.(lo..hi-1)] — packed as
     [(iter lsl 1) lor slot], slot 0 = left (+), 1 = right (-) — into
-    [datum] in serial order. *)
+    [datum] in serial order.
+
+    [batch] (default 1) executes up to that many whole time steps per
+    pool dispatch; lanes synchronize through in-job barriers, so one
+    wake-up amortizes over the batch. Results are bitwise independent
+    of [batch]. [tier] (default [Parallel]) selects the strategy —
+    pass [(decide t ...).d_tier] for the auto-fallback. [profile]
+    forces per-lane pool accounting on or off for the dispatches
+    (default: whether tracing is enabled). *)
 val run :
+  ?batch:int ->
+  ?tier:tier ->
+  ?profile:bool ->
   t ->
   steps:int ->
   body:(pos:int -> int array -> int -> int -> unit) ->
@@ -45,12 +88,18 @@ val run :
   apply:(pos:int -> datum:int -> int array -> int -> int -> unit) ->
   unit
 
-(** [run_levels ~pool ~levels ~weight ~exec] runs each level's items
-    concurrently (weighted static chunks, barrier between levels).
-    Items within one level must be pairwise independent. *)
+(** [run_levels ~pool ~levels ~weight exec] runs each level's items
+    concurrently (weighted static chunks computed once, in-job
+    barriers between levels, the whole call one pool dispatch). Items
+    within one level must be pairwise independent. [rounds] (default
+    1) repeats the whole level program that many times inside the same
+    dispatch — the level-driver's step batching; a wavefront executor
+    passes its sweep count. [profile] as in {!run}. *)
 val run_levels :
+  ?rounds:int ->
+  ?profile:bool ->
   pool:Pool.t ->
   levels:int array array ->
   weight:(int -> int) ->
-  exec:(int -> unit) ->
+  (int -> unit) ->
   unit

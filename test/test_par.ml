@@ -8,6 +8,12 @@
 
 let domain_counts = [ 1; 2; 4 ]
 
+let with_memory_sink f =
+  let sink, events = Rtrt_obs.Sink.memory () in
+  Rtrt_obs.set_sink sink;
+  Fun.protect ~finally:Rtrt_obs.disable f;
+  events ()
+
 (* ------------------------------------------------------------------ *)
 (* Pool and chunking *)
 
@@ -183,7 +189,7 @@ let full_growth_plans =
     Compose.Plan.with_fst ~seed_part_size:7 Compose.Plan.cpack;
   ]
 
-let check_par_matches_serial ~domains plan kernel =
+let check_par_matches_serial ?batch ?tier ?(steps = 2) ~domains plan kernel =
   let result = Harness.Experiment.inspect plan kernel in
   match result.Compose.Inspector.schedule with
   | None -> Alcotest.fail "sparse-tiled plan produced no schedule"
@@ -202,8 +208,8 @@ let check_par_matches_serial ~domains plan kernel =
           k_par.Kernels.Kernel.plan_par ~pool sched
             ~level_of:par.Reorder.Tile_par.level_of
         in
-        k_ser.Kernels.Kernel.run_tiled pe.Kernels.Kernel.par_sched ~steps:2;
-        pe.Kernels.Kernel.par_run ~steps:2);
+        k_ser.Kernels.Kernel.run_tiled pe.Kernels.Kernel.par_sched ~steps;
+        pe.Kernels.Kernel.par_run ?batch ?tier ~steps ());
     Kernels.Kernel.snapshots_equal_bits
       (k_ser.Kernels.Kernel.snapshot ())
       (k_par.Kernels.Kernel.snapshot ())
@@ -238,6 +244,157 @@ let test_moldyn_reduction_combine () =
         true
         (check_par_matches_serial ~domains plan kernel))
     [ 2; 3 ]
+
+(* Step batching never changes results: k whole sweeps per pool
+   dispatch must be bitwise-identical to one sweep per dispatch, for
+   every kernel (including the reduction combining path) and domain
+   count. steps = 5 exercises partial tails for both k = 2 (5 = 2+2+1)
+   and k = 8 (one short batch). *)
+let prop_batch_bitwise =
+  QCheck.Test.make ~name:"~batch:k bitwise = serial, k in {1,2,8}" ~count:6
+    arb_dataset (fun spec ->
+      let d = dataset_of spec in
+      let plan = List.hd full_growth_plans in
+      List.for_all
+        (fun (_, of_dataset) ->
+          List.for_all
+            (fun batch ->
+              List.for_all
+                (fun domains ->
+                  check_par_matches_serial ~batch ~steps:5 ~domains plan
+                    (of_dataset d))
+                domain_counts)
+            [ 1; 2; 8 ])
+        kernels_under_test)
+
+(* The auto-fallback Serial tier runs the plain tile-major loop on the
+   caller — still bitwise-identical, and batching composes with it. *)
+let test_serial_tier_bitwise () =
+  let d = Option.get (Datagen.Generators.by_name ~scale:512 "mol1") in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:24 Compose.Plan.cpack_lexgroup_twice
+  in
+  List.iter
+    (fun (name, of_dataset) ->
+      Alcotest.(check bool)
+        (name ^ " serial tier bitwise") true
+        (check_par_matches_serial ~batch:2 ~tier:Rtrt_par.Exec.Serial ~steps:3
+           ~domains:4 plan (of_dataset d)))
+    kernels_under_test
+
+(* Tier decision sanity: when a serial step costs ~nothing, barrier
+   overhead alone must push the decision to Serial; when a serial step
+   is astronomically slow, the modeled parallel fraction wins. *)
+let test_tier_decision () =
+  let d = Option.get (Datagen.Generators.by_name ~scale:512 "mol1") in
+  let kernel = Kernels.Moldyn.of_dataset d in
+  let result =
+    Harness.Experiment.inspect
+      (Compose.Plan.with_fst ~seed_part_size:24
+         Compose.Plan.cpack_lexgroup_twice)
+      kernel
+  in
+  let sched = Option.get result.Compose.Inspector.schedule in
+  let k = result.Compose.Inspector.kernel in
+  let tiles =
+    Compose.Legality.tile_fns_of_schedule sched
+      ~loop_sizes:k.Kernels.Kernel.loop_sizes
+  in
+  let chain = k.Kernels.Kernel.chain_of_access k.Kernels.Kernel.access in
+  let par = Reorder.Tile_par.analyze ~chain ~tiles in
+  Rtrt_par.Pool.with_pool ~domains:2 (fun pool ->
+      let pe =
+        k.Kernels.Kernel.plan_par ~pool sched
+          ~level_of:par.Reorder.Tile_par.level_of
+      in
+      let cheap =
+        pe.Kernels.Kernel.par_decide ~serial_ns_per_step:1.0 ~batch:1
+      in
+      Alcotest.(check string)
+        "negligible serial work falls back to serial" "serial"
+        (Rtrt_par.Exec.tier_name cheap.Rtrt_par.Exec.d_tier);
+      Alcotest.(check bool)
+        "parallel steps pay barriers" true
+        (cheap.Rtrt_par.Exec.d_barriers_per_step > 0);
+      Alcotest.(check bool)
+        "calibration ran" true
+        (cheap.Rtrt_par.Exec.d_barrier_cost_ns >= 0.0
+        && cheap.Rtrt_par.Exec.d_dispatch_cost_ns >= 0.0);
+      let dear =
+        pe.Kernels.Kernel.par_decide ~serial_ns_per_step:1e12 ~batch:8
+      in
+      Alcotest.(check string)
+        "huge serial work goes parallel" "parallel"
+        (Rtrt_par.Exec.tier_name dear.Rtrt_par.Exec.d_tier);
+      Alcotest.(check bool)
+        "modeled parallel step beats serial" true
+        (dear.Rtrt_par.Exec.d_modeled_par_ns_per_step < 1e12))
+
+(* ------------------------------------------------------------------ *)
+(* Barrier stress: the sense-reversing barrier under randomized
+   per-lane arrival jitter. Each dispatch round r reads every lane's
+   slot (must hold r - 1: the previous round's post-barrier writes are
+   visible, and no write of round r can overtake the in-job barrier),
+   then barriers in-job, then writes its own slot. 1000 rounds of this
+   hammers wake-up, reuse-after-reset and cross-lane publication; a
+   single lost wake-up deadlocks the test rather than corrupting it. *)
+
+let barrier_stress ~domains ~rounds pool =
+  let slots = Array.make (domains * 16) 0 in
+  let bad = Atomic.make 0 in
+  let rng = Array.init (domains * 16) (fun i -> Random.State.make [| i |]) in
+  for r = 1 to rounds do
+    Rtrt_par.Pool.parallel pool (fun lane ->
+        let st = rng.(lane * 16) in
+        let spin = Random.State.int st 512 in
+        for _ = 1 to spin do
+          ignore (Sys.opaque_identity spin)
+        done;
+        for l = 0 to domains - 1 do
+          if slots.(l * 16) <> r - 1 then Atomic.incr bad
+        done;
+        Rtrt_par.Pool.barrier pool ~lane;
+        let spin = Random.State.int st 512 in
+        for _ = 1 to spin do
+          ignore (Sys.opaque_identity spin)
+        done;
+        slots.(lane * 16) <- r)
+  done;
+  Alcotest.(check int) "no stale cross-lane reads" 0 (Atomic.get bad);
+  Array.iteri
+    (fun l _ ->
+      if l mod 16 = 0 then
+        Alcotest.(check int)
+          (Fmt.str "lane %d completed every round" (l / 16))
+          rounds slots.(l))
+    slots
+
+let test_barrier_stress () =
+  List.iter
+    (fun domains ->
+      Rtrt_par.Pool.with_pool ~domains (barrier_stress ~domains ~rounds:1000))
+    domain_counts
+
+(* Same stress with tracing on: the in-job barrier feeds the lane's
+   barrier split and the exact accounting invariant must survive all
+   the jitter — work + barrier + idle = accounted wall time, per lane,
+   to the nanosecond. *)
+let test_barrier_stress_accounting () =
+  let domains = 4 and rounds = 200 in
+  ignore
+    (with_memory_sink (fun () ->
+         Rtrt_par.Pool.with_pool ~domains (fun pool ->
+             barrier_stress ~domains ~rounds pool;
+             Alcotest.(check int) "all rounds accounted" rounds
+               (Rtrt_par.Pool.accounted_rounds pool);
+             let total = Rtrt_par.Pool.accounted_ns pool in
+             Array.iteri
+               (fun lane { Rtrt_par.Pool.work_ns; barrier_ns; idle_ns } ->
+                 Alcotest.(check int)
+                   (Fmt.str "lane %d: work + barrier + idle = accounted" lane)
+                   total
+                   (work_ns + barrier_ns + idle_ns))
+               (Rtrt_par.Pool.lane_stats pool))))
 
 (* ------------------------------------------------------------------ *)
 (* Gauss-Seidel: tile-DAG and wavefront parallel executors *)
@@ -552,12 +709,6 @@ let test_inspector_pool_invariant () =
 (* ------------------------------------------------------------------ *)
 (* Metrics are atomic under concurrent increments *)
 
-let with_memory_sink f =
-  let sink, events = Rtrt_obs.Sink.memory () in
-  Rtrt_obs.set_sink sink;
-  Fun.protect ~finally:Rtrt_obs.disable f;
-  events ()
-
 (* Per-lane accounting: with tracing on, every round is accounted and
    each lane's work/barrier/idle split sums exactly to the pool's
    accounted wall time; barrier waits feed the pool.barrier_wait
@@ -565,6 +716,7 @@ let with_memory_sink f =
 let test_pool_accounting () =
   let lanes = 4 and rounds = 5 in
   let h = Rtrt_obs.Hist.hist "pool.barrier_wait" in
+  let hd = Rtrt_obs.Hist.hist "pool.dispatch_wait" in
   ignore
     (with_memory_sink (fun () ->
          Rtrt_par.Pool.with_pool ~domains:lanes (fun pool ->
@@ -595,7 +747,11 @@ let test_pool_accounting () =
                    (work_ns + barrier_ns + idle_ns))
                stats;
              Alcotest.(check int) "barrier histogram fed by every lane"
-               (rounds * lanes) (Rtrt_obs.Hist.count h));
+               (rounds * lanes) (Rtrt_obs.Hist.count h);
+             Alcotest.(check int) "dispatch histogram fed once per round"
+               rounds (Rtrt_obs.Hist.count hd);
+             Alcotest.(check bool) "dispatch wait accumulated" true
+               (Rtrt_par.Pool.dispatch_wait_ns pool >= 0));
          (* with_pool shut the pool down, publishing per-lane gauges. *)
          List.iter
            (fun name ->
@@ -718,10 +874,20 @@ let () =
           Alcotest.test_case "chunking" `Quick test_chunking;
         ]
         @ qsuite [ prop_weighted_chunks ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "stress 1/2/4 domains x 1000 rounds" `Slow
+            test_barrier_stress;
+          Alcotest.test_case "stress accounting invariant" `Slow
+            test_barrier_stress_accounting;
+        ] );
       ( "executors",
         Alcotest.test_case "moldyn reduction combine" `Slow
           test_moldyn_reduction_combine
-        :: qsuite [ prop_kernels_bitwise ] );
+        :: Alcotest.test_case "serial tier bitwise" `Slow
+             test_serial_tier_bitwise
+        :: Alcotest.test_case "tier decision" `Slow test_tier_decision
+        :: qsuite [ prop_kernels_bitwise; prop_batch_bitwise ] );
       ( "gauss-seidel",
         Alcotest.test_case "foil tiled par" `Slow test_gs_foil_tiled_par
         :: qsuite [ prop_gs_tiled_par_bitwise; prop_gs_wavefront_bitwise ] );
