@@ -12,7 +12,9 @@
      rtrt guide               Section 7 runtime composition selection
      rtrt ablations           design-choice ablations A1-A9
      rtrt raw                 absolute counts for one configuration
-     rtrt bench               wall-clock tables (--only hotpath|inspector|par)
+     rtrt autotune            cost-model plan search for one configuration
+     rtrt bench               wall-clock tables
+                              (--only hotpath|inspector|par|autotune)
      rtrt bench-diff          regression gate between two BENCH_*.json files
      rtrt json                one figure's rows as JSON (jq-ready)
      rtrt trace-report        span-tree summary of a JSONL trace
@@ -123,27 +125,83 @@ let run_sweep ?cache_dir domains scale steps =
   let rows = Harness.Figures.cache_target_sweep ~machine ~config () in
   Fmt.pr "%a@." Harness.Figures.pp_sweep_rows rows
 
-let run_raw ?cache_dir bench ds machine_name domains scale steps =
-  let config = config_of ?cache_dir ~domains ~scale ~steps () in
-  let machine =
-    match Cachesim.Machine.by_name machine_name with
-    | Some m -> m
-    | None -> Fmt.invalid_arg "unknown machine %s" machine_name
-  in
+let machine_of name =
+  match Cachesim.Machine.by_name name with
+  | Some m -> m
+  | None -> Fmt.invalid_arg "unknown machine %s" name
+
+let kernel_of ~scale bench ds =
   let dataset =
     match Datagen.Generators.by_name ~scale ds with
     | Some d -> d
     | None -> Fmt.invalid_arg "unknown dataset %s" ds
   in
-  let kernel =
-    match Kernels.by_name bench with
-    | Some f -> f dataset
-    | None -> Fmt.invalid_arg "unknown kernel %s" bench
+  match Kernels.by_name bench with
+  | Some f -> (dataset, f dataset)
+  | None -> Fmt.invalid_arg "unknown kernel %s" bench
+
+(* The tuned-winner store shares the plan cache's directory when one
+   was given (the file prefixes are disjoint). *)
+let tuned_of config =
+  let dir =
+    Option.bind config.Harness.Figures.plan_cache Rtrt_plancache.Cache.dir
   in
+  Rtrt_plancache.Tuned.create ?dir ()
+
+let run_raw ?cache_dir bench ds machine_name plan domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
+  let machine = machine_of machine_name in
+  let dataset, kernel = kernel_of ~scale bench ds in
   Fmt.pr "%a; kernel %s (%d B/node)@." Datagen.Dataset.pp dataset bench
     (Kernels.Kernel.bytes_per_node kernel);
-  let ms = Harness.Figures.run_suite ~machine ~config kernel in
-  List.iter (fun m -> Fmt.pr "%a@." Harness.Experiment.pp_measurement m) ms
+  match plan with
+  | None ->
+    let ms = Harness.Figures.run_suite ~machine ~config kernel in
+    List.iter (fun m -> Fmt.pr "%a@." Harness.Experiment.pp_measurement m) ms
+  | Some which ->
+    Harness.Figures.with_config_pool ~config @@ fun pool ->
+    let cache = config.Harness.Figures.plan_cache in
+    let plan =
+      if which = "auto" then begin
+        let tuned = tuned_of config in
+        let result =
+          Harness.Autotune.tune ?cache ?pool ~tuned
+            ~trace_steps:config.Harness.Figures.trace_steps ~machine kernel
+        in
+        Fmt.pr "%a@." Harness.Autotune.pp_result result;
+        result.Harness.Autotune.at_winner
+      end
+      else
+        let named =
+          List.filter
+            (fun p -> Compose.Plan.name p = which)
+            (Harness.Autotune.candidates_for ~machine kernel)
+        in
+        match named with
+        | p :: _ -> p
+        | [] -> Fmt.invalid_arg "unknown plan %s (try rtrt autotune)" which
+    in
+    let m =
+      Harness.Experiment.measure ?cache ?pool
+        ~trace_steps_n:config.Harness.Figures.trace_steps
+        ~wall_steps:config.Harness.Figures.wall_steps ~machine ~plan kernel
+    in
+    Fmt.pr "%a@." Harness.Experiment.pp_measurement m
+
+let run_autotune ?cache_dir bench ds machine_name domains scale steps =
+  let config = config_of ?cache_dir ~domains ~scale ~steps () in
+  let machine = machine_of machine_name in
+  let dataset, kernel = kernel_of ~scale bench ds in
+  Fmt.pr "Autotune: %a; kernel %s on %a@." Datagen.Dataset.pp dataset bench
+    Cachesim.Machine.pp machine;
+  Harness.Figures.with_config_pool ~config @@ fun pool ->
+  let tuned = tuned_of config in
+  let result =
+    Harness.Autotune.tune
+      ?cache:config.Harness.Figures.plan_cache ?pool ~tuned
+      ~trace_steps:config.Harness.Figures.trace_steps ~machine kernel
+  in
+  Fmt.pr "%a@." Harness.Autotune.pp_result result
 
 let run_ablations ?cache_dir domains scale steps =
   ignore domains;
@@ -408,8 +466,16 @@ let run_bench only out domains scale =
       Fmt.pr "WARNING: a fused variant diverged from the serial baseline@.";
     Harness.Inspctime.write_json ~path:out report;
     Fmt.pr "wrote %s@." out
+  | "autotune" ->
+    let out = path "BENCH_AUTOTUNE.json" in
+    let config = config_of ~domains ~scale ~steps:2 () in
+    let report = Harness.Autotune.measure ~config () in
+    Fmt.pr "%a" Harness.Autotune.pp_report report;
+    Harness.Autotune.write_json ~path:out report;
+    Fmt.pr "wrote %s@." out
   | o ->
-    Fmt.invalid_arg "unknown bench table %s (expected hotpath, inspector, or par)"
+    Fmt.invalid_arg
+      "unknown bench table %s (expected hotpath, inspector, par, or autotune)"
       o
 
 let run_bench_diff old_path new_path tolerance ratios_only all =
@@ -500,12 +566,44 @@ let raw_cmd =
   let machine =
     Arg.(value & opt string "pentium4" & info [ "machine" ] ~docv:"M")
   in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Measure a single plan instead of the whole standard suite: a \
+             plan name from the candidate space (e.g. $(b,GL+FST)) or \
+             $(b,auto) to run the autotuner and measure its winner.")
+  in
   Cmd.v
     (Cmd.info "raw" ~doc:"Raw measurements for one kernel/dataset/machine")
     Term.(
+      const (fun trace cache_dir bench ds machine plan domains scale steps ->
+          setup_trace trace;
+          run_raw ?cache_dir bench ds machine plan domains scale steps)
+      $ trace_arg $ plan_cache_arg $ bench $ ds $ machine $ plan $ domains_arg
+      $ scale_arg $ steps_arg)
+
+let autotune_cmd =
+  let bench =
+    Arg.(value & opt string "moldyn" & info [ "bench" ] ~docv:"KERNEL")
+  in
+  let ds = Arg.(value & opt string "mol1" & info [ "dataset" ] ~docv:"DATA") in
+  let machine =
+    Arg.(value & opt string "pentium4" & info [ "machine" ] ~docv:"M")
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Search the validated plan space for one kernel/dataset/machine: \
+          score every candidate with the cache model (plus the makespan \
+          model when --domains > 1) and report the winner. With \
+          --plan-cache, winners persist on disk and replay on repeat runs.")
+    Term.(
       const (fun trace cache_dir bench ds machine domains scale steps ->
           setup_trace trace;
-          run_raw ?cache_dir bench ds machine domains scale steps)
+          run_autotune ?cache_dir bench ds machine domains scale steps)
       $ trace_arg $ plan_cache_arg $ bench $ ds $ machine $ domains_arg
       $ scale_arg $ steps_arg)
 
@@ -598,7 +696,7 @@ let bench_cmd =
           (enum
              [
                ("hotpath", "hotpath"); ("inspector", "inspector");
-               ("par", "par");
+               ("par", "par"); ("autotune", "autotune");
              ])
           "hotpath"
       & info [ "only" ] ~docv:"TABLE"
@@ -609,7 +707,9 @@ let bench_cmd =
              $(b,inspector): cold-inspection cost, serial vs fused vs \
              fused+pool, with bit-identity checks. $(b,par): serial vs \
              domain-pool tiled execution with the makespan model's \
-             prediction (honours --domains / RTRT_DOMAINS).")
+             prediction (honours --domains / RTRT_DOMAINS). $(b,autotune): \
+             cost-model plan search per (bench, dataset, machine) cell with \
+             the winner's and the best hand-named plan's wall clocks.")
   in
   let out =
     Arg.(
@@ -707,6 +807,7 @@ let () =
        (Cmd.group info
           [
             datasets_cmd; figure6_cmd; figure7_cmd; figure8_cmd; figure9_cmd;
-            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd; bench_cmd;
-            bench_diff_cmd; json_cmd; trace_report_cmd; all_cmd;
+            figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; autotune_cmd;
+            ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd;
+            bench_cmd; bench_diff_cmd; json_cmd; trace_report_cmd; all_cmd;
           ]))

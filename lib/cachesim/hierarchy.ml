@@ -65,6 +65,34 @@ let pp ppf t =
   Fmt.pf ppf "hierarchy(L1 hits %d, L2 hits %d, memory %d)" t.l1_hits
     t.l2_hits t.mem_accesses
 
+(* ------------------------------------------------------------------ *)
+(* Batch scoring: immutable snapshot of the counters, the autotuner's
+   locality cost model. [scored] brackets one measured region — reset
+   counters (cache contents survive, so a warmed-up run scores
+   steady-state locality), run, snapshot. *)
+
+type summary = {
+  s_accesses : int;
+  s_l1_misses : int;
+  s_mem_accesses : int;
+  s_modeled_cycles : float;
+  s_miss_ratio : float;
+}
+
+let summarize t =
+  {
+    s_accesses = accesses t;
+    s_l1_misses = l1_misses t;
+    s_mem_accesses = t.mem_accesses;
+    s_modeled_cycles = modeled_cycles t;
+    s_miss_ratio = miss_ratio t;
+  }
+
+let scored t f =
+  reset_counters t;
+  let v = f () in
+  (v, summarize t)
+
 (* Per-level counts exposed through the metrics registry, published
    after a counted run (the per-access path stays untouched). *)
 let g_accesses = Rtrt_obs.Metrics.gauge "cachesim.accesses"

@@ -24,6 +24,24 @@ val modeled_cycles : t -> float
 val miss_ratio : t -> float
 val pp : t Fmt.t
 
+(** Immutable snapshot of the hierarchy's counters — the batch scoring
+    interface the autotuner consumes. *)
+type summary = {
+  s_accesses : int;
+  s_l1_misses : int;
+  s_mem_accesses : int;
+  s_modeled_cycles : float;
+  s_miss_ratio : float;
+}
+
+val summarize : t -> summary
+
+(** [scored t f] brackets one measured region: resets the counters
+    (cache contents survive, so a warmed-up hierarchy scores
+    steady-state locality), runs [f], and returns its result together
+    with the summary of the accesses it issued. *)
+val scored : t -> (unit -> 'a) -> 'a * summary
+
 (** Publish the per-level counts (cachesim.accesses, .l1_hits,
     .l1_misses, .l2_hits, .mem_accesses, .modeled_cycles) as gauges in
     the {!Rtrt_obs.Metrics} registry. Called by the harness after each

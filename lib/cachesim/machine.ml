@@ -19,6 +19,7 @@ type t = {
   l2_hit_cycles : float;   (* L1 miss, L2 hit *)
   mem_cycles : float;      (* miss to memory *)
   miss_cycles : float;     (* flat L1-miss penalty for the L1-only model *)
+  ghz : float;             (* clock, for cycles <-> wall-time conversion *)
 }
 
 (* IBM Power3, 375 MHz: 64KB L1D (128B lines, 128-way), 4MB L2. *)
@@ -35,6 +36,7 @@ let power3 =
     l2_hit_cycles = 9.0;
     mem_cycles = 35.0;
     miss_cycles = 35.0;
+    ghz = 0.375;
   }
 
 (* Intel Pentium 4, 1.7 GHz: 8KB L1D (64B lines, 4-way), 256KB L2. *)
@@ -51,11 +53,12 @@ let pentium4 =
     l2_hit_cycles = 18.0;
     mem_cycles = 200.0;
     miss_cycles = 27.0;
+    ghz = 1.7;
   }
 
 let custom ~name ~l1_size ~l1_line ~l1_assoc ?(l2_size = 1024 * 1024)
     ?(l2_line = 128) ?(l2_assoc = 8) ~hit_cycles ?(l2_hit_cycles = 10.0)
-    ?(mem_cycles = 100.0) ~miss_cycles () =
+    ?(mem_cycles = 100.0) ?(ghz = 1.0) ~miss_cycles () =
   {
     name;
     l1_size;
@@ -68,6 +71,7 @@ let custom ~name ~l1_size ~l1_line ~l1_assoc ?(l2_size = 1024 * 1024)
     l2_hit_cycles;
     mem_cycles;
     miss_cycles;
+    ghz;
   }
 
 let by_name = function
@@ -85,6 +89,12 @@ let hierarchy m =
     ~l2:(Cache.create ~size_bytes:m.l2_size ~line_bytes:m.l2_line ~assoc:m.l2_assoc)
     ~l1_hit_cycles:m.hit_cycles ~l2_hit_cycles:m.l2_hit_cycles
     ~mem_cycles:m.mem_cycles
+
+(* Cycles <-> wall time on this machine's clock, for combining the
+   hierarchy's locality cost with nanosecond-denominated makespan
+   terms (the autotuner's common currency). *)
+let ns_of_cycles m cycles = cycles /. m.ghz
+let cycles_of_ns m ns = ns *. m.ghz
 
 (* Modeled time for the flat L1-only model. *)
 let modeled_cycles m c =

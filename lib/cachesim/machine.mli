@@ -14,6 +14,7 @@ type t = {
   l2_hit_cycles : float; (** L1 miss, L2 hit *)
   mem_cycles : float;    (** miss to memory *)
   miss_cycles : float;   (** flat L1-miss penalty for the L1-only model *)
+  ghz : float;           (** clock, for cycles <-> wall-time conversion *)
 }
 
 (** IBM Power3: 64KB L1D (128B, 128-way), 4MB L2, ~35-cycle memory. *)
@@ -34,11 +35,20 @@ val custom :
   hit_cycles:float ->
   ?l2_hit_cycles:float ->
   ?mem_cycles:float ->
+  ?ghz:float ->
   miss_cycles:float ->
   unit ->
   t
 
 val by_name : string -> t option
+
+(** [ns_of_cycles m c] converts modeled cycles to nanoseconds on [m]'s
+    clock ([cycles_of_ns] is the inverse) — the common currency when
+    combining the hierarchy's locality cost with the makespan model's
+    nanosecond terms. *)
+val ns_of_cycles : t -> float -> float
+
+val cycles_of_ns : t -> float -> float
 
 (** A fresh L1-only cache (unit tests, quick estimates). *)
 val cache : t -> Cache.t

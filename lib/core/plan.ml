@@ -116,18 +116,77 @@ let with_cache_block ~seed_part_size p =
       ])
 
 (* The full suite of Figures 6-9: data/iteration compositions and
-   their sparse-tiled extensions. *)
+   their sparse-tiled extensions, including the fused-inspector GC
+   composition and its tiled extension. *)
 let standard_suite ~gpart_size ~seed_part_size =
   [
     base;
     cpack;
     cpack_lexgroup;
     gpart_lexgroup ~part_size:gpart_size;
+    gpart_cpack ~part_size:gpart_size;
     cpack_lexgroup_twice;
     with_fst ~seed_part_size cpack_lexgroup;
     with_fst ~seed_part_size (gpart_lexgroup ~part_size:gpart_size);
+    with_fst ~seed_part_size (gpart_cpack ~part_size:gpart_size);
     with_fst ~seed_part_size cpack_lexgroup_twice;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration for the autotuner: every composition over
+   {cpack, gpart, lexGroup, lexSort, FST, tilePack} the tuner
+   considers. Shape: a data/iteration prefix (at most two reordering
+   stages, the depth the paper's own compositions use) followed by an
+   optional full sparse tiling with or without tilePack. The
+   enumeration is pruned by [validate] and deduplicated on the
+   transform list, and it contains {!standard_suite} as a subset, so
+   an autotuned winner can never lose to a hand-named plan under the
+   same cost model. *)
+let candidates ~gpart_size ~seed_part_size =
+  let gpart = make ~name:"gpart" [ Transform.Data_reorder (Transform.Gpart { part_size = gpart_size }) ] in
+  let cpack_lexsort =
+    make ~name:"CS"
+      [
+        Transform.Data_reorder Transform.Cpack;
+        Transform.Iter_reorder Transform.Lexsort;
+      ]
+  in
+  let gpart_lexsort =
+    make ~name:"GS"
+      [
+        Transform.Data_reorder (Transform.Gpart { part_size = gpart_size });
+        Transform.Iter_reorder Transform.Lexsort;
+      ]
+  in
+  let prefixes =
+    [
+      base;
+      cpack;
+      gpart;
+      gpart_cpack ~part_size:gpart_size;
+      cpack_lexgroup;
+      cpack_lexsort;
+      gpart_lexgroup ~part_size:gpart_size;
+      gpart_lexsort;
+      cpack_lexgroup_twice;
+    ]
+  in
+  let tiled_variants p =
+    let no_pack =
+      let q = with_fst ~tile_pack:false ~seed_part_size p in
+      make ~name:(p.name ^ "+FSTnp") q.transforms
+    in
+    [ p; with_fst ~seed_part_size p; no_pack ]
+  in
+  let all = List.concat_map tiled_variants prefixes in
+  let valid = List.filter (fun p -> validate p = Ok ()) all in
+  (* Dedupe on the transform list (names are presentation only). *)
+  List.rev
+    (List.fold_left
+       (fun acc p ->
+         if List.exists (fun q -> q.transforms = p.transforms) acc then acc
+         else p :: acc)
+       [] valid)
 
 let pp ppf p =
   Fmt.pf ppf "%s = [%a]" p.name Fmt.(list ~sep:(any "; ") Transform.pp)

@@ -42,7 +42,16 @@ val with_fst : ?tile_pack:bool -> seed_part_size:int -> t -> t
 (** Append cache blocking. *)
 val with_cache_block : seed_part_size:int -> t -> t
 
-(** The eight compositions of Figures 6-9. *)
+(** The hand-named compositions of Figures 6-9 plus GC and GC+FST:
+    base, cpack, CL, GL, GC, CLCL, and the +FST extensions of CL, GL,
+    GC, and CLCL. *)
 val standard_suite : gpart_size:int -> seed_part_size:int -> t list
+
+(** The autotuner's candidate space: every composition over
+    {cpack, gpart, lexGroup, lexSort, FST, tilePack} with at most two
+    data/iteration reordering stages followed by an optional full
+    sparse tiling (with or without tilePack), pruned by {!validate}
+    and deduplicated. Contains {!standard_suite} as a subset. *)
+val candidates : gpart_size:int -> seed_part_size:int -> t list
 
 val pp : t Fmt.t

@@ -133,8 +133,15 @@ let plan_full_growth plan =
     (Compose.Plan.transforms plan)
 
 (* Derive the tile DAG post-hoc from the schedule, build the parallel
-   executor, and time it against the serial executor running the SAME
-   (level-major renumbered) schedule on an identical kernel copy. *)
+   executor, and time it against the engine's own serial tier running
+   the SAME (level-major renumbered) schedule on an identical kernel
+   copy. The serial reference is the engine's [Serial] tier — not the
+   kernel's [run_tiled] — so the two sides run identical code whenever
+   the auto-fallback picks serial (the ratio then centers on 1.0
+   instead of measuring an incidental codegen difference between two
+   serial loops), and a parallel-tier row measures the engine against
+   its exact serial twin, which is also what the makespan model
+   predicts against. *)
 let measure_par ~pool (result : Compose.Inspector.result) sched ~wall_steps =
   let domains = Rtrt_par.Pool.size pool in
   Rtrt_obs.Span.with_ ~name:"experiment.measure_par"
@@ -153,38 +160,81 @@ let measure_par ~pool (result : Compose.Inspector.result) sched ~wall_steps =
   let par = Reorder.Tile_par.analyze ~chain ~tiles in
   let k_ser = k.Kernels.Kernel.copy () in
   let k_par = k.Kernels.Kernel.copy () in
+  let pe_ser =
+    k_ser.Kernels.Kernel.plan_par ~pool sched
+      ~level_of:par.Reorder.Tile_par.level_of
+  in
   let pe =
     k_par.Kernels.Kernel.plan_par ~pool sched
       ~level_of:par.Reorder.Tile_par.level_of
   in
-  (* Best-of-N timing on both sides: the speedup divides two short
-     wall-clock windows, and a single GC slice or preemption in either
-     window swings the ratio by integer factors. The minimum is the
-     least contaminated estimate; both sides advance reps * wall_steps
-     so the final states stay comparable bit for bit. *)
-  let reps = 3 in
-  let time_reps f =
-    let best = ref infinity in
-    for _ = 1 to reps do
-      let (), s = time f in
-      if s < !best then best := s
-    done;
-    !best
-  in
-  let ser_seconds =
-    time_reps (fun () ->
-        k_ser.Kernels.Kernel.run_tiled pe.Kernels.Kernel.par_sched
-          ~steps:wall_steps)
-  in
+  (* Measurement design, hardened against noisy hosts:
+
+     - Correctness: [k_ser] runs one window at the engine's [Serial]
+       tier, [k_par] one window at the [Parallel] tier, and their
+       snapshots are compared bit for bit.
+
+     - [measured_speedup] is always serial tier vs PARALLEL tier —
+       the counterfactual the auto-fallback decides about — not vs
+       whichever tier [decide] picked. Measuring the chosen tier would
+       make serial-tier rows compare the executor against itself
+       (identical code, so the ratio is pure timing noise around 1.0,
+       and on throttled hosts that noise reaches +-20%); measuring the
+       parallel tier instead lets the table genuinely audit the
+       decision: a row whose measured parallel speedup clearly exceeds
+       1 while [par_tier] says "serial" is a model failure, and a row
+       whose speedup is below 1 with tier "serial" is the model
+       earning its keep.
+
+     - Timing: BOTH sides of the speedup run on the same kernel copy
+       ([k_par]) and the same plan, alternating a serial-tier window
+       with a parallel-tier window. One copy for both sides cancels
+       allocation/placement luck between two otherwise-identical
+       array sets, which otherwise shows up as a persistent phantom
+       10-15% "speedup" on a random row.
+
+     - The reported speedup is the median of the per-pair ratios, not
+       the ratio of the two minima: a pair's windows are adjacent in
+       time and share the same throttling/GC environment, so each
+       ratio is stable even when absolute window times are not, while
+       min/min can pair one side's lone clean window against the other
+       side's stalled ones. Pairs alternate which side goes first so
+       any systematic first-window penalty (CPU-quota replenishment,
+       GC debt from the previous window) lands on both sides equally
+       often. *)
+  let reps = 7 in
   let steps_f = float_of_int wall_steps in
+  let run_ser_check () =
+    pe_ser.Kernels.Kernel.par_run ~batch:1 ~tier:Rtrt_par.Exec.Serial
+      ~profile:false ~steps:wall_steps ()
+  in
+  let (), ser_warm = time run_ser_check in
   (* Auto-fallback tier: feed the measured serial step time into the
      engine's model (triggers the pool's one-shot barrier/dispatch
-     calibration) and run at whatever tier it picks. *)
+     calibration). The decision is REPORTED (and audited against the
+     measured ratio); the timed windows below always run the parallel
+     tier. *)
   let batch = max 1 (min wall_steps 8) in
-  let serial_ns_per_step = ser_seconds *. 1e9 /. steps_f in
+  let serial_ns_per_step = ser_warm *. 1e9 /. steps_f in
   let decision = pe.Kernels.Kernel.par_decide ~serial_ns_per_step ~batch in
   let tier = decision.Rtrt_par.Exec.d_tier in
-  (* Pool accounting deltas around the (force-profiled) run isolate
+  let run_par ~profile () =
+    pe.Kernels.Kernel.par_run ~batch ~tier:Rtrt_par.Exec.Parallel ~profile
+      ~steps:wall_steps ()
+  in
+  run_par ~profile:false ();
+  let bitwise_equal =
+    Kernels.Kernel.snapshots_equal_bits
+      (k_ser.Kernels.Kernel.snapshot ())
+      (k_par.Kernels.Kernel.snapshot ())
+  in
+  (* Timed windows all advance [k_par]; the serial side reuses the
+     same plan at the [Serial] tier. *)
+  let run_ser () =
+    pe.Kernels.Kernel.par_run ~batch:1 ~tier:Rtrt_par.Exec.Serial
+      ~profile:false ~steps:wall_steps ()
+  in
+  (* Pool accounting deltas around the (force-profiled) runs isolate
      this measurement's dispatch/barrier waits. *)
   let barrier_total stats =
     Array.fold_left
@@ -194,26 +244,38 @@ let measure_par ~pool (result : Compose.Inspector.result) sched ~wall_steps =
   in
   let dw0 = Rtrt_par.Pool.dispatch_wait_ns pool in
   let bw0 = barrier_total (Rtrt_par.Pool.lane_stats pool) in
-  let par_seconds =
-    time_reps (fun () ->
-        pe.Kernels.Kernel.par_run ~batch ~tier ~profile:true ~steps:wall_steps
-          ())
+  let ser_times = Array.make reps 0.0 and par_times = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
+    if i land 1 = 0 then begin
+      let (), s = time run_ser in
+      ser_times.(i) <- s;
+      let (), p = time (run_par ~profile:true) in
+      par_times.(i) <- p
+    end
+    else begin
+      let (), p = time (run_par ~profile:true) in
+      par_times.(i) <- p;
+      let (), s = time run_ser in
+      ser_times.(i) <- s
+    end
+  done;
+  let ser_seconds = Array.fold_left Float.min infinity ser_times in
+  let par_seconds = Array.fold_left Float.min infinity par_times in
+  let ratios =
+    Array.init reps (fun i ->
+        if par_times.(i) > 0.0 then ser_times.(i) /. par_times.(i) else 1.0)
   in
+  Array.sort compare ratios;
+  let median_speedup = ratios.(reps / 2) in
   let dw1 = Rtrt_par.Pool.dispatch_wait_ns pool in
   let bw1 = barrier_total (Rtrt_par.Pool.lane_stats pool) in
-  (* The accounting deltas cover all reps, not just the best one. *)
+  (* The accounting deltas cover all timed reps, not just the best. *)
   let timed_steps_f = steps_f *. float_of_int reps in
-  let bitwise_equal =
-    Kernels.Kernel.snapshots_equal_bits
-      (k_ser.Kernels.Kernel.snapshot ())
-      (k_par.Kernels.Kernel.snapshot ())
-  in
   {
     domains;
     serial_seconds_per_step = ser_seconds /. steps_f;
     par_seconds_per_step = par_seconds /. steps_f;
-    measured_speedup =
-      (if par_seconds > 0.0 then ser_seconds /. par_seconds else 1.0);
+    measured_speedup = median_speedup;
     modeled_speedup = Reorder.Tile_par.speedup par ~processors:domains;
     modeled_makespan = Reorder.Tile_par.makespan par ~processors:domains;
     bitwise_equal;

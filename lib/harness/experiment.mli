@@ -71,6 +71,22 @@ val inspect :
   Kernels.Kernel.t ->
   Compose.Inspector.result
 
+(** Run an inspected kernel through the cache model: [warmup] steps
+    warm the hierarchy, [steps] steps are counted. Returns per-step
+    (modeled cycles, L1 misses, accesses) and the overall miss ratio —
+    the locality half of the autotuner's cost model. *)
+val trace_steps :
+  ?layout_of:(Kernels.Kernel.t -> Cachesim.Layout.t) ->
+  Compose.Inspector.result ->
+  machine:Cachesim.Machine.t ->
+  warmup:int ->
+  steps:int ->
+  float * float * float * float
+
+(** Wall-clock seconds per step of the inspected kernel's executor
+    (tiled when the result has a schedule). *)
+val wall_clock_steps : Compose.Inspector.result -> steps:int -> float
+
 (** Measure one plan: [warmup] steps warm the modeled cache,
     [trace_steps_n] steps are counted, [wall_steps] steps are timed.
     When [pool] has more than one domain and the plan sparse-tiles

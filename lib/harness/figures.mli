@@ -17,6 +17,18 @@ val default_config : config
 (** The paper's benchmark/dataset pairings (Figures 6-9). *)
 val pairings : (string * string list) list
 
+(** Instantiate a kernel on a dataset / a dataset at the config's
+    scale (raises on unknown names). *)
+val kernel_of : name:string -> Datagen.Dataset.t -> Kernels.Kernel.t
+
+val dataset_of : config:config -> string -> Datagen.Dataset.t
+
+(** Run [f] with one pool for a whole table when [config.domains > 1]
+    (rows share the domains and the one-shot barrier calibration),
+    or with [None] otherwise. *)
+val with_config_pool :
+  config:config -> (Rtrt_par.Pool.t option -> 'a) -> 'a
+
 (** Gpart nodes-per-partition for a cache-byte target. *)
 val gpart_size_for : target_bytes:int -> Kernels.Kernel.t -> int
 

@@ -9,4 +9,5 @@ module Guidance = Guidance
 module Hotpath = Hotpath
 module Inspctime = Inspctime
 module Parbench = Parbench
+module Autotune = Autotune
 module Benchdiff = Benchdiff

@@ -44,12 +44,12 @@
    pure function of the plan, which both the auto-fallback cost model
    and the exception-drain path reuse.
 
-   Auto-fallback tier: [decide] compares serial time against a model
-   of the parallel step — serial work scaled by the critical-path
-   fraction (sum over levels of the heaviest lane chunk), plus the
-   measured per-barrier cost times the barriers per step, plus the
-   dispatch cost amortized over the batch — and selects [Serial] when
-   parallelism cannot pay. [run ~tier:Serial] then executes the plain
+   Auto-fallback tier: [decide] compares serial time against an
+   Amdahl makespan of the parallel step — the serial-level share at
+   full cost, the parallel-level share divided by the lane count,
+   plus the measured per-barrier cost times the barriers per step and
+   the dispatch cost amortized over the batch — and selects [Serial]
+   when parallelism cannot pay. [run ~tier:Serial] then executes the plain
    tile-major loop on the calling domain (bitwise identical by
    construction, it IS the serial order).
 
@@ -67,6 +67,8 @@ type decision = {
   d_barriers_per_step : int;
   d_barrier_cost_ns : float;
   d_dispatch_cost_ns : float;
+  d_par_frac : float;
+  d_lanes : int;
 }
 
 type red = {
@@ -104,6 +106,7 @@ type t = {
   any_par : bool;
   total_weight : int;            (* iterations per step, all positions *)
   par_weight : int;              (* modeled critical path (heaviest lane) *)
+  par_levels_weight : int;       (* iterations living in parallel levels *)
   barriers_first : int;          (* in-job barriers, first step of a batch *)
   barriers_steady : int;         (* in-job barriers, subsequent steps *)
 }
@@ -328,6 +331,22 @@ let make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data =
         end)
       0 levels
   in
+  (* Parallelizable fraction of the step: iterations that live in
+     parallel levels (serial levels can never be divided across
+     lanes). *)
+  let par_levels_weight =
+    Array.fold_left
+      (fun acc lv ->
+        if not lv.l_par then acc
+        else begin
+          let w = ref 0 in
+          for i = 0 to lv.l_count - 1 do
+            w := !w + tile_weight sched (lv.l_first + i)
+          done;
+          acc + !w
+        end)
+      0 levels
+  in
   let barriers_first, pending_out =
     step_barriers levels n_chain ~pending_in:false
   in
@@ -342,6 +361,7 @@ let make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data =
     any_par;
     total_weight;
     par_weight;
+    par_levels_weight;
     barriers_first;
     barriers_steady;
   }
@@ -349,6 +369,18 @@ let make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data =
 (* ------------------------------------------------------------------ *)
 (* Auto-fallback tier                                                  *)
 
+(* Amdahl makespan with measured overheads:
+
+     serial x (1 - frac)          serial part, unchanged
+   + serial x frac / lanes        parallel part divided across lanes
+   + barriers x barrier_cost      per-step synchronization
+   + dispatch_cost / batch        pool wake-up amortized over the batch
+
+   where frac is the fraction of the step's iterations living in
+   parallel levels. The tie goes to Parallel: equal modeled and serial
+   times mean the overheads are fully hidden, so the parallel engine
+   (which also keeps the pool warm for neighbouring phases) is
+   preferred. *)
 let decide t ~serial_ns_per_step ~batch =
   let lanes = Pool.size t.pool in
   if lanes = 1 || not t.any_par then
@@ -359,26 +391,31 @@ let decide t ~serial_ns_per_step ~batch =
       d_barriers_per_step = 0;
       d_barrier_cost_ns = 0.0;
       d_dispatch_cost_ns = 0.0;
+      d_par_frac = 0.0;
+      d_lanes = lanes;
     }
   else begin
     let barrier_cost = Pool.barrier_cost_ns t.pool in
     let dispatch_cost = Pool.dispatch_cost_ns t.pool in
     let barriers = t.barriers_steady in
     let frac =
-      float_of_int t.par_weight /. float_of_int (max 1 t.total_weight)
+      float_of_int t.par_levels_weight /. float_of_int (max 1 t.total_weight)
     in
     let modeled =
-      (serial_ns_per_step *. frac)
+      (serial_ns_per_step *. (1.0 -. frac))
+      +. (serial_ns_per_step *. frac /. float_of_int lanes)
       +. (float_of_int barriers *. barrier_cost)
       +. (dispatch_cost /. float_of_int (max 1 batch))
     in
     {
-      d_tier = (if modeled < serial_ns_per_step then Parallel else Serial);
+      d_tier = (if modeled <= serial_ns_per_step then Parallel else Serial);
       d_serial_ns_per_step = serial_ns_per_step;
       d_modeled_par_ns_per_step = modeled;
       d_barriers_per_step = barriers;
       d_barrier_cost_ns = barrier_cost;
       d_dispatch_cost_ns = dispatch_cost;
+      d_par_frac = frac;
+      d_lanes = lanes;
     }
   end
 

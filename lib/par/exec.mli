@@ -16,10 +16,16 @@ type tier = Parallel | Serial
 val tier_name : tier -> string
 
 (** The auto-fallback decision and the model behind it, for reporting.
+    With [d_par_frac] the fraction of a step's iterations living in
+    parallel levels and [d_lanes] the pool width,
     [d_modeled_par_ns_per_step] =
-    serial x (critical-path weight / total weight)
+    serial x (1 - [d_par_frac])
+    + serial x [d_par_frac] / [d_lanes]
     + barriers-per-step x {!Pool.barrier_cost_ns}
-    + {!Pool.dispatch_cost_ns} / batch. *)
+    + {!Pool.dispatch_cost_ns} / batch.
+    [d_tier] is [Parallel] exactly when
+    [d_modeled_par_ns_per_step <= d_serial_ns_per_step] (and the pool
+    has more than one lane with at least one parallel level). *)
 type decision = {
   d_tier : tier;
   d_serial_ns_per_step : float;
@@ -27,6 +33,8 @@ type decision = {
   d_barriers_per_step : int;
   d_barrier_cost_ns : float;
   d_dispatch_cost_ns : float;
+  d_par_frac : float;
+  d_lanes : int;
 }
 
 (** [make ~pool ~sched ~level_of ~is_reduction ~left ~right ~n_data]

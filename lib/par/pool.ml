@@ -267,26 +267,58 @@ let parallel ?profile t f =
 (* Synchronization-cost calibration                                    *)
 
 (* Measured once per pool, on demand: the steady-state cost of one
-   in-job barrier (all lanes arriving together, no work between
-   barriers) and of one empty dispatch round. Runs unprofiled so
+   in-job barrier and of one empty dispatch round. Runs unprofiled so
    calibration never pollutes the accounted totals. Exported as
    pool.barrier_cost_ns / pool.dispatch_cost_ns gauges and consumed by
-   the executor's auto-fallback tier decision. *)
+   the executor's auto-fallback tier decision.
+
+   The barrier is measured LOADED: every lane runs a fixed work loop
+   between barriers, and the same work without barriers is timed in a
+   second dispatch, so the reported cost is the overhead a barrier
+   adds to a step that actually computes something. Back-to-back
+   empty barriers measure a contention storm (every lane arriving in
+   the same instant, nothing but synchronization competing for the
+   cores) that real executor steps never exhibit — on a throttled or
+   oversubscribed host that storm reads tens of microseconds per
+   barrier while loaded steps observe well under one, which made the
+   tier decision reject parallelism that measurably paid. *)
 let calibrate t =
   if t.domains = 1 then begin
     t.barrier_cost <- 0.0;
     t.dispatch_cost <- 0.0
   end
   else begin
-    let rounds = 512 in
+    let rounds = 256 in
+    let work_iters = 4096 in
+    let work () =
+      let acc = ref 0.0 in
+      for i = 1 to work_iters do
+        acc := !acc +. float_of_int i
+      done;
+      ignore (Sys.opaque_identity !acc)
+    in
     parallel ~profile:false t (fun lane ->
-        for _ = 1 to 32 do barrier_raw t lane done);
-    let (), bar_ns =
+        for _ = 1 to 32 do
+          work ();
+          barrier_raw t lane
+        done);
+    let (), loaded_ns =
       Rtrt_obs.Clock.time_ns (fun () ->
           parallel ~profile:false t (fun lane ->
-              for _ = 1 to rounds do barrier_raw t lane done))
+              for _ = 1 to rounds do
+                work ();
+                barrier_raw t lane
+              done))
     in
-    t.barrier_cost <- float_of_int bar_ns /. float_of_int rounds;
+    let (), work_ns =
+      Rtrt_obs.Clock.time_ns (fun () ->
+          parallel ~profile:false t (fun _ ->
+              for _ = 1 to rounds do
+                work ()
+              done))
+    in
+    t.barrier_cost <-
+      Float.max 0.0 (float_of_int (loaded_ns - work_ns) /. float_of_int rounds);
     let dispatches = 64 in
     for _ = 1 to 8 do parallel ~profile:false t (fun _ -> ()) done;
     let (), disp_ns =

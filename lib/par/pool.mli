@@ -39,13 +39,16 @@ val shutdown : t -> unit
 
 (** {2 Synchronization-cost calibration}
 
-    Measured once per pool on first demand (all lanes executing empty
-    barriers / empty jobs, unprofiled), then cached; also exported as
-    the [pool.barrier_cost_ns] and [pool.dispatch_cost_ns] gauges.
-    Both are 0 for a pool of size 1. The executor's auto-fallback tier
-    decision feeds these into its makespan model. *)
+    Measured once per pool on first demand, then cached; also
+    exported as the [pool.barrier_cost_ns] and [pool.dispatch_cost_ns]
+    gauges. The barrier is measured {e loaded} — a fixed per-lane work
+    loop between barriers, with the barrier-free work time subtracted
+    — so it reflects the overhead a barrier adds to a step that
+    computes something, not an empty-barrier contention storm. Both
+    costs are 0 for a pool of size 1. The executor's auto-fallback
+    tier decision feeds these into its makespan model. *)
 
-(** Steady-state cost of one in-job {!barrier} crossing, ns. *)
+(** Steady-state cost of one in-job {!barrier} crossing under load, ns. *)
 val barrier_cost_ns : t -> float
 
 (** Cost of one empty {!parallel} round (dispatch + end barrier), ns. *)

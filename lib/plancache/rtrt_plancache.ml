@@ -1,4 +1,6 @@
-(* Umbrella module: [Rtrt_plancache.Cache], [Rtrt_plancache.Fingerprint]. *)
+(* Umbrella module: [Rtrt_plancache.Cache], [Rtrt_plancache.Fingerprint],
+   [Rtrt_plancache.Tuned]. *)
 
 module Fingerprint = Fingerprint
 module Cache = Cache
+module Tuned = Tuned

@@ -1,0 +1,193 @@
+(* Tests for the plan autotuner: candidate-space validity, plan
+   (de)serialization round trips, winner optimality against the
+   hand-named suite, the tuned-winner store (including the disk tier),
+   bit-identical replay of tuned winners through the plan cache, and
+   the degenerate one-candidate space. *)
+
+module A = Harness.Autotune
+module Tuned = Rtrt_plancache.Tuned
+module Cache = Rtrt_plancache.Cache
+open Compose
+
+let machine = Cachesim.Machine.pentium4
+
+let test_kernel () =
+  let d = Option.get (Datagen.Generators.by_name ~scale:512 "mol1") in
+  Kernels.Moldyn.of_dataset d
+
+(* A fresh empty directory under the system temp dir. *)
+let fresh_dir () =
+  let f = Filename.temp_file "rtrt_autotune" "" in
+  Sys.remove f;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Candidate space                                                     *)
+
+let test_candidates_validate () =
+  let space = Plan.candidates ~gpart_size:32 ~seed_part_size:24 in
+  Alcotest.(check bool)
+    "space is a real search space" true
+    (List.length space >= 20);
+  List.iter
+    (fun p ->
+      Alcotest.(check (result unit string))
+        (Plan.name p ^ " validates") (Ok ()) (Plan.validate p))
+    space;
+  let names = List.map Plan.name space in
+  Alcotest.(check int)
+    "candidate names are unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* The hand-named standard suite is a subset of the space, so the
+     winner can never lose to a named plan on the model. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Plan.name p ^ " from the suite is in the space")
+        true
+        (List.mem (Plan.name p) names))
+    (Plan.standard_suite ~gpart_size:32 ~seed_part_size:24)
+
+let test_plan_string_roundtrip () =
+  List.iter
+    (fun p ->
+      match A.plan_of_string (A.plan_to_string p) with
+      | Error e -> Alcotest.failf "%s does not round-trip: %s" (Plan.name p) e
+      | Ok p' ->
+        Alcotest.(check string) "name survives" (Plan.name p) (Plan.name p');
+        Alcotest.(check string)
+          "transforms survive"
+          (Fmt.str "%a" Plan.pp p)
+          (Fmt.str "%a" Plan.pp p'))
+    (Plan.candidates ~gpart_size:32 ~seed_part_size:24);
+  match A.plan_of_string "{not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+(* ------------------------------------------------------------------ *)
+(* Winner optimality                                                   *)
+
+let test_winner_beats_named () =
+  let kernel = test_kernel () in
+  let r = A.tune ~machine kernel in
+  Alcotest.(check (result unit string))
+    "winner validates" (Ok ())
+    (Plan.validate r.A.at_winner);
+  Alcotest.(check bool) "fresh search" false r.A.at_cached;
+  Alcotest.(check bool)
+    "winner score is the minimum of the table" true
+    (List.for_all (fun (_, s) -> r.A.at_winner_score_ns <= s) r.A.at_scores);
+  (* Every hand-named suite plan was scored, and none beats the
+     winner. *)
+  List.iter
+    (fun p ->
+      match List.assoc_opt (Plan.name p) r.A.at_scores with
+      | None -> Alcotest.failf "suite plan %s was not scored" (Plan.name p)
+      | Some s ->
+        Alcotest.(check bool)
+          (Fmt.str "winner <= %s" (Plan.name p))
+          true
+          (r.A.at_winner_score_ns <= s))
+    (Harness.Figures.suite_for ~machine kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Tuned store and bit-identical replay                                *)
+
+let test_tuned_store_roundtrip () =
+  let kernel = test_kernel () in
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let tuned = Tuned.create ~dir () in
+  let cold = A.tune ~cache ~tuned ~machine kernel in
+  Alcotest.(check bool) "first tune searches" false cold.A.at_cached;
+  let warm = A.tune ~cache ~tuned ~machine kernel in
+  Alcotest.(check bool) "second tune is served" true warm.A.at_cached;
+  Alcotest.(check string)
+    "same winner"
+    (Plan.name cold.A.at_winner)
+    (Plan.name warm.A.at_winner);
+  Alcotest.(check (float 0.0))
+    "same score" cold.A.at_winner_score_ns warm.A.at_winner_score_ns;
+  (* A fresh store over the same directory (a new process) still
+     serves the winner from the disk tier. *)
+  let reopened = A.tune ~cache ~tuned:(Tuned.create ~dir ()) ~machine kernel in
+  Alcotest.(check bool) "disk tier serves" true reopened.A.at_cached;
+  Alcotest.(check string)
+    "disk tier winner"
+    (Plan.name cold.A.at_winner)
+    (Plan.name reopened.A.at_winner);
+  (* The tuned winner replays bit-identically through the plan cache:
+     a cache-hit inspection drives the same executor output as a cold
+     one. *)
+  let winner = warm.A.at_winner in
+  let cold_r = Harness.Experiment.inspect winner kernel in
+  let warm_r = Harness.Experiment.inspect ~cache winner kernel in
+  let run (r : Inspector.result) =
+    let k = r.Inspector.kernel.Kernels.Kernel.copy () in
+    (match r.Inspector.schedule with
+    | None -> k.Kernels.Kernel.run ~steps:2
+    | Some sched -> k.Kernels.Kernel.run_tiled sched ~steps:2);
+    k.Kernels.Kernel.snapshot ()
+  in
+  Alcotest.(check bool)
+    "tuned winner replays bit-identically" true
+    (Kernels.Kernel.snapshots_equal_bits (run cold_r) (run warm_r))
+
+(* A tuned entry for a different machine must not be served. *)
+let test_tuned_store_machine_keyed () =
+  let kernel = test_kernel () in
+  let tuned = Tuned.create () in
+  let _ = A.tune ~tuned ~machine kernel in
+  let other = A.tune ~tuned ~machine:Cachesim.Machine.power3 kernel in
+  Alcotest.(check bool)
+    "other machine searches afresh" false other.A.at_cached
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate spaces                                                   *)
+
+let test_single_candidate () =
+  let kernel = test_kernel () in
+  let only = Plan.cpack_lexgroup in
+  let r = A.tune ~candidates:[ only ] ~machine kernel in
+  Alcotest.(check string)
+    "one-candidate space degenerates to it" (Plan.name only)
+    (Plan.name r.A.at_winner);
+  Alcotest.(check int) "one score" 1 (List.length r.A.at_scores)
+
+let test_bad_spaces_rejected () =
+  let kernel = test_kernel () in
+  (match A.tune ~candidates:[] ~machine kernel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty space must be rejected");
+  let invalid =
+    Plan.with_fst ~seed_part_size:8 (Plan.with_fst ~seed_part_size:8 Plan.base)
+  in
+  match A.tune ~candidates:[ invalid ] ~machine kernel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid candidate must be rejected"
+
+let () =
+  Alcotest.run "autotune"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "candidates validate" `Quick
+            test_candidates_validate;
+          Alcotest.test_case "plan string round trip" `Quick
+            test_plan_string_roundtrip;
+        ] );
+      ( "tune",
+        [
+          Alcotest.test_case "winner beats every named plan" `Slow
+            test_winner_beats_named;
+          Alcotest.test_case "tuned store round trip + replay" `Slow
+            test_tuned_store_roundtrip;
+          Alcotest.test_case "tuned store keyed by machine" `Slow
+            test_tuned_store_machine_keyed;
+          Alcotest.test_case "single-candidate space" `Quick
+            test_single_candidate;
+          Alcotest.test_case "bad spaces rejected" `Quick
+            test_bad_spaces_rejected;
+        ] );
+    ]

@@ -114,7 +114,7 @@ let test_executor_rows_smoke () =
   Alcotest.(check int) "six rows" 6 (List.length rows);
   List.iter
     (fun r ->
-      Alcotest.(check int) "eight plans" 8
+      Alcotest.(check int) "ten plans" 10
         (List.length r.Harness.Figures.per_plan);
       match r.Harness.Figures.per_plan with
       | ("base", 1.0, 1.0) :: _ -> ()

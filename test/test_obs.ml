@@ -474,7 +474,7 @@ let test_figure_json_parses () =
           Option.bind (Rtrt_obs.Json.member "plans" row) Rtrt_obs.Json.to_list_opt
         with
         | Some plans ->
-          Alcotest.(check int) "eight plans" 8 (List.length plans);
+          Alcotest.(check int) "ten plans" 10 (List.length plans);
           List.iter
             (fun p ->
               match

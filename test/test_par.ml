@@ -330,6 +330,121 @@ let test_tier_decision () =
         "modeled parallel step beats serial" true
         (dear.Rtrt_par.Exec.d_modeled_par_ns_per_step < 1e12))
 
+(* Mid-range tier decision: the Amdahl model divides the
+   parallelizable share by the lane count, so Parallel wins above a
+   FINITE pivot cost
+
+     pivot = (barriers x barrier_cost + dispatch / batch)
+             / (frac x (1 - 1/lanes))
+
+   computed here from the decision's own read-back overheads. A model
+   that forgets the division charges serial + overheads at every
+   serial cost and never picks Parallel at any finite pivot, so the
+   2 x pivot case passes only with the division in place. *)
+let test_tier_decision_midrange () =
+  let d = Option.get (Datagen.Generators.by_name ~scale:512 "mol1") in
+  let kernel = Kernels.Moldyn.of_dataset d in
+  let result =
+    Harness.Experiment.inspect
+      (Compose.Plan.with_fst ~seed_part_size:24
+         Compose.Plan.cpack_lexgroup_twice)
+      kernel
+  in
+  let sched = Option.get result.Compose.Inspector.schedule in
+  let k = result.Compose.Inspector.kernel in
+  let tiles =
+    Compose.Legality.tile_fns_of_schedule sched
+      ~loop_sizes:k.Kernels.Kernel.loop_sizes
+  in
+  let chain = k.Kernels.Kernel.chain_of_access k.Kernels.Kernel.access in
+  let par = Reorder.Tile_par.analyze ~chain ~tiles in
+  Rtrt_par.Pool.with_pool ~domains:2 (fun pool ->
+      let pe =
+        k.Kernels.Kernel.plan_par ~pool sched
+          ~level_of:par.Reorder.Tile_par.level_of
+      in
+      let batch = 4 in
+      let probe = pe.Kernels.Kernel.par_decide ~serial_ns_per_step:1.0 ~batch in
+      let frac = probe.Rtrt_par.Exec.d_par_frac in
+      let lanes = float_of_int probe.Rtrt_par.Exec.d_lanes in
+      Alcotest.(check bool)
+        "some iterations live in parallel levels" true
+        (frac > 0.0 && frac <= 1.0);
+      Alcotest.(check bool) "multi-lane pool" true (lanes >= 2.0);
+      let overhead =
+        (float_of_int probe.Rtrt_par.Exec.d_barriers_per_step
+        *. probe.Rtrt_par.Exec.d_barrier_cost_ns)
+        +. (probe.Rtrt_par.Exec.d_dispatch_cost_ns /. float_of_int batch)
+      in
+      let pivot = overhead /. (frac *. (1.0 -. (1.0 /. lanes))) in
+      Alcotest.(check bool)
+        "pivot is mid-range, not an extreme" true
+        (pivot > 1.0 && pivot < 1e12);
+      let above =
+        pe.Kernels.Kernel.par_decide ~serial_ns_per_step:(2.0 *. pivot) ~batch
+      in
+      Alcotest.(check string)
+        "2x pivot goes parallel" "parallel"
+        (Rtrt_par.Exec.tier_name above.Rtrt_par.Exec.d_tier);
+      (* The modeled step must be the Amdahl formula exactly. *)
+      let expect =
+        (2.0 *. pivot *. (1.0 -. frac))
+        +. (2.0 *. pivot *. frac /. lanes)
+        +. overhead
+      in
+      Alcotest.(check bool)
+        "modeled step matches the Amdahl formula" true
+        (Float.abs (above.Rtrt_par.Exec.d_modeled_par_ns_per_step -. expect)
+        <= 1e-6 *. expect);
+      (* An undivided model (serial + overheads) would reject this
+         point — and every other finite one. *)
+      Alcotest.(check bool)
+        "undivided model would stay serial here" true
+        ((2.0 *. pivot) +. overhead > 2.0 *. pivot);
+      let below =
+        pe.Kernels.Kernel.par_decide ~serial_ns_per_step:(0.5 *. pivot) ~batch
+      in
+      Alcotest.(check string)
+        "half pivot stays serial" "serial"
+        (Rtrt_par.Exec.tier_name below.Rtrt_par.Exec.d_tier))
+
+(* Property: on a multi-lane pool with parallel levels, the tier IS
+   the model — Parallel exactly when the modeled parallel step is no
+   slower than the serial step (ties go to Parallel). Serial costs
+   sweep 1 ns .. 1e12 ns on a log grid. *)
+let prop_tier_iff_modeled =
+  let setup =
+    lazy
+      (let d = Option.get (Datagen.Generators.by_name ~scale:512 "mol1") in
+       let kernel = Kernels.Moldyn.of_dataset d in
+       let result =
+         Harness.Experiment.inspect
+           (Compose.Plan.with_fst ~seed_part_size:24
+              Compose.Plan.cpack_lexgroup_twice)
+           kernel
+       in
+       let sched = Option.get result.Compose.Inspector.schedule in
+       let k = result.Compose.Inspector.kernel in
+       let tiles =
+         Compose.Legality.tile_fns_of_schedule sched
+           ~loop_sizes:k.Kernels.Kernel.loop_sizes
+       in
+       let chain = k.Kernels.Kernel.chain_of_access k.Kernels.Kernel.access in
+       let par = Reorder.Tile_par.analyze ~chain ~tiles in
+       (k, sched, par.Reorder.Tile_par.level_of))
+  in
+  QCheck.Test.make ~name:"tier = Parallel iff modeled <= serial (2+ lanes)"
+    ~count:12
+    QCheck.(pair (int_range 0 120) (int_range 1 8))
+    (fun (e, batch) ->
+      let k, sched, level_of = Lazy.force setup in
+      let serial = 10.0 ** (float_of_int e /. 10.0) in
+      Rtrt_par.Pool.with_pool ~domains:2 (fun pool ->
+          let pe = k.Kernels.Kernel.plan_par ~pool sched ~level_of in
+          let d = pe.Kernels.Kernel.par_decide ~serial_ns_per_step:serial ~batch in
+          (d.Rtrt_par.Exec.d_tier = Rtrt_par.Exec.Parallel)
+          = (d.Rtrt_par.Exec.d_modeled_par_ns_per_step <= serial)))
+
 (* ------------------------------------------------------------------ *)
 (* Barrier stress: the sense-reversing barrier under randomized
    per-lane arrival jitter. Each dispatch round r reads every lane's
@@ -887,7 +1002,10 @@ let () =
         :: Alcotest.test_case "serial tier bitwise" `Slow
              test_serial_tier_bitwise
         :: Alcotest.test_case "tier decision" `Slow test_tier_decision
-        :: qsuite [ prop_kernels_bitwise; prop_batch_bitwise ] );
+        :: Alcotest.test_case "tier decision mid-range pivot" `Slow
+             test_tier_decision_midrange
+        :: qsuite
+             [ prop_kernels_bitwise; prop_batch_bitwise; prop_tier_iff_modeled ] );
       ( "gauss-seidel",
         Alcotest.test_case "foil tiled par" `Slow test_gs_foil_tiled_par
         :: qsuite [ prop_gs_tiled_par_bitwise; prop_gs_wavefront_bitwise ] );
