@@ -8,6 +8,7 @@
      rtrt figure17            cache-size-target parameter sweep
      rtrt symbolic            Section 5 symbolic composition report
      rtrt codegen             Figures 10-15 generated pseudo-code
+                              (--plan also prints the Tier B executor)
      rtrt gs                  Gauss-Seidel sparse tiling (E-GS)
      rtrt guide               Section 7 runtime composition selection
      rtrt ablations           design-choice ablations A1-A9
@@ -51,6 +52,20 @@ let setup_trace cli_trace =
   Rtrt_obs.Config.init
     ~default:(if cli_trace then Rtrt_obs.Config.Pretty else Rtrt_obs.Config.Off)
     ()
+
+let specialize_arg =
+  let doc =
+    "Tier B executor specialization: compile each frozen schedule into a \
+     straight-line native executor (ocamlopt -shared + Dynlink) and run \
+     that instead of the interpreted walk. Equivalent to \
+     RTRT_SPECIALIZE=1. Falls back to the shape-specialized executor when \
+     no OCaml toolchain is available. Compiled modules are cached on disk \
+     and verified bitwise against the interpreted executor."
+  in
+  Arg.(value & flag & info [ "specialize" ] ~doc)
+
+let setup_specialize specialize =
+  if specialize then Compose.Specialize.set_enabled true
 
 let scale_arg =
   let doc =
@@ -496,21 +511,61 @@ let run_bench_diff old_path new_path tolerance ratios_only all =
     Fmt.epr "rtrt: bench-diff: %s@." msg;
     exit 2
 
-let run_codegen bench =
+let run_codegen bench ds plan_name scale =
   let program =
     match Compose.Symbolic.program_by_name bench with
     | Some p -> p
     | None -> Fmt.invalid_arg "unknown program %s" bench
   in
   let plan =
-    Compose.Plan.with_fst ~seed_part_size:64 Compose.Plan.cpack_lexgroup_twice
+    match plan_name with
+    | None ->
+      Compose.Plan.with_fst ~seed_part_size:64
+        Compose.Plan.cpack_lexgroup_twice
+    | Some which -> (
+      let _, kernel = kernel_of ~scale bench ds in
+      match
+        List.filter
+          (fun p -> Compose.Plan.name p = which)
+          (Harness.Autotune.candidates_for
+             ~machine:Cachesim.Machine.pentium4 kernel)
+      with
+      | p :: _ -> p
+      | [] -> Fmt.invalid_arg "unknown plan %s (try rtrt autotune)" which)
   in
   Fmt.pr
     "Figures 10-15: generated specialized inspectors and executor for %s,@.\
      plan %a@.@."
     bench Compose.Plan.pp plan;
   let st = Compose.Symbolic.apply (Compose.Symbolic.create program) plan in
-  print_string (Compose.Codegen.full_report st ~program)
+  print_string (Compose.Codegen.full_report st ~program);
+  (* With an explicit plan, additionally freeze the schedule on the
+     real dataset and print the Tier B executor module the specializer
+     would compile for it. *)
+  match plan_name with
+  | None -> ()
+  | Some _ -> (
+    let _, kernel = kernel_of ~scale bench ds in
+    let result = Harness.Experiment.inspect plan kernel in
+    match result.Compose.Inspector.schedule with
+    | None ->
+      Fmt.pr
+        "@.(plan does not sparse-tile: no frozen schedule, no Tier B \
+         executor)@."
+    | Some sched -> (
+      match
+        Compose.Specialize.dump_source result.Compose.Inspector.kernel sched
+      with
+      | None ->
+        Fmt.pr
+          "@.(Tier B emitter declined this schedule — source budget \
+           exceeded)@."
+      | Some src ->
+        Fmt.pr
+          "@.Tier B specialized executor (dataset %s, scale %d; what \
+           --specialize compiles and loads):@.@."
+          ds scale;
+        print_string src))
 
 let run_all ?cache_dir domains scale steps =
   run_datasets ?cache_dir domains scale steps;
@@ -529,10 +584,12 @@ let run_all ?cache_dir domains scale steps =
 let cmd_of ~name ~doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun trace cache_dir domains scale steps ->
+      const (fun trace specialize cache_dir domains scale steps ->
           setup_trace trace;
+          setup_specialize specialize;
           f ?cache_dir domains scale steps)
-      $ trace_arg $ plan_cache_arg $ domains_arg $ scale_arg $ steps_arg)
+      $ trace_arg $ specialize_arg $ plan_cache_arg $ domains_arg $ scale_arg
+      $ steps_arg)
 
 let datasets_cmd = cmd_of ~name:"datasets" ~doc:"Section 2.4 table" run_datasets
 
@@ -579,11 +636,14 @@ let raw_cmd =
   Cmd.v
     (Cmd.info "raw" ~doc:"Raw measurements for one kernel/dataset/machine")
     Term.(
-      const (fun trace cache_dir bench ds machine plan domains scale steps ->
+      const
+        (fun trace specialize cache_dir bench ds machine plan domains scale
+             steps ->
           setup_trace trace;
+          setup_specialize specialize;
           run_raw ?cache_dir bench ds machine plan domains scale steps)
-      $ trace_arg $ plan_cache_arg $ bench $ ds $ machine $ plan $ domains_arg
-      $ scale_arg $ steps_arg)
+      $ trace_arg $ specialize_arg $ plan_cache_arg $ bench $ ds $ machine
+      $ plan $ domains_arg $ scale_arg $ steps_arg)
 
 let autotune_cmd =
   let bench =
@@ -646,14 +706,26 @@ let codegen_cmd =
   let bench =
     Arg.(value & opt string "moldyn" & info [ "bench" ] ~docv:"KERNEL")
   in
+  let ds = Arg.(value & opt string "mol1" & info [ "dataset" ] ~docv:"DATA") in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Also print the Tier B specialized executor source for this \
+             plan's frozen schedule on the real dataset: a plan name from \
+             the candidate space (e.g. $(b,CLCL+FST)). This is the exact \
+             OCaml module $(b,--specialize) compiles and Dynlinks.")
+  in
   Cmd.v
     (Cmd.info "codegen"
        ~doc:"Generated specialized inspector/executor pseudo-code")
     Term.(
-      const (fun trace bench ->
+      const (fun trace bench ds plan scale ->
           setup_trace trace;
-          run_codegen bench)
-      $ trace_arg $ bench)
+          run_codegen bench ds plan scale)
+      $ trace_arg $ bench $ ds $ plan $ scale_arg)
 
 let symbolic_cmd =
   Cmd.v
@@ -723,10 +795,11 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Wall-clock hot-path benchmarks")
     Term.(
-      const (fun trace only out domains scale ->
+      const (fun trace specialize only out domains scale ->
           setup_trace trace;
+          setup_specialize specialize;
           run_bench only out domains scale)
-      $ trace_arg $ only $ out $ domains_arg $ scale_arg)
+      $ trace_arg $ specialize_arg $ only $ out $ domains_arg $ scale_arg)
 
 let bench_diff_cmd =
   let old_path =

@@ -209,3 +209,215 @@ let full_report (st : Symbolic.state) ~(program : Symbolic.program) =
   buf_add b "\n";
   buf_add b (executor st ~program);
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Tier B: real OCaml emission for a frozen schedule (ROADMAP item 2).
+
+   Everything above renders pseudo-code for inspection; this section
+   emits a compilable OCaml module specialized to one (kernel,
+   schedule) pair: row bounds constant-folded into literals, each
+   row's runs of consecutive iterations unrolled into [for lo to hi]
+   range loops, loop bodies inlined at every site, no schedule
+   indirection at all for run-shaped rows. The module depends only on
+   Stdlib and hands its executor to the host through
+   [Callback.register] (see Compose.Specialize for the compile /
+   Dynlink / cache pipeline and the array-order convention).
+
+   Emitted executor type:  int array array -> float array array ->
+   int -> unit, where the int arrays are the kernel's index arrays
+   with the schedule's [items] appended last, and the float arrays are
+   the kernel's data arrays in [Kernels.Kernel.exec_arrays] order. *)
+
+(* Float constants are emitted as hex literals so the compiled
+   executor computes with bit-for-bit the constants the interpreted
+   executor uses. *)
+let hex_float f = Printf.sprintf "(%h)" f
+
+(* Per-kernel emission tables: int-array names (items is appended by
+   the host), float-array names, chain length, and the loop body for
+   each chain class with [v] the iteration variable. Bodies mirror the
+   kernels' unsafe loop bodies statement for statement. *)
+let spec_tables :
+    (string * (string list * string list * int * (int -> string list))) list =
+  let dt = hex_float 0.0001 in
+  let relax = hex_float 0.001 in
+  let damping = hex_float 1.0 in
+  let one = hex_float 1.0 in
+  let two = hex_float 2.0 in
+  let g = Printf.sprintf in
+  let moldyn_body = function
+    | 0 ->
+      [
+        g "let i = v in";
+        g "Array.unsafe_set x i (Array.unsafe_get x i +. (%s *. (Array.unsafe_get vx i +. Array.unsafe_get fx i)));" dt;
+        g "Array.unsafe_set y i (Array.unsafe_get y i +. (%s *. (Array.unsafe_get vy i +. Array.unsafe_get fy i)));" dt;
+        g "Array.unsafe_set z i (Array.unsafe_get z i +. (%s *. (Array.unsafe_get vz i +. Array.unsafe_get fz i)));" dt;
+      ]
+    | 1 ->
+      [
+        g "let l = Array.unsafe_get left v and r = Array.unsafe_get right v in";
+        g "let dx = Array.unsafe_get x l -. Array.unsafe_get x r in";
+        g "let dy = Array.unsafe_get y l -. Array.unsafe_get y r in";
+        g "let dz = Array.unsafe_get z l -. Array.unsafe_get z r in";
+        g "let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. %s in" one;
+        g "let gg = %s /. r2 in" one;
+        g "Array.unsafe_set fx l (Array.unsafe_get fx l +. (gg *. dx));";
+        g "Array.unsafe_set fx r (Array.unsafe_get fx r -. (gg *. dx));";
+        g "Array.unsafe_set fy l (Array.unsafe_get fy l +. (gg *. dy));";
+        g "Array.unsafe_set fy r (Array.unsafe_get fy r -. (gg *. dy));";
+        g "Array.unsafe_set fz l (Array.unsafe_get fz l +. (gg *. dz));";
+        g "Array.unsafe_set fz r (Array.unsafe_get fz r -. (gg *. dz));";
+      ]
+    | _ ->
+      [
+        g "let k = v in";
+        g "Array.unsafe_set vx k (Array.unsafe_get vx k +. (%s *. Array.unsafe_get fx k));" dt;
+        g "Array.unsafe_set vy k (Array.unsafe_get vy k +. (%s *. Array.unsafe_get fy k));" dt;
+        g "Array.unsafe_set vz k (Array.unsafe_get vz k +. (%s *. Array.unsafe_get fz k));" dt;
+      ]
+  in
+  let nbf_body = function
+    | 0 ->
+      [
+        g "let i = v in";
+        g "Array.unsafe_set x i (Array.unsafe_get x i +. (%s *. Array.unsafe_get fx i));" dt;
+        g "Array.unsafe_set y i (Array.unsafe_get y i +. (%s *. Array.unsafe_get fy i));" dt;
+        g "Array.unsafe_set z i (Array.unsafe_get z i +. (%s *. Array.unsafe_get fz i));" dt;
+      ]
+    | _ ->
+      [
+        g "let l = Array.unsafe_get left v and r = Array.unsafe_get right v in";
+        g "let dx = Array.unsafe_get x l -. Array.unsafe_get x r in";
+        g "let dy = Array.unsafe_get y l -. Array.unsafe_get y r in";
+        g "let dz = Array.unsafe_get z l -. Array.unsafe_get z r in";
+        g "let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. %s in" one;
+        g "let ir2 = %s /. r2 in" one;
+        g "let ir6 = ir2 *. ir2 *. ir2 in";
+        g "let gg = ((%s *. ir6 *. ir6) -. ir6) *. ir2 in" two;
+        g "Array.unsafe_set fx l (Array.unsafe_get fx l +. (gg *. dx));";
+        g "Array.unsafe_set fx r (Array.unsafe_get fx r -. (gg *. dx));";
+        g "Array.unsafe_set fy l (Array.unsafe_get fy l +. (gg *. dy));";
+        g "Array.unsafe_set fy r (Array.unsafe_get fy r -. (gg *. dy));";
+        g "Array.unsafe_set fz l (Array.unsafe_get fz l +. (gg *. dz));";
+        g "Array.unsafe_set fz r (Array.unsafe_get fz r -. (gg *. dz));";
+      ]
+  in
+  let irreg_body = function
+    | 0 ->
+      [
+        g "let l = Array.unsafe_get left v and r = Array.unsafe_get right v in";
+        g "let d = Array.unsafe_get w v *. (Array.unsafe_get x l -. Array.unsafe_get x r) in";
+        g "Array.unsafe_set y l (Array.unsafe_get y l +. d);";
+        g "Array.unsafe_set y r (Array.unsafe_get y r -. d);";
+      ]
+    | _ ->
+      [
+        g "let k = v in";
+        g "Array.unsafe_set x k (Array.unsafe_get x k +. (%s *. Array.unsafe_get y k));" relax;
+      ]
+  in
+  let gs_body _ =
+    [
+      g "let acc = ref (Array.unsafe_get f v) in";
+      g "let alo = Array.unsafe_get ptr v and ahi = Array.unsafe_get ptr (v + 1) in";
+      g "for e = alo to ahi - 1 do acc := !acc +. Array.unsafe_get u (Array.unsafe_get adj e) done;";
+      g "Array.unsafe_set u v (!acc /. (float_of_int (ahi - alo) +. %s));" damping;
+    ]
+  in
+  [
+    ( "moldyn",
+      ( [ "left"; "right" ],
+        [ "x"; "y"; "z"; "vx"; "vy"; "vz"; "fx"; "fy"; "fz" ],
+        3,
+        moldyn_body ) );
+    ("nbf", ([ "left"; "right" ], [ "x"; "y"; "z"; "fx"; "fy"; "fz" ], 2, nbf_body));
+    ("irreg", ([ "left"; "right" ], [ "w"; "x"; "y" ], 2, irreg_body));
+    ("gs", ([ "ptr"; "adj" ], [ "u"; "f" ], 1, gs_body));
+  ]
+
+(* Rows whose run count is at most this are unrolled into literal
+   range loops; denser rows fall back to one items-driven loop with
+   constant-folded row bounds (still no row_ptr loads). *)
+let inline_runs_max = 8
+
+(* Big enough for a few thousand rows with the heavier kernel bodies
+   (a bench-scale moldyn schedule emits ~600 B/row); schedules past
+   this fall back to Tier A rather than paying a multi-minute
+   compile. *)
+let default_max_source_bytes = 1 lsl 21 (* 2 MiB *)
+
+let specialized_source ?(max_bytes = default_max_source_bytes) ~kernel ~key
+    (sched : Reorder.Schedule.t) (shape : Reorder.Shape.t) =
+  match List.assoc_opt kernel spec_tables with
+  | None -> None
+  | Some _ when not (Reorder.Shape.for_schedule shape sched) -> None
+  | Some (int_names, float_names, chain, body) ->
+    let b = Buffer.create 16384 in
+    let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    add
+      "(* Specialized executor for kernel %s, schedule key %s.\n\
+      \   Emitted by Compose.Codegen.specialized_source; do not edit. *)\n"
+      kernel key;
+    add "let exec (ia : int array array) (fa : float array array) (steps : int) =\n";
+    List.iteri
+      (fun i n -> add "  let %s = Array.unsafe_get ia %d in\n" n i)
+      int_names;
+    add "  let items = Array.unsafe_get ia %d in\n" (List.length int_names);
+    add "  ignore (items : int array);\n";
+    List.iteri
+      (fun i n -> add "  let %s = Array.unsafe_get fa %d in\n" n i)
+      float_names;
+    add "  for _s = 1 to steps do\n";
+    let row_ptr = Reorder.Schedule.row_ptr sched in
+    let n_tiles = Reorder.Schedule.n_tiles sched in
+    let n_loops = Reorder.Schedule.n_loops sched in
+    let rq = Reorder.Shape.run_ptr shape in
+    let rlo = Reorder.Shape.run_lo shape in
+    let rln = Reorder.Shape.run_len shape in
+    let over_budget = ref false in
+    (try
+       for t = 0 to n_tiles - 1 do
+         for c = 0 to n_loops - 1 do
+           let r = (t * n_loops) + c in
+           let body_lines = body (c mod chain) in
+           let emit_body indent =
+             List.iter (fun l -> add "%s  %s\n" indent l) body_lines
+           in
+           let klo = rq.(r) and khi = rq.(r + 1) in
+           if khi > klo then begin
+             if khi - klo <= inline_runs_max then
+               for k = klo to khi - 1 do
+                 let lo = rlo.(k) in
+                 let hi = lo + rln.(k) - 1 in
+                 if lo = hi then begin
+                   add "    (let v = %d in\n" lo;
+                   emit_body "    ";
+                   add "    );\n"
+                 end
+                 else begin
+                   add "    for v = %d to %d do\n" lo hi;
+                   emit_body "    ";
+                   add "    done;\n"
+                 end
+               done
+             else begin
+               add "    for idx = %d to %d do\n" row_ptr.(r) (row_ptr.(r + 1) - 1);
+               add "      let v = Array.unsafe_get items idx in\n";
+               emit_body "    ";
+               add "    done;\n"
+             end;
+             if Buffer.length b > max_bytes then begin
+               over_budget := true;
+               raise Exit
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    if !over_budget then None
+    else begin
+      add "    ()\n";
+      add "  done\n";
+      add "\nlet () = Callback.register %S exec\n" ("rtrt.spec." ^ key);
+      Some (Buffer.contents b)
+    end

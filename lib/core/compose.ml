@@ -17,5 +17,6 @@ module Symbolic = Symbolic
 module Inspector = Inspector
 module Legality = Legality
 module Codegen = Codegen
+module Specialize = Specialize
 module Depcheck = Depcheck
 module Timetile = Timetile

@@ -1,0 +1,472 @@
+(* Staged executor specialization over a frozen schedule (ROADMAP
+   item 2). Two tiers above the interpreted flat-CSR walk:
+
+   - Tier A (Shaped, always on when profitable): the plan-time
+     {!Reorder.Shape} analysis builds a run-length index once per
+     schedule and the kernels' [run_tiled_shaped] executors stream it
+     as [for lo to hi] ranges instead of loading iteration ids.
+
+   - Tier B (Codegen, opt-in via [--specialize] / RTRT_SPECIALIZE):
+     {!Codegen.specialized_source} emits a straight-line OCaml module
+     for the exact (kernel, schedule) pair, compiled out-of-process
+     with ocamlopt -shared and loaded with [Dynlink]. Compiled [.cmxs]
+     files are cached on disk keyed by a fingerprint over the schedule
+     content and the compiler identity, plus an in-process memo, so a
+     plan-cache hit never recompiles.
+
+   The dynlinked module references only [Stdlib] and publishes its
+   executor through [Callback.register "rtrt.spec.<key>"]; the host
+   reads the same registry back through a C stub around
+   [caml_named_value] (see specialize_stubs.c). The executor takes the
+   kernel's arrays as arguments — int arrays first (index arrays in
+   [Kernels.Kernel.exec_arrays] order, then the schedule's flat items),
+   float arrays second — so one compiled module can drive any state
+   copy of the kernel, which is how the bitwise verification below
+   runs it against the interpreted walk without disturbing the real
+   state.
+
+   Both tiers are bitwise identical to [run_tiled]; [make] asserts
+   this on two-step copies by default, the same way rtrt_par asserts
+   parallel-vs-serial equivalence. Every downgrade (no toolchain,
+   compile failure, source-budget overflow, unprofitable shape) is
+   graceful and counted in [specialize.fallbacks]. *)
+
+type tier = Interp | Shaped | Codegen
+
+let tier_name = function
+  | Interp -> "interp"
+  | Shaped -> "shaped"
+  | Codegen -> "codegen"
+
+let tier_level = function Interp -> 0. | Shaped -> 1. | Codegen -> 2.
+
+type t = {
+  tier : tier;
+  shape : Reorder.Shape.t;
+  summary : Reorder.Shape.summary;
+  run : steps:int -> unit;
+  compile_seconds : float;
+      (** Tier B out-of-process compile time; 0 on a cache hit or for
+          the other tiers. *)
+  cmxs_cache_hit : bool;
+  key : string;  (** 16-hex-digit schedule fingerprint. *)
+}
+
+(* -------------------------------------------------------------- *)
+(* Observability *)
+
+let g_tier = Rtrt_obs.Metrics.gauge "specialize.tier"
+let g_runs = Rtrt_obs.Metrics.gauge "specialize.runs_detected"
+let g_compile_ns = Rtrt_obs.Metrics.gauge "specialize.compile_ns"
+let c_compiles = Rtrt_obs.Metrics.counter "specialize.compiles"
+let c_cmxs_hits = Rtrt_obs.Metrics.counter "specialize.cmxs_cache_hits"
+let c_memo_hits = Rtrt_obs.Metrics.counter "specialize.memo_hits"
+let c_fallbacks = Rtrt_obs.Metrics.counter "specialize.fallbacks"
+
+(* -------------------------------------------------------------- *)
+(* Enabling Tier B *)
+
+let override = ref None
+let set_enabled b = override := Some b
+
+let enabled () =
+  match !override with
+  | Some b -> b
+  | None -> Rtrt_obs.Config.env_bool ~name:"RTRT_SPECIALIZE" ~default:false ()
+
+(* -------------------------------------------------------------- *)
+(* Compiled-executor plumbing *)
+
+type exec = int array array -> float array array -> int -> unit
+
+external get_named : string -> Obj.t option = "rtrt_specialize_get_named"
+
+(* Keep the Callback registry linked into the host so plugin-side
+   [Callback.register] and the stub's [caml_named_value] meet in the
+   same table. *)
+let () = Callback.register "rtrt.spec.host" (fun () -> ())
+
+let fetch_exec key : exec option =
+  match get_named ("rtrt.spec." ^ key) with
+  | Some o -> Some (Obj.obj o : exec)
+  | None -> None
+
+(* Compiler discovery: RTRT_SPECIALIZE_OCAMLOPT overrides (probed, so
+   pointing it at a nonexistent binary simulates a toolchain-free
+   host); otherwise the first of ocamlfind ocamlopt / ocamlopt.opt /
+   ocamlopt that answers [-version]. *)
+let probe cmd = Sys.command (cmd ^ " -version >/dev/null 2>&1") = 0
+
+let find_compiler () =
+  match Sys.getenv_opt "RTRT_SPECIALIZE_OCAMLOPT" with
+  | Some cmd when String.trim cmd <> "" ->
+    let cmd = String.trim cmd in
+    if probe cmd then Some cmd else None
+  | _ -> List.find_opt probe [ "ocamlfind ocamlopt"; "ocamlopt.opt"; "ocamlopt" ]
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Compiled modules live next to the plan cache when one is configured
+   (same locality story: the fingerprint names both), else under the
+   system temp dir. *)
+let cache_dir () =
+  match Rtrt_obs.Config.env_dir ~name:"RTRT_PLAN_CACHE_DIR" () with
+  | Some d -> Filename.concat d "spec"
+  | None -> Filename.concat (Filename.get_temp_dir_name ()) "rtrt-spec"
+
+(* Bumped whenever the emitted code changes meaning, so stale cached
+   .cmxs never survive an emitter upgrade. *)
+let emitter_version = 1
+
+let schedule_key ~kernel ~n_nodes ~n_inter (sched : Reorder.Schedule.t) =
+  let b = Rtrt_plancache.Fingerprint.create () in
+  Rtrt_plancache.Fingerprint.add_string b kernel;
+  Rtrt_plancache.Fingerprint.add_int b n_nodes;
+  Rtrt_plancache.Fingerprint.add_int b n_inter;
+  Rtrt_plancache.Fingerprint.add_int b (Reorder.Schedule.n_loops sched);
+  Rtrt_plancache.Fingerprint.add_int_array b (Reorder.Schedule.row_ptr sched);
+  Rtrt_plancache.Fingerprint.add_int_array b (Reorder.Schedule.flat_items sched);
+  Rtrt_plancache.Fingerprint.add_string b Sys.ocaml_version;
+  Rtrt_plancache.Fingerprint.add_int b Sys.word_size;
+  Rtrt_plancache.Fingerprint.add_string b Sys.os_type;
+  Rtrt_plancache.Fingerprint.add_int b emitter_version;
+  Rtrt_plancache.Fingerprint.to_hex (Rtrt_plancache.Fingerprint.value b)
+
+let memo : (string, exec) Hashtbl.t = Hashtbl.create 16
+let memo_mutex = Mutex.create ()
+let with_memo f = Mutex.protect memo_mutex f
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let load_cmxs cmxs key =
+  try
+    Dynlink.loadfile_private cmxs;
+    fetch_exec key
+  with Dynlink.Error _ | Sys_error _ -> None
+
+(* Compile [source] (or reuse the cached .cmxs) and return the
+   executor with its compile time and whether the disk cache hit. *)
+let compile_and_load ~kernel ~key source : (exec * float * bool) option =
+  match with_memo (fun () -> Hashtbl.find_opt memo key) with
+  | Some f ->
+    Rtrt_obs.Metrics.incr c_memo_hits;
+    Some (f, 0., true)
+  | None -> (
+    let dir = cache_dir () in
+    mkdir_p dir;
+    let stem = Filename.concat dir (Printf.sprintf "spec_%s_%s" kernel key) in
+    let ml = stem ^ ".ml" and cmxs = stem ^ ".cmxs" in
+    let from_disk =
+      if Sys.file_exists cmxs then
+        match load_cmxs cmxs key with
+        | Some f ->
+          Rtrt_obs.Metrics.incr c_cmxs_hits;
+          Some (f, 0., true)
+        | None -> None
+      else None
+    in
+    match from_disk with
+    | Some (f, _, _) as r ->
+      with_memo (fun () -> Hashtbl.replace memo key f);
+      r
+    | None -> (
+      match find_compiler () with
+      | None -> None
+      | Some cc -> (
+        write_file ml source;
+        (* Compile to a temp name and rename so concurrent processes
+           only ever see complete .cmxs files. *)
+        let tmp = stem ^ ".tmp.cmxs" and log = stem ^ ".log" in
+        let cmd =
+          Printf.sprintf "%s -shared -w -a -o %s %s >%s 2>&1" cc
+            (Filename.quote tmp) (Filename.quote ml) (Filename.quote log)
+        in
+        let rc, secs = Rtrt_obs.Clock.time (fun () -> Sys.command cmd) in
+        if rc <> 0 then None
+        else begin
+          (try Sys.rename tmp cmxs with Sys_error _ -> ());
+          Rtrt_obs.Metrics.incr c_compiles;
+          Rtrt_obs.Metrics.set g_compile_ns (secs *. 1e9);
+          match load_cmxs cmxs key with
+          | None -> None
+          | Some f ->
+            with_memo (fun () -> Hashtbl.replace memo key f);
+            Some (f, secs, false)
+        end)))
+
+(* -------------------------------------------------------------- *)
+(* Host-side validation: the emitted bodies use unsafe accesses, so
+   before ever running compiled code we prove every index in bounds —
+   [check_fits] covers the iteration ids ([of_tile_fns] builds each
+   loop's items as a permutation, so total = size implies id < size),
+   and a one-time endpoint scan covers the kernel's own index
+   arrays. *)
+
+let endpoints_in_range ~n (arrs : int array array) =
+  let ok = ref true in
+  Array.iter
+    (fun arr ->
+      for i = 0 to Array.length arr - 1 do
+        let v = Array.unsafe_get arr i in
+        if v < 0 || v >= n then ok := false
+      done)
+    arrs;
+  !ok
+
+let bits_equal (a : float array) (b : float array) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i) then ok := false
+  done;
+  !ok
+
+(* -------------------------------------------------------------- *)
+(* Kernel.t kernels (moldyn / nbf / irreg) *)
+
+let exec_args (kernel : Kernels.Kernel.t) sched =
+  let ia, fa = kernel.Kernels.Kernel.exec_arrays () in
+  (Array.append ia [| Reorder.Schedule.flat_items sched |], fa)
+
+let finish ~verify_run result =
+  (match result.tier with
+  | Interp -> ()
+  | Shaped | Codegen -> verify_run result);
+  Rtrt_obs.Metrics.set g_tier (tier_level result.tier);
+  Rtrt_obs.Metrics.set g_runs (float_of_int result.summary.Reorder.Shape.runs);
+  result
+
+(* Verification steps: enough to cover every chain class and catch
+   order-of-visit divergence, cheap enough to run by default. *)
+let verify_steps = 2
+
+let make ?tier_b ?(verify = true) (kernel : Kernels.Kernel.t)
+    (sched : Reorder.Schedule.t) =
+  let shape = Reorder.Shape.analyze sched in
+  let summary = Reorder.Shape.summary shape in
+  let key =
+    schedule_key ~kernel:kernel.Kernels.Kernel.name
+      ~n_nodes:kernel.Kernels.Kernel.n_nodes
+      ~n_inter:kernel.Kernels.Kernel.n_inter sched
+  in
+  let want_b = match tier_b with Some b -> b | None -> enabled () in
+  let base tier run =
+    {
+      tier;
+      shape;
+      summary;
+      run;
+      compile_seconds = 0.;
+      cmxs_cache_hit = false;
+      key;
+    }
+  in
+  let shaped () =
+    if Reorder.Shape.profitable summary then
+      base Shaped (fun ~steps ->
+          kernel.Kernels.Kernel.run_tiled_shaped sched shape ~steps)
+    else base Interp (fun ~steps -> kernel.Kernels.Kernel.run_tiled sched ~steps)
+  in
+  let codegen () =
+    if
+      not
+        (Reorder.Schedule.check_fits sched
+           ~loop_sizes:kernel.Kernels.Kernel.loop_sizes)
+    then None
+    else
+      let ia, _ = kernel.Kernels.Kernel.exec_arrays () in
+      if not (endpoints_in_range ~n:kernel.Kernels.Kernel.n_nodes ia) then None
+      else
+        match
+          Codegen.specialized_source ~kernel:kernel.Kernels.Kernel.name ~key
+            sched shape
+        with
+        | None -> None
+        | Some source -> (
+          match compile_and_load ~kernel:kernel.Kernels.Kernel.name ~key source with
+          | None -> None
+          | Some (exec, compile_seconds, cmxs_cache_hit) ->
+            Some
+              {
+                tier = Codegen;
+                shape;
+                summary;
+                run =
+                  (fun ~steps ->
+                    let ia, fa = exec_args kernel sched in
+                    exec ia fa steps);
+                compile_seconds;
+                cmxs_cache_hit;
+                key;
+              })
+  in
+  let result =
+    if not want_b then shaped ()
+    else
+      match codegen () with
+      | Some r -> r
+      | None ->
+        Rtrt_obs.Metrics.incr c_fallbacks;
+        shaped ()
+  in
+  let verify_run r =
+    if verify then begin
+      let reference = kernel.Kernels.Kernel.copy () in
+      let candidate = kernel.Kernels.Kernel.copy () in
+      reference.Kernels.Kernel.run_tiled sched ~steps:verify_steps;
+      (match r.tier with
+      | Interp -> ()
+      | Shaped ->
+        candidate.Kernels.Kernel.run_tiled_shaped sched shape
+          ~steps:verify_steps
+      | Codegen -> (
+        match
+          compile_and_load ~kernel:kernel.Kernels.Kernel.name ~key
+            "(* cached *)"
+        with
+        | Some (exec, _, _) ->
+          let ia, fa = exec_args candidate sched in
+          exec ia fa verify_steps
+        | None -> failwith "Specialize: compiled executor vanished"));
+      if
+        not
+          (Kernels.Kernel.snapshots_equal_bits
+             (reference.Kernels.Kernel.snapshot ())
+             (candidate.Kernels.Kernel.snapshot ()))
+      then
+        failwith
+          (Printf.sprintf
+             "Specialize: %s tier diverged bitwise from run_tiled (%s/%s)"
+             (tier_name r.tier) kernel.Kernels.Kernel.name r.key)
+    end
+  in
+  finish ~verify_run result
+
+(* -------------------------------------------------------------- *)
+(* Gauss-Seidel (separate state type; a schedule walk is the tiling's
+   [sweeps] sweeps, so [run ~steps] executes [steps] whole schedule
+   walks). *)
+
+let make_gs ?tier_b ?(verify = true) (t : Kernels.Gauss_seidel.t)
+    (sched : Reorder.Schedule.t) =
+  let shape = Reorder.Shape.analyze sched in
+  let summary = Reorder.Shape.summary shape in
+  let n = Irgraph.Csr.num_nodes t.Kernels.Gauss_seidel.graph in
+  let key =
+    schedule_key ~kernel:"gs" ~n_nodes:n
+      ~n_inter:(Irgraph.Csr.num_arcs t.Kernels.Gauss_seidel.graph)
+      sched
+  in
+  let want_b = match tier_b with Some b -> b | None -> enabled () in
+  let base tier run =
+    {
+      tier;
+      shape;
+      summary;
+      run;
+      compile_seconds = 0.;
+      cmxs_cache_hit = false;
+      key;
+    }
+  in
+  let interp_walk st steps =
+    for _s = 1 to steps do
+      Kernels.Gauss_seidel.run_sched st sched
+    done
+  in
+  let shaped_walk st steps =
+    for _s = 1 to steps do
+      Kernels.Gauss_seidel.run_sched_shaped st sched shape
+    done
+  in
+  let shaped () =
+    if Reorder.Shape.profitable summary then
+      base Shaped (fun ~steps -> shaped_walk t steps)
+    else base Interp (fun ~steps -> interp_walk t steps)
+  in
+  let gs_args st =
+    let ptr, adj = Kernels.Gauss_seidel.csr_arrays st.Kernels.Gauss_seidel.graph in
+    ( [| ptr; adj; Reorder.Schedule.flat_items sched |],
+      [| st.Kernels.Gauss_seidel.u; st.Kernels.Gauss_seidel.f |] )
+  in
+  let codegen () =
+    if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| n |]) then None
+    else
+      match Codegen.specialized_source ~kernel:"gs" ~key sched shape with
+      | None -> None
+      | Some source -> (
+        match compile_and_load ~kernel:"gs" ~key source with
+        | None -> None
+        | Some (exec, compile_seconds, cmxs_cache_hit) ->
+          let ia, fa = gs_args t in
+          Some
+            {
+              tier = Codegen;
+              shape;
+              summary;
+              run = (fun ~steps -> exec ia fa steps);
+              compile_seconds;
+              cmxs_cache_hit;
+              key;
+            })
+  in
+  let result =
+    if not want_b then shaped ()
+    else
+      match codegen () with
+      | Some r -> r
+      | None ->
+        Rtrt_obs.Metrics.incr c_fallbacks;
+        shaped ()
+  in
+  let verify_run r =
+    if verify then begin
+      let reference = Kernels.Gauss_seidel.copy t in
+      let candidate = Kernels.Gauss_seidel.copy t in
+      interp_walk reference verify_steps;
+      (match r.tier with
+      | Interp -> ()
+      | Shaped -> shaped_walk candidate verify_steps
+      | Codegen -> (
+        match compile_and_load ~kernel:"gs" ~key "(* cached *)" with
+        | Some (exec, _, _) ->
+          let ia, fa = gs_args candidate in
+          exec ia fa verify_steps
+        | None -> failwith "Specialize: compiled executor vanished"));
+      if
+        not
+          (bits_equal reference.Kernels.Gauss_seidel.u
+             candidate.Kernels.Gauss_seidel.u
+          && bits_equal reference.Kernels.Gauss_seidel.f
+               candidate.Kernels.Gauss_seidel.f)
+      then
+        failwith
+          (Printf.sprintf
+             "Specialize: %s tier diverged bitwise from run_sched (gs/%s)"
+             (tier_name r.tier) r.key)
+    end
+  in
+  finish ~verify_run result
+
+(* -------------------------------------------------------------- *)
+(* Source dump for [rtrt codegen --plan]: the exact Tier B module that
+   would be compiled, independent of whether a toolchain exists. *)
+
+let dump_source (kernel : Kernels.Kernel.t) (sched : Reorder.Schedule.t) =
+  let shape = Reorder.Shape.analyze sched in
+  let key =
+    schedule_key ~kernel:kernel.Kernels.Kernel.name
+      ~n_nodes:kernel.Kernels.Kernel.n_nodes
+      ~n_inter:kernel.Kernels.Kernel.n_inter sched
+  in
+  Codegen.specialized_source ~kernel:kernel.Kernels.Kernel.name ~key sched
+    shape

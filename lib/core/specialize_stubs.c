@@ -1,0 +1,23 @@
+/* Look up a value registered by a dynlinked plugin via
+ * Callback.register. The Callback module's OCaml-side table is not
+ * exposed for reading, but caml_named_value reaches the same registry
+ * from C; this stub wraps it as [string -> Obj.t option] so the host
+ * can retrieve the executor a specialized module registered under
+ * "rtrt.spec.<key>". */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/callback.h>
+
+CAMLprim value rtrt_specialize_get_named(value name)
+{
+  CAMLparam1(name);
+  CAMLlocal1(some);
+  const value *registered = caml_named_value(String_val(name));
+  if (registered == NULL)
+    CAMLreturn(Val_int(0)); /* None */
+  some = caml_alloc_small(1, 0);
+  Field(some, 0) = *registered;
+  CAMLreturn(some);
+}

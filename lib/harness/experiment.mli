@@ -83,8 +83,12 @@ val trace_steps :
   steps:int ->
   float * float * float * float
 
-(** Wall-clock seconds per step of the inspected kernel's executor
-    (tiled when the result has a schedule). *)
+(** Wall-clock seconds per step of the inspected kernel's executor.
+    With a schedule, execution dispatches through
+    {!Compose.Specialize}: shape-specialized (Tier A) when profitable,
+    compiled (Tier B) when [--specialize]/[RTRT_SPECIALIZE] is on,
+    interpreted otherwise — the tier is chosen and bitwise-verified
+    outside the timed region. *)
 val wall_clock_steps : Compose.Inspector.result -> steps:int -> float
 
 (** Measure one plan: [warmup] steps warm the modeled cache,

@@ -8,6 +8,11 @@
      executor, seconds per time step (the tiled executor must stay
      within a small factor of plain at default scale — its payoff is
      locality, not raw dispatch);
+   - specialized executors: the interpreted [run_tiled] walk against
+     the Tier A shape-specialized executor and the Tier B compiled
+     executor ([Compose.Specialize]) on the same frozen schedule, per
+     kernel, on a contiguous-run-rich plan (tilePack on) plus a
+     run-poor comparison, nominal schedule GB/s for each;
    - inspector phase breakdown: the composed inspector re-run under an
      in-memory trace sink, per-span-name totals via [Rtrt_obs.Report].
 
@@ -17,6 +22,8 @@
 let g_flat_gbps = Rtrt_obs.Metrics.gauge "hotpath.walk.flat_gbps"
 let g_walk_speedup = Rtrt_obs.Metrics.gauge "hotpath.walk.speedup"
 let g_exec_ratio = Rtrt_obs.Metrics.gauge "hotpath.exec.tiled_over_plain"
+let g_spec_shaped = Rtrt_obs.Metrics.gauge "hotpath.spec.shaped_speedup"
+let g_spec_codegen = Rtrt_obs.Metrics.gauge "hotpath.spec.codegen_speedup"
 
 type walk_result = {
   walk_items : int;  (** schedule items per pass *)
@@ -35,6 +42,25 @@ type exec_result = {
   tiled_over_plain : float;
 }
 
+type spec_row = {
+  spec_kernel : string;
+  spec_plan : string;
+  spec_tier : string;  (** best tier reached: interp / shaped / codegen *)
+  spec_items : int;  (** schedule iterations per step *)
+  spec_steps : int;  (** steps per timed round *)
+  spec_runs : int;  (** contiguous runs in the schedule *)
+  spec_identity_rows : int;
+  spec_avg_run_len : float;
+  spec_interp_gbps : float;
+  spec_shaped_gbps : float;
+  spec_shaped_speedup : float;  (** interp_seconds / shaped_seconds *)
+  spec_codegen_gbps : float option;  (** [None] when Tier B unavailable *)
+  spec_codegen_speedup : float option;
+  spec_compile_seconds : float;
+  spec_cmxs_cache_hit : bool;
+  spec_bitwise : bool;  (** final states of all tiers bitwise equal *)
+}
+
 type phase = {
   phase_name : string;
   phase_count : int;
@@ -47,6 +73,7 @@ type report = {
   rep_plan : string;
   walk : walk_result;
   exec : exec_result;
+  spec : spec_row list;
   phases : phase list;
   rep_profile : Rtrt_obs.Profile.phase list;
 }
@@ -188,6 +215,100 @@ let bench_exec ?(steps = 3) (kernel : Kernels.Kernel.t)
     r
 
 (* ------------------------------------------------------------------ *)
+(* Specialized executors                                               *)
+
+let bench_spec ?(min_seconds = 0.25) ?(rounds = 5) ~plan_name
+    (result : Compose.Inspector.result) =
+  match result.Compose.Inspector.schedule with
+  | None -> invalid_arg "Hotpath.bench_spec: plan produced no schedule"
+  | Some sched ->
+    let k = result.Compose.Inspector.kernel in
+    let items = Reorder.Schedule.total_iterations sched in
+    (* Calibrate the step count off the interpreted walk's warmup step
+       so one timing round lasts roughly [min_seconds / rounds] — the
+       per-step times here are far too short to gate on raw. Each
+       variant runs on its own copy of the transformed kernel; the
+       rounds are interleaved across the tiers (interp round, shaped
+       round, codegen round, repeat) so ambient machine drift lands on
+       every tier equally and the best-of-rounds ratios stay stable.
+       Every variant executes the same 1 + rounds*steps walks, so the
+       final states must be bitwise equal — asserted below. *)
+    let interp_k = Kernels.Kernel.(k.copy ()) in
+    let one =
+      time (fun () -> interp_k.Kernels.Kernel.run_tiled sched ~steps:1)
+    in
+    let steps =
+      max 3
+        (int_of_float
+           (min_seconds /. float_of_int rounds /. max 1e-9 one))
+    in
+    let shaped_k = Kernels.Kernel.(k.copy ()) in
+    let shape = Reorder.Shape.analyze sched in
+    (* Tier B on its own copy; construction verifies bitwise on
+       throwaway copies and degrades to a counted fallback when the
+       toolchain is missing. *)
+    let cg_k = Kernels.Kernel.(k.copy ()) in
+    let cg = Compose.Specialize.make ~tier_b:true cg_k sched in
+    let have_cg = cg.Compose.Specialize.tier = Compose.Specialize.Codegen in
+    (* Warmups (the calibration step already warmed interp_k). *)
+    shaped_k.Kernels.Kernel.run_tiled_shaped sched shape ~steps:1;
+    if have_cg then cg.Compose.Specialize.run ~steps:1;
+    let interp_best = ref infinity
+    and shaped_best = ref infinity
+    and cg_best = ref infinity in
+    for _ = 1 to rounds do
+      let keep cell t = if t < !cell then cell := t in
+      keep interp_best
+        (time (fun () -> interp_k.Kernels.Kernel.run_tiled sched ~steps));
+      keep shaped_best
+        (time (fun () ->
+             shaped_k.Kernels.Kernel.run_tiled_shaped sched shape ~steps));
+      if have_cg then
+        keep cg_best (time (fun () -> cg.Compose.Specialize.run ~steps))
+    done;
+    let interp_seconds = !interp_best in
+    let shaped_seconds = !shaped_best in
+    let codegen_seconds = if have_cg then Some !cg_best else None in
+    let eq a b =
+      Kernels.Kernel.snapshots_equal_bits
+        (a.Kernels.Kernel.snapshot ())
+        (b.Kernels.Kernel.snapshot ())
+    in
+    let bitwise =
+      eq interp_k shaped_k
+      && (codegen_seconds = None || eq interp_k cg_k)
+    in
+    if not bitwise then failwith "Hotpath.bench_spec: tiers diverged";
+    let sm = cg.Compose.Specialize.summary in
+    let gbps sec =
+      float_of_int (8 * items * steps) /. max 1e-12 sec /. 1e9
+    in
+    let shaped_speedup = interp_seconds /. max 1e-12 shaped_seconds in
+    let codegen_speedup =
+      Option.map (fun s -> interp_seconds /. max 1e-12 s) codegen_seconds
+    in
+    Rtrt_obs.Metrics.set g_spec_shaped shaped_speedup;
+    Option.iter (Rtrt_obs.Metrics.set g_spec_codegen) codegen_speedup;
+    {
+      spec_kernel = k.Kernels.Kernel.name;
+      spec_plan = plan_name;
+      spec_tier = Compose.Specialize.tier_name cg.Compose.Specialize.tier;
+      spec_items = items;
+      spec_steps = steps;
+      spec_runs = sm.Reorder.Shape.runs;
+      spec_identity_rows = sm.Reorder.Shape.identity_rows;
+      spec_avg_run_len = sm.Reorder.Shape.avg_run_len;
+      spec_interp_gbps = gbps interp_seconds;
+      spec_shaped_gbps = gbps shaped_seconds;
+      spec_shaped_speedup = shaped_speedup;
+      spec_codegen_gbps = Option.map gbps codegen_seconds;
+      spec_codegen_speedup = codegen_speedup;
+      spec_compile_seconds = cg.Compose.Specialize.compile_seconds;
+      spec_cmxs_cache_hit = cg.Compose.Specialize.cmxs_cache_hit;
+      spec_bitwise = bitwise;
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Inspector phase breakdown                                           *)
 
 let inspector_phases plan kernel =
@@ -226,6 +347,33 @@ let measure ~scale () =
   let exec, ph_exec =
     Rtrt_obs.Profile.record ~name:"exec" (fun () -> bench_exec kernel result)
   in
+  let spec, ph_spec =
+    Rtrt_obs.Profile.record ~name:"specialize" (fun () ->
+        (* Run-rich rows: the top-level plan tilePacks, so its rows are
+           long contiguous runs — the shape the Tier A streaming
+           executors exploit. The final row drops tilePack for a
+           run-poor comparison on the same kernel. *)
+        let row p kname dname =
+          let dataset = Option.get (Datagen.Generators.by_name ~scale dname) in
+          let k = (Option.get (Kernels.by_name kname)) dataset in
+          bench_spec ~plan_name:(Compose.Plan.name p)
+            (Experiment.inspect p k)
+        in
+        let rich =
+          Compose.Plan.with_fst ~seed_part_size:128
+            Compose.Plan.cpack_lexgroup_twice
+        in
+        let poor =
+          Compose.Plan.with_fst ~tile_pack:false ~seed_part_size:64
+            Compose.Plan.cpack_lexgroup
+        in
+        [
+          bench_spec ~plan_name:(Compose.Plan.name plan) result;
+          row rich "nbf" "foil";
+          row rich "irreg" "foil";
+          row poor "moldyn" "mol1";
+        ])
+  in
   let phases, ph_insp =
     Rtrt_obs.Profile.record ~name:"inspector_phases" (fun () ->
         inspector_phases plan kernel)
@@ -235,8 +383,9 @@ let measure ~scale () =
     rep_plan = Compose.Plan.name plan;
     walk;
     exec;
+    spec;
     phases;
-    rep_profile = [ ph_walk; ph_exec; ph_insp ];
+    rep_profile = [ ph_walk; ph_exec; ph_spec; ph_insp ];
   }
 
 let json_of_report r =
@@ -264,6 +413,37 @@ let json_of_report r =
               ("tiled_seconds_per_step", Float r.exec.tiled_seconds_per_step);
               ("tiled_over_plain", Float r.exec.tiled_over_plain);
             ] );
+        ( "specialize",
+          List
+            (List.map
+               (fun s ->
+                 Obj
+                   ([
+                      ("bench", String s.spec_kernel);
+                      ("plan", String s.spec_plan);
+                      ("tier", String s.spec_tier);
+                      ("items", Int s.spec_items);
+                      ("steps", Int s.spec_steps);
+                      ("runs", Int s.spec_runs);
+                      ("identity_rows", Int s.spec_identity_rows);
+                      ("avg_run_len", Float s.spec_avg_run_len);
+                      ("interp_gbps", Float s.spec_interp_gbps);
+                      ("shaped_gbps", Float s.spec_shaped_gbps);
+                      ("shaped_speedup", Float s.spec_shaped_speedup);
+                    ]
+                   @ (match (s.spec_codegen_gbps, s.spec_codegen_speedup) with
+                     | Some g, Some sp ->
+                       [
+                         ("codegen_gbps", Float g);
+                         ("codegen_speedup", Float sp);
+                       ]
+                     | _ -> [])
+                   @ [
+                       ("compile_seconds", Float s.spec_compile_seconds);
+                       ("cmxs_cache_hit", Bool s.spec_cmxs_cache_hit);
+                       ("bitwise", Bool s.spec_bitwise);
+                     ]))
+               r.spec) );
         ( "inspector_phases",
           List
             (List.map
@@ -288,11 +468,29 @@ let pp_report ppf r =
   Fmt.pf ppf
     "plan %s, scale %d@.  schedule walk: %d items, %d passes: nested %.3f \
      GB/s, flat %.3f GB/s (%.2fx)@.  executor: plain %.6fs/step, tiled \
-     %.6fs/step (tiled/plain %.3fx)@.  inspector phases:@."
+     %.6fs/step (tiled/plain %.3fx)@."
     r.rep_plan r.rep_scale r.walk.walk_items r.walk.walk_passes
     r.walk.nested_gbps r.walk.flat_gbps r.walk.walk_speedup
     r.exec.plain_seconds_per_step r.exec.tiled_seconds_per_step
     r.exec.tiled_over_plain;
+  Fmt.pf ppf "  specialized executors:@.";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf
+        "    %-8s %-18s tier %-7s interp %.3f GB/s, shaped %.3f GB/s \
+         (%.2fx)%s, runs %d avg %.1f%s@."
+        s.spec_kernel s.spec_plan s.spec_tier s.spec_interp_gbps
+        s.spec_shaped_gbps s.spec_shaped_speedup
+        (match (s.spec_codegen_gbps, s.spec_codegen_speedup) with
+        | Some g, Some sp -> Fmt.str ", codegen %.3f GB/s (%.2fx)" g sp
+        | _ -> "")
+        s.spec_runs s.spec_avg_run_len
+        (if s.spec_compile_seconds > 0.0 then
+           Fmt.str ", compile %.2fs" s.spec_compile_seconds
+         else if s.spec_cmxs_cache_hit then ", cmxs cached"
+         else ""))
+    r.spec;
+  Fmt.pf ppf "  inspector phases:@.";
   List.iter
     (fun p ->
       Fmt.pf ppf "    %-32s %3dx total %.4fs self %.4fs@." p.phase_name

@@ -156,11 +156,60 @@ let run_tile t (sched : Reorder.Schedule.t) ~tile =
     done
   done
 
-let run_tiled t tiling =
-  let sched = schedule tiling in
+(* Walk a flat schedule directly — tiles in order, sweeps (chain
+   positions) in order within a tile, member nodes in row order.
+   [run_tiled] is [run_sched] of [schedule tiling]; exposing the
+   schedule-level walk lets the specialization tiers compare against
+   the same interpreted baseline as the other kernels. *)
+let run_sched t (sched : Reorder.Schedule.t) =
   for tile = 0 to Reorder.Schedule.n_tiles sched - 1 do
     run_tile t sched ~tile
   done
+
+(* Tier A shape-specialized twin of [run_sched]: streams each row's
+   run-length index as [for v = lo to hi] ranges. [update] itself
+   stays bounds-checked (it chases graph adjacency), so the shape only
+   has to come from this exact schedule for the walks to coincide
+   bitwise. *)
+let run_sched_shaped t (sched : Reorder.Schedule.t) (shape : Reorder.Shape.t) =
+  if not (Reorder.Shape.for_schedule shape sched) then
+    invalid_arg
+      "Gauss_seidel.run_sched_shaped: shape built from a different schedule";
+  let nl = Reorder.Schedule.n_loops sched in
+  let rq = Reorder.Shape.run_ptr shape in
+  let rlo = Reorder.Shape.run_lo shape in
+  let rln = Reorder.Shape.run_len shape in
+  for tile = 0 to Reorder.Schedule.n_tiles sched - 1 do
+    for s = 0 to nl - 1 do
+      let r = (tile * nl) + s in
+      for k = rq.(r) to rq.(r + 1) - 1 do
+        let lo = rlo.(k) in
+        for v = lo to lo + rln.(k) - 1 do
+          update t v
+        done
+      done
+    done
+  done
+
+let run_tiled t tiling = run_sched t (schedule tiling)
+
+(* The graph's CSR arrays (adjacency in [iter_neighbors] order), for
+   the Tier B executor emitter: generated code re-chases adjacency
+   through plain int arrays instead of the Csr abstraction. *)
+let csr_arrays graph =
+  let n = Irgraph.Csr.num_nodes graph in
+  let ptr = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    ptr.(v + 1) <- ptr.(v) + Irgraph.Csr.degree graph v
+  done;
+  let adj = Array.make ptr.(n) 0 in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    Irgraph.Csr.iter_neighbors graph v (fun w ->
+        adj.(!pos) <- w;
+        incr pos)
+  done;
+  (ptr, adj)
 
 (* Execute [total_sweeps] as consecutive slabs of the tiling's depth:
    temporal blocking in the usual sense. Tile growth smears by one

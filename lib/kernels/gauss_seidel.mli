@@ -53,6 +53,20 @@ val schedule : tiling -> Reorder.Schedule.t
 (** Execute the tiling's sweeps, tiles atomically in order. *)
 val run_tiled : t -> tiling -> unit
 
+(** Walk a flat schedule directly (tiles, then chain positions, then
+    member nodes in row order); [run_tiled] is [run_sched] of
+    [schedule tiling]. *)
+val run_sched : t -> Reorder.Schedule.t -> unit
+
+(** Tier A shape-specialized twin of {!run_sched}: streams the
+    schedule's run-length index; bitwise identical. The shape must be
+    {!Reorder.Shape.analyze} of this exact schedule value. *)
+val run_sched_shaped : t -> Reorder.Schedule.t -> Reorder.Shape.t -> unit
+
+(** The graph's CSR arrays [(ptr, adj)] with adjacency in
+    [iter_neighbors] order, for the Tier B executor emitter. *)
+val csr_arrays : Irgraph.Csr.t -> int array * int array
+
 (** Execute [total_sweeps] as consecutive slabs of [tiling.sweeps]
     (temporal blocking); raises if not a multiple. *)
 val run_tiled_slabbed : t -> tiling -> total_sweeps:int -> unit

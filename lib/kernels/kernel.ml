@@ -65,6 +65,17 @@ type t = {
   (* Executors; [run*] mutate the kernel's arrays in place. *)
   run : steps:int -> unit;
   run_tiled : Reorder.Schedule.t -> steps:int -> unit;
+  (* Tier A specialized executor: same walk as [run_tiled] but streams
+     the schedule's run-length index (lo..hi ranges) instead of loading
+     every iteration id; bitwise identical by construction. The shape
+     must have been built (Reorder.Shape.analyze) from this exact
+     schedule value. *)
+  run_tiled_shaped :
+    Reorder.Schedule.t -> Reorder.Shape.t -> steps:int -> unit;
+  (* Tier B handshake: the kernel's index arrays and float arrays in
+     the executor-emitter's documented order (Compose.Specialize);
+     the arrays themselves, not copies. *)
+  exec_arrays : unit -> int array array * float array array;
   run_traced :
     steps:int -> layout:Cachesim.Layout.t -> access:(int -> unit) -> unit;
   run_tiled_traced :
@@ -85,6 +96,12 @@ type t = {
   (* Deep copy (fresh arrays, same values). *)
   copy : unit -> t;
 }
+
+(* Endpoint scans (each kernel's index-array range validation) are
+   memoized per kernel state; replays of a cache-hit schedule on the
+   same kernel skip the O(m) scan and count it here. *)
+let c_endpoint_skips = Rtrt_obs.Metrics.counter "plancache.endpoint_scan_skips"
+let endpoint_scan_skipped () = Rtrt_obs.Metrics.incr c_endpoint_skips
 
 (* The memory layout used by the paper's experiments: inter-array data
    regrouping over the node arrays, index/interaction arrays

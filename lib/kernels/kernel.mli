@@ -50,6 +50,15 @@ type t = {
   apply_iter_perm : Reorder.Perm.t -> t;
   run : steps:int -> unit;
   run_tiled : Reorder.Schedule.t -> steps:int -> unit;
+  run_tiled_shaped :
+    Reorder.Schedule.t -> Reorder.Shape.t -> steps:int -> unit;
+      (** Tier A shape-specialized executor: streams the run-length
+          index built by {!Reorder.Shape.analyze} from this exact
+          schedule value; bitwise identical to [run_tiled]. *)
+  exec_arrays : unit -> int array array * float array array;
+      (** The kernel's index arrays and float arrays (not copies) in
+          the Tier B emitter's documented order; see
+          [Compose.Specialize]. *)
   run_traced :
     steps:int -> layout:Cachesim.Layout.t -> access:(int -> unit) -> unit;
   run_tiled_traced :
@@ -69,6 +78,10 @@ type t = {
   snapshot : unit -> (string * float array) list;
   copy : unit -> t;
 }
+
+val endpoint_scan_skipped : unit -> unit
+(** Bump the [plancache.endpoint_scan_skips] counter: a kernel skipped
+    its endpoint-range scan because the same state already passed it. *)
 
 (** The paper's memory layout: inter-array regrouping over the node
     arrays; index arrays separate. *)

@@ -17,6 +17,10 @@ type state = {
   fx : float array;
   fy : float array;
   fz : float array;
+  (* Endpoint-scan memo: one successful scan validates every later
+     executor run on this state (left/right are replaced, never
+     mutated in place, by transformations). *)
+  mutable endpoints_ok : bool;
 }
 
 let dt = 0.0001
@@ -63,6 +67,13 @@ let check_endpoints ~who st =
       invalid_arg (who ^ ": interaction endpoint out of range")
   done
 
+let check_endpoints_cached st ~who =
+  if st.endpoints_ok then Kernel.endpoint_scan_skipped ()
+  else begin
+    check_endpoints ~who st;
+    st.endpoints_ok <- true
+  end
+
 (* Unsafe twins of the loop bodies, sound only after [check_fits] and
    the endpoint scan have validated every index source. *)
 let update_i_u st i =
@@ -96,7 +107,7 @@ let force_j_u st j =
 let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
   if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m |]) then
     invalid_arg "Nbf.run_tiled: schedule does not fit the kernel";
-  check_endpoints ~who:"Nbf.run_tiled" st;
+  check_endpoints_cached st ~who:"Nbf.run_tiled";
   let n_tiles = Reorder.Schedule.n_tiles sched in
   let n_chain = Reorder.Schedule.n_loops sched in
   let rp = Reorder.Schedule.row_ptr sched in
@@ -118,6 +129,46 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
     done
   done
 
+(* Tier A shape-specialized twin of [run_tiled_st]: streams each row's
+   run-length index as [for i = lo to hi] ranges; bitwise identical by
+   construction (see Reorder.Shape). *)
+let run_shaped_st st (sched : Reorder.Schedule.t) (shape : Reorder.Shape.t)
+    ~steps =
+  if not (Reorder.Shape.for_schedule shape sched) then
+    invalid_arg "Nbf.run_shaped: shape built from a different schedule";
+  if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m |]) then
+    invalid_arg "Nbf.run_shaped: schedule does not fit the kernel";
+  check_endpoints_cached st ~who:"Nbf.run_shaped";
+  let n_tiles = Reorder.Schedule.n_tiles sched in
+  let n_chain = Reorder.Schedule.n_loops sched in
+  let rq = Reorder.Shape.run_ptr shape in
+  let rlo = Reorder.Shape.run_lo shape in
+  let rln = Reorder.Shape.run_len shape in
+  for _s = 1 to steps do
+    for t = 0 to n_tiles - 1 do
+      for c = 0 to n_chain - 1 do
+        let r = (t * n_chain) + c in
+        let klo = Array.unsafe_get rq r and khi = Array.unsafe_get rq (r + 1) in
+        if c mod 2 = 0 then
+          for k = klo to khi - 1 do
+            let lo = Array.unsafe_get rlo k in
+            let hi = lo + Array.unsafe_get rln k - 1 in
+            for i = lo to hi do
+              update_i_u st i
+            done
+          done
+        else
+          for k = klo to khi - 1 do
+            let lo = Array.unsafe_get rlo k in
+            let hi = lo + Array.unsafe_get rln k - 1 in
+            for j = lo to hi do
+              force_j_u st j
+            done
+          done
+      done
+    done
+  done
+
 (* Parallel tiled executor: the force positions (c mod 2 = 1) are
    reductions over fx/fy/fz. The stashed contribution g*dx is a pure
    function of x/y/z, read-only during the position, so the ordered
@@ -125,7 +176,7 @@ let run_tiled_st st (sched : Reorder.Schedule.t) ~steps =
 let plan_par_st st ~pool sched ~level_of =
   if not (Reorder.Schedule.check_fits sched ~loop_sizes:[| st.n; st.m |]) then
     invalid_arg "Nbf.plan_par: schedule does not fit the kernel";
-  check_endpoints ~who:"Nbf.plan_par" st;
+  check_endpoints_cached st ~who:"Nbf.plan_par";
   let gx = Array.make st.m 0.0 in
   let gy = Array.make st.m 0.0 in
   let gz = Array.make st.m 0.0 in
@@ -249,6 +300,7 @@ let rec make st =
     make
       {
         st with
+        endpoints_ok = false;
         left = Reorder.Perm.remap_values sigma st.left;
         right = Reorder.Perm.remap_values sigma st.right;
         x = Reorder.Perm.apply_to_float_array sigma st.x;
@@ -263,6 +315,7 @@ let rec make st =
     make
       {
         st with
+        endpoints_ok = false;
         left = Reorder.Perm.apply_to_array delta st.left;
         right = Reorder.Perm.apply_to_array delta st.right;
       }
@@ -283,6 +336,12 @@ let rec make st =
     apply_iter_perm;
     run = (fun ~steps -> run_plain st ~steps);
     run_tiled = (fun sched ~steps -> run_tiled_st st sched ~steps);
+    run_tiled_shaped =
+      (fun sched shape ~steps -> run_shaped_st st sched shape ~steps);
+    exec_arrays =
+      (fun () ->
+        ( [| st.left; st.right |],
+          [| st.x; st.y; st.z; st.fx; st.fy; st.fz |] ));
     run_traced =
       (fun ~steps ~layout ~access -> run_traced_st st ~steps ~layout ~access);
     run_tiled_traced =
@@ -305,6 +364,7 @@ let rec make st =
         make
           {
             st with
+            endpoints_ok = false;
             left = Array.copy st.left;
             right = Array.copy st.right;
             x = Array.copy st.x;
@@ -335,4 +395,5 @@ let of_dataset (d : Datagen.Dataset.t) =
       fx = Array.make n 0.0;
       fy = Array.make n 0.0;
       fz = Array.make n 0.0;
+      endpoints_ok = false;
     }

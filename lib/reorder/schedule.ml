@@ -32,16 +32,34 @@ type t = {
   n_loops : int;
   row_ptr : int array; (* length n_tiles * n_loops + 1 *)
   items : int array;   (* row tile*n_loops+loop = that loop's members *)
+  (* Validation memos: the loop_sizes argument of the last successful
+     [check_fits] / [check_coverage], so replaying a schedule out of
+     the plan cache (the same entry object every hit) does not pay the
+     O(rows) / O(iterations) scan again on every executor run. Reset
+     by every transformation; a failed check is never memoized. *)
+  mutable fits_ok : int array option;
+  mutable coverage_ok : int array option;
 }
 
 let invalid fmt = Fmt.kstr invalid_arg fmt
 
 let c_builds = Rtrt_obs.Metrics.counter "hotpath.schedule.builds"
+let c_fits_skips = Rtrt_obs.Metrics.counter "plancache.schedule_check_skips"
+let c_coverage_skips = Rtrt_obs.Metrics.counter "plancache.coverage_check_skips"
 
 let n_tiles s = s.n_tiles
 let n_loops s = s.n_loops
 let row_ptr s = s.row_ptr
 let flat_items s = s.items
+
+(* Semantic equality: same tiling, same member order. The validation
+   memos are deliberately ignored — whether a schedule has already
+   been checked against some loop sizes is execution history, not
+   identity (a cache-replayed schedule is validated on load, a fresh
+   one only when first run). *)
+let equal a b =
+  a.n_tiles = b.n_tiles && a.n_loops = b.n_loops
+  && a.row_ptr = b.row_ptr && a.items = b.items
 
 let row s ~tile ~loop =
   if tile < 0 || tile >= s.n_tiles then invalid "Schedule.row: tile %d" tile;
@@ -96,7 +114,13 @@ let of_tile_fns (tiles : Sparse_tile.tile_fn array) =
         tf.Sparse_tile.tile_of)
     tiles;
   Rtrt_obs.Metrics.incr c_builds;
-  { n_tiles; n_loops; row_ptr; items }
+  (* The counting sort just validated every tile id and scattered each
+     iteration of each loop exactly once, so coverage for the loops'
+     own sizes is proven by construction. *)
+  let sizes =
+    Array.map (fun (tf : Sparse_tile.tile_fn) -> Array.length tf.Sparse_tile.tile_of) tiles
+  in
+  { n_tiles; n_loops; row_ptr; items; fits_ok = None; coverage_ok = Some sizes }
 
 (* Execution order of loop [l]'s iterations: the concatenation of its
    per-tile member lists. *)
@@ -138,7 +162,7 @@ let remap_loop s ~loop perm =
     done;
     Irgraph.Scratch.sort_range items ~lo ~hi
   done;
-  { s with items }
+  { s with items; fits_ok = None; coverage_ok = None }
 
 (* Renumber tiles: new tile [t] is old tile [order.(t)]. Used by the
    parallel engine to make tile ids level-major, so that serial
@@ -172,12 +196,13 @@ let permute_tiles s ~order =
       pos := !pos + (hi - lo))
     order;
   row_ptr.(n_rows) <- !pos;
-  { s with row_ptr; items }
+  { s with row_ptr; items; fits_ok = None; coverage_ok = None }
+
+let memo_hit memo sizes =
+  match memo with Some m -> m = sizes | None -> false
 
 (* Every iteration of every loop appears exactly once. *)
-let check_coverage s ~loop_sizes =
-  if Array.length loop_sizes <> s.n_loops then
-    invalid "Schedule.check_coverage: loop count";
+let check_coverage_scan s ~loop_sizes =
   let ok = ref true in
   Array.iteri
     (fun l size ->
@@ -196,6 +221,19 @@ let check_coverage s ~loop_sizes =
     loop_sizes;
   !ok
 
+let check_coverage s ~loop_sizes =
+  if Array.length loop_sizes <> s.n_loops then
+    invalid "Schedule.check_coverage: loop count";
+  if memo_hit s.coverage_ok loop_sizes then begin
+    Rtrt_obs.Metrics.incr c_coverage_skips;
+    true
+  end
+  else begin
+    let ok = check_coverage_scan s ~loop_sizes in
+    if ok then s.coverage_ok <- Some (Array.copy loop_sizes);
+    ok
+  end
+
 (* Cheap O(rows) executor guard: [loop_sizes] gives the iteration count
    of each chain position; a schedule whose [n_loops] is a multiple of
    the chain length (time-step tiling unrolls the chain) fits when the
@@ -206,6 +244,10 @@ let check_coverage s ~loop_sizes =
 let check_fits s ~loop_sizes =
   let k = Array.length loop_sizes in
   if k = 0 || s.n_loops mod k <> 0 then false
+  else if memo_hit s.fits_ok loop_sizes then begin
+    Rtrt_obs.Metrics.incr c_fits_skips;
+    true
+  end
   else begin
     let ok = ref true in
     for l = 0 to s.n_loops - 1 do
@@ -216,6 +258,7 @@ let check_fits s ~loop_sizes =
       done;
       if !total <> loop_sizes.(l mod k) then ok := false
     done;
+    if !ok then s.fits_ok <- Some (Array.copy loop_sizes);
     !ok
   end
 

@@ -15,10 +15,22 @@ type t = private {
   n_loops : int;
   row_ptr : int array;  (** length [n_tiles * n_loops + 1] *)
   items : int array;    (** all member iterations, row-contiguous *)
+  mutable fits_ok : int array option;
+      (** last loop sizes proven by {!check_fits}; internal memo so
+          cache-replayed schedules skip the O(rows) scan *)
+  mutable coverage_ok : int array option;
+      (** last loop sizes proven by {!check_coverage} (set at
+          construction: [of_tile_fns] proves its own loops' coverage) *)
 }
 
 val n_tiles : t -> int
 val n_loops : t -> int
+
+val equal : t -> t -> bool
+(** Same tiling and member order. Ignores the validation memos —
+    polymorphic [=] on [t] is unreliable because the memo fields
+    record execution history (what has been checked so far), not
+    schedule identity. *)
 
 val row_ptr : t -> int array
 (** The CSR row pointers themselves, without copying. Do not mutate. *)
@@ -54,7 +66,10 @@ val remap_loop : t -> loop:int -> Perm.t -> t
     ids. One blit per tile thanks to block contiguity. *)
 val permute_tiles : t -> order:int array -> t
 
-(** Each iteration of each loop appears exactly once. O(iterations). *)
+(** Each iteration of each loop appears exactly once. O(iterations)
+    the first time; subsequent calls with the same sizes on the same
+    schedule value return via the memo in O(loops) and bump the
+    [plancache.coverage_check_skips] counter. *)
 val check_coverage : t -> loop_sizes:int array -> bool
 
 (** Cheap O(rows) executor guard. [loop_sizes] lists the chain's
@@ -62,7 +77,9 @@ val check_coverage : t -> loop_sizes:int array -> bool
     multiple of the chain length (time-step tiling unrolls the chain),
     and loop [l]'s rows must hold exactly [loop_sizes.(l mod chain)]
     iterations in total. Executors call this once per run, then stream
-    with [Array.unsafe_get]. *)
+    with [Array.unsafe_get]. Successful checks are memoized per
+    schedule value (and counted as [plancache.schedule_check_skips]
+    when re-used), so cache-replayed schedules pay the scan once. *)
 val check_fits : t -> loop_sizes:int array -> bool
 
 val total_iterations : t -> int

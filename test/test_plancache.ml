@@ -41,6 +41,7 @@ let dummy_entry n =
     Cache.sigma_total = Reorder.Perm.id n;
     delta_total = Reorder.Perm.id n;
     schedule = None;
+    shape_summary = None;
     reordering_fns = [];
     n_data_remaps = 0;
     cold_inspector_seconds = 0.5;
@@ -98,7 +99,10 @@ let check_results_identical label (cold : Inspector.result)
   Alcotest.(check bool) (label ^ ": delta identical") true
     (Reorder.Perm.equal cold.Inspector.delta_total warm.Inspector.delta_total);
   Alcotest.(check bool) (label ^ ": schedule identical") true
-    (cold.Inspector.schedule = warm.Inspector.schedule);
+    (match (cold.Inspector.schedule, warm.Inspector.schedule) with
+    | None, None -> true
+    | Some a, Some b -> Reorder.Schedule.equal a b
+    | _ -> false);
   List.iter2
     (fun (n1, p1) (n2, p2) ->
       Alcotest.(check string) (label ^ ": fn name") n1 n2;

@@ -1,0 +1,462 @@
+(* Tests for staged executor specialization: the Shape run-length
+   detector, the Tier A shaped executors (bitwise identical to the
+   interpreted walk, serial and pooled), the Tier B compiled executors
+   (bitwise identical, with graceful no-toolchain fallback), and the
+   validated-once memos that let plan-cache hits skip the O(rows)
+   re-validation scans. *)
+
+module Shape = Reorder.Shape
+module Schedule = Reorder.Schedule
+module Specialize = Compose.Specialize
+
+let tf n_tiles tile_of = { Reorder.Sparse_tile.n_tiles; tile_of }
+
+(* Counters are no-ops while tracing is disabled; counter-asserting
+   tests run under a throwaway memory sink. *)
+let with_metrics f =
+  let sink, _events = Rtrt_obs.Sink.memory () in
+  Rtrt_obs.set_sink sink;
+  Fun.protect ~finally:Rtrt_obs.disable f
+
+(* Re-enumerate a shape's runs and check they reproduce the schedule's
+   stored item sequence exactly — the structural fact Tier A's bitwise
+   identity rests on. *)
+let check_runs_reconstruct name sched shape =
+  let rq = Shape.run_ptr shape in
+  let rlo = Shape.run_lo shape in
+  let rln = Shape.run_len shape in
+  let out = ref [] in
+  let rows = Array.length rq - 1 in
+  for r = 0 to rows - 1 do
+    for k = rq.(r) to rq.(r + 1) - 1 do
+      for v = rlo.(k) to rlo.(k) + rln.(k) - 1 do
+        out := v :: !out
+      done
+    done
+  done;
+  let got = Array.of_list (List.rev !out) in
+  Alcotest.(check (array int))
+    (name ^ " runs reconstruct items")
+    (Schedule.flat_items sched) got
+
+(* ------------------------------------------------------------------ *)
+(* Shape detector units *)
+
+let test_shape_identity () =
+  let n = 64 in
+  let s = Schedule.of_tile_fns [| tf 1 (Array.make n 0) |] in
+  let sh = Shape.analyze s in
+  let sm = Shape.summary sh in
+  Alcotest.(check int) "rows" 1 sm.Shape.rows;
+  Alcotest.(check int) "runs" 1 sm.Shape.runs;
+  Alcotest.(check int) "identity rows" 1 sm.Shape.identity_rows;
+  Alcotest.(check int) "max run" n sm.Shape.max_run;
+  Alcotest.(check bool) "single loop" true sm.Shape.single_loop;
+  Alcotest.(check (option int)) "uniform" (Some n) sm.Shape.uniform_tile_items;
+  Alcotest.(check bool) "profitable" true (Shape.profitable sm);
+  Alcotest.(check bool) "pinned to schedule" true (Shape.for_schedule sh s);
+  check_runs_reconstruct "identity" s sh
+
+let test_shape_single_run_rows () =
+  let n = 64 and tiles = 4 in
+  let s = Schedule.of_tile_fns [| tf tiles (Array.init n (fun i -> i / 16)) |] in
+  let sh = Shape.analyze s in
+  let sm = Shape.summary sh in
+  Alcotest.(check int) "rows" tiles sm.Shape.rows;
+  Alcotest.(check int) "one run per row" tiles sm.Shape.runs;
+  Alcotest.(check int) "all identity rows" tiles sm.Shape.identity_rows;
+  Alcotest.(check (float 1e-9)) "avg run length" 16.0 sm.Shape.avg_run_len;
+  Alcotest.(check bool) "profitable" true (Shape.profitable sm);
+  check_runs_reconstruct "single-run" s sh
+
+let test_shape_adversarial_alternating () =
+  let n = 64 in
+  let s = Schedule.of_tile_fns [| tf 2 (Array.init n (fun i -> i mod 2)) |] in
+  let sh = Shape.analyze s in
+  let sm = Shape.summary sh in
+  (* Stride-2 rows: every item its own run, nothing to exploit. *)
+  Alcotest.(check int) "runs" n sm.Shape.runs;
+  Alcotest.(check int) "no identity rows" 0 sm.Shape.identity_rows;
+  Alcotest.(check (float 1e-9)) "avg run length" 1.0 sm.Shape.avg_run_len;
+  Alcotest.(check bool) "not profitable" false (Shape.profitable sm);
+  check_runs_reconstruct "alternating" s sh
+
+let test_shape_ragged () =
+  let n = 64 in
+  let tile_of =
+    Array.init n (fun i -> if i = 0 then 0 else if i = n - 1 then 2 else 1)
+  in
+  let s = Schedule.of_tile_fns [| tf 3 tile_of |] in
+  let sh = Shape.analyze s in
+  let sm = Shape.summary sh in
+  Alcotest.(check int) "rows" 3 sm.Shape.rows;
+  Alcotest.(check (option int)) "ragged tiles not uniform" None
+    sm.Shape.uniform_tile_items;
+  Alcotest.(check int) "identity rows" 3 sm.Shape.identity_rows;
+  check_runs_reconstruct "ragged" s sh
+
+(* A fresh-array transformation invalidates the physical pin. *)
+let test_shape_pin_invalidated () =
+  let n = 32 in
+  let s = Schedule.of_tile_fns [| tf 2 (Array.init n (fun i -> i / 16)) |] in
+  let sh = Shape.analyze s in
+  let s' = Schedule.remap_loop s ~loop:0 (Reorder.Perm.id n) in
+  Alcotest.(check bool) "pin holds on source" true (Shape.for_schedule sh s);
+  Alcotest.(check bool) "pin broken on remap" false (Shape.for_schedule sh s')
+
+(* ------------------------------------------------------------------ *)
+(* Random schedules over a kernel's loop chain *)
+
+let arb_dataset =
+  QCheck.make
+    ~print:(fun (n, e) -> Printf.sprintf "n=%d m=%d" n (Array.length e))
+    QCheck.Gen.(
+      let* n = int_range 8 60 in
+      let* m = int_range 4 150 in
+      let* pairs =
+        array_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let pairs =
+        Array.map
+          (fun (a, b) -> if a = b then (a, (b + 1) mod n) else (a, b))
+          pairs
+      in
+      return (n, pairs))
+
+let dataset_of (n, pairs) =
+  {
+    Datagen.Dataset.name = "rand";
+    n_nodes = n;
+    left = Array.map fst pairs;
+    right = Array.map snd pairs;
+    coords = None;
+  }
+
+let kernels_under_test =
+  [
+    ("moldyn", Kernels.Moldyn.of_dataset);
+    ("nbf", Kernels.Nbf.of_dataset);
+    ("irreg", Kernels.Irreg.of_dataset);
+  ]
+
+(* A random but valid schedule for the kernel: every loop of the chain
+   gets an arbitrary tile assignment (coverage holds by construction). *)
+let random_sched rng (k : Kernels.Kernel.t) =
+  let n_tiles = 1 + Datagen.Rng.int rng 5 in
+  Schedule.of_tile_fns
+    (Array.map
+       (fun size -> tf n_tiles (Array.init size (fun _ -> Datagen.Rng.int rng n_tiles)))
+       k.Kernels.Kernel.loop_sizes)
+
+(* Tier A bitwise identity on random schedules, all pair kernels. The
+   [Specialize.make] call additionally runs its own two-step bitwise
+   verification internally. *)
+let prop_shaped_bitwise =
+  QCheck.Test.make ~name:"tier A shaped executors bitwise = interpreted"
+    ~count:20 arb_dataset (fun spec ->
+      let d = dataset_of spec in
+      List.for_all
+        (fun (_, of_dataset) ->
+          let k : Kernels.Kernel.t = of_dataset d in
+          let rng = Datagen.Rng.create 42 in
+          let sched = random_sched rng k in
+          let shape = Shape.analyze sched in
+          let k_interp = k.Kernels.Kernel.copy () in
+          let k_shaped = k.Kernels.Kernel.copy () in
+          k_interp.Kernels.Kernel.run_tiled sched ~steps:3;
+          k_shaped.Kernels.Kernel.run_tiled_shaped sched shape ~steps:3;
+          let spec_r = Specialize.make ~tier_b:false k sched in
+          spec_r.Specialize.tier <> Specialize.Codegen
+          && Kernels.Kernel.snapshots_equal_bits
+               (k_interp.Kernels.Kernel.snapshot ())
+               (k_shaped.Kernels.Kernel.snapshot ()))
+        kernels_under_test)
+
+(* Gauss-Seidel: shaped schedule walk bitwise = interpreted walk. *)
+let gs_problem ~scale =
+  let d = Datagen.Generators.foil ~scale () in
+  let graph = Datagen.Dataset.to_graph d in
+  let n = Irgraph.Csr.num_nodes graph in
+  let f = Array.init n (fun i -> 1.0 +. float_of_int (i mod 17)) in
+  (graph, f)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let test_gs_shaped_bitwise () =
+  let graph, f = gs_problem ~scale:256 in
+  let n = Irgraph.Csr.num_nodes graph in
+  let t1 = Kernels.Gauss_seidel.create ~graph ~f in
+  let t2 = Kernels.Gauss_seidel.create ~graph ~f in
+  let sched = Schedule.of_tile_fns [| tf 4 (Array.init n (fun i -> i mod 4)) |] in
+  let shape = Shape.analyze sched in
+  for _ = 1 to 3 do
+    Kernels.Gauss_seidel.run_sched t1 sched;
+    Kernels.Gauss_seidel.run_sched_shaped t2 sched shape
+  done;
+  Alcotest.(check bool)
+    "gs shaped bitwise" true
+    (bits_equal t1.Kernels.Gauss_seidel.u t2.Kernels.Gauss_seidel.u)
+
+(* Tier A under the pool: the shaped walk of the level-major renumbered
+   schedule is bitwise identical to the parallel executor on it. *)
+let check_shaped_matches_par ~domains plan kernel =
+  let result = Harness.Experiment.inspect plan kernel in
+  match result.Compose.Inspector.schedule with
+  | None -> Alcotest.fail "sparse-tiled plan produced no schedule"
+  | Some sched ->
+    let k = result.Compose.Inspector.kernel in
+    let tiles =
+      Compose.Legality.tile_fns_of_schedule sched
+        ~loop_sizes:k.Kernels.Kernel.loop_sizes
+    in
+    let chain = k.Kernels.Kernel.chain_of_access k.Kernels.Kernel.access in
+    let par = Reorder.Tile_par.analyze ~chain ~tiles in
+    let k_shaped = k.Kernels.Kernel.copy () in
+    let k_par = k.Kernels.Kernel.copy () in
+    Rtrt_par.Pool.with_pool ~domains (fun pool ->
+        let pe =
+          k_par.Kernels.Kernel.plan_par ~pool sched
+            ~level_of:par.Reorder.Tile_par.level_of
+        in
+        let psched = pe.Kernels.Kernel.par_sched in
+        let pshape = Shape.analyze psched in
+        k_shaped.Kernels.Kernel.run_tiled_shaped psched pshape ~steps:2;
+        pe.Kernels.Kernel.par_run ~steps:2 ());
+    Kernels.Kernel.snapshots_equal_bits
+      (k_shaped.Kernels.Kernel.snapshot ())
+      (k_par.Kernels.Kernel.snapshot ())
+
+let test_shaped_matches_par () =
+  let d = Datagen.Generators.foil ~scale:256 () in
+  let plan =
+    Compose.Plan.with_fst ~seed_part_size:24 Compose.Plan.cpack_lexgroup_twice
+  in
+  List.iter
+    (fun (name, of_dataset) ->
+      List.iter
+        (fun domains ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s shaped = pooled (%d domains)" name domains)
+            true
+            (check_shaped_matches_par ~domains plan (of_dataset d)))
+        [ 2; 4 ])
+    kernels_under_test
+
+(* ------------------------------------------------------------------ *)
+(* Tier B: compiled executors *)
+
+let have_toolchain () =
+  Sys.command "ocamlfind ocamlopt -version >/dev/null 2>&1" = 0
+  || Sys.command "ocamlopt.opt -version >/dev/null 2>&1" = 0
+  || Sys.command "ocamlopt -version >/dev/null 2>&1" = 0
+
+let test_codegen_bitwise () =
+  if not (have_toolchain ()) then ()
+  else begin
+    let d = Datagen.Generators.foil ~scale:256 () in
+    let plan =
+      Compose.Plan.with_fst ~seed_part_size:32 Compose.Plan.cpack_lexgroup
+    in
+    List.iter
+      (fun (name, of_dataset) ->
+        let result = Harness.Experiment.inspect plan (of_dataset d) in
+        match result.Compose.Inspector.schedule with
+        | None -> Alcotest.fail "plan produced no schedule"
+        | Some sched ->
+          let k = result.Compose.Inspector.kernel in
+          let k_interp = k.Kernels.Kernel.copy () in
+          let k_spec = k.Kernels.Kernel.copy () in
+          (* make's internal verification also asserts bitwise. *)
+          let r = Specialize.make ~tier_b:true k_spec sched in
+          Alcotest.(check string)
+            (name ^ " reaches codegen tier")
+            "codegen"
+            (Specialize.tier_name r.Specialize.tier);
+          r.Specialize.run ~steps:3;
+          k_interp.Kernels.Kernel.run_tiled sched ~steps:3;
+          Alcotest.(check bool)
+            (name ^ " codegen bitwise")
+            true
+            (Kernels.Kernel.snapshots_equal_bits
+               (k_interp.Kernels.Kernel.snapshot ())
+               (k_spec.Kernels.Kernel.snapshot ())))
+      kernels_under_test
+  end
+
+let test_codegen_gs_bitwise () =
+  if not (have_toolchain ()) then ()
+  else begin
+    let graph, f = gs_problem ~scale:192 in
+    let n = Irgraph.Csr.num_nodes graph in
+    let t_interp = Kernels.Gauss_seidel.create ~graph ~f in
+    let t_spec = Kernels.Gauss_seidel.create ~graph ~f in
+    let sched =
+      Schedule.of_tile_fns [| tf 3 (Array.init n (fun i -> i * 3 / n)) |]
+    in
+    let r = Specialize.make_gs ~tier_b:true t_spec sched in
+    Alcotest.(check string)
+      "gs reaches codegen tier" "codegen"
+      (Specialize.tier_name r.Specialize.tier);
+    r.Specialize.run ~steps:3;
+    for _ = 1 to 3 do
+      Kernels.Gauss_seidel.run_sched t_interp sched
+    done;
+    Alcotest.(check bool)
+      "gs codegen bitwise u" true
+      (bits_equal t_interp.Kernels.Gauss_seidel.u t_spec.Kernels.Gauss_seidel.u)
+  end
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* The emitted source is printable without a toolchain and carries the
+   registration footer the host looks up. *)
+let test_codegen_source_dump () =
+  let d = Datagen.Generators.foil ~scale:128 () in
+  let k = Kernels.Irreg.of_dataset d in
+  let rng = Datagen.Rng.create 7 in
+  let sched = random_sched rng k in
+  match Specialize.dump_source k sched with
+  | None -> Alcotest.fail "emitter declined a small schedule"
+  | Some src ->
+    Alcotest.(check bool)
+      "has exec" true
+      (contains src "let exec (ia : int array array)");
+    Alcotest.(check bool) "registers" true (contains src "Callback.register")
+
+(* Pointing the compiler override at a nonexistent binary simulates a
+   toolchain-free host: Tier B must degrade, not raise. *)
+let test_no_toolchain_fallback () =
+  with_metrics (fun () ->
+      let d = Datagen.Generators.foil ~scale:96 () in
+      let k = Kernels.Irreg.of_dataset d in
+      let rng = Datagen.Rng.create 11 in
+      let sched = random_sched rng k in
+      let fallbacks = Rtrt_obs.Metrics.counter "specialize.fallbacks" in
+      let before = Rtrt_obs.Metrics.value fallbacks in
+      Unix.putenv "RTRT_SPECIALIZE_OCAMLOPT" "/nonexistent/ocamlopt";
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv "RTRT_SPECIALIZE_OCAMLOPT" "")
+          (fun () -> Specialize.make ~tier_b:true k sched)
+      in
+      Alcotest.(check bool)
+        "did not reach codegen" true
+        (r.Specialize.tier <> Specialize.Codegen);
+      Alcotest.(check bool)
+        "fallback counted" true
+        (Rtrt_obs.Metrics.value fallbacks > before))
+
+(* ------------------------------------------------------------------ *)
+(* Validated-once memos (satellite: skip O(rows) re-validation on
+   plan-cache hits) *)
+
+let test_check_fits_memo () =
+  with_metrics (fun () ->
+      let n = 40 in
+      let s = Schedule.of_tile_fns [| tf 2 (Array.init n (fun i -> i mod 2)) |] in
+      let skips = Rtrt_obs.Metrics.counter "plancache.schedule_check_skips" in
+      Alcotest.(check bool)
+        "first scan" true
+        (Schedule.check_fits s ~loop_sizes:[| n |]);
+      let before = Rtrt_obs.Metrics.value skips in
+      Alcotest.(check bool)
+        "memoized" true
+        (Schedule.check_fits s ~loop_sizes:[| n |]);
+      Alcotest.(check int)
+        "skip counted" (before + 1)
+        (Rtrt_obs.Metrics.value skips);
+      (* Different claimed sizes must not reuse the memo (and must
+         fail). *)
+      Alcotest.(check bool)
+        "different sizes rescan" false
+        (Schedule.check_fits s ~loop_sizes:[| n / 2 |]))
+
+let test_coverage_memo_from_construction () =
+  with_metrics (fun () ->
+      let n = 40 in
+      let s = Schedule.of_tile_fns [| tf 4 (Array.init n (fun i -> i / 10)) |] in
+      let skips = Rtrt_obs.Metrics.counter "plancache.coverage_check_skips" in
+      let before = Rtrt_obs.Metrics.value skips in
+      (* of_tile_fns proved coverage by construction; the first
+         explicit check is already a skip. *)
+      Alcotest.(check bool)
+        "covered" true
+        (Schedule.check_coverage s ~loop_sizes:[| n |]);
+      Alcotest.(check int)
+        "constructed coverage skips" (before + 1)
+        (Rtrt_obs.Metrics.value skips))
+
+let test_endpoint_scan_memo () =
+  with_metrics (fun () ->
+      let d = Datagen.Generators.foil ~scale:128 () in
+      let k = Kernels.Irreg.of_dataset d in
+      let rng = Datagen.Rng.create 3 in
+      let sched = random_sched rng k in
+      let skips = Rtrt_obs.Metrics.counter "plancache.endpoint_scan_skips" in
+      k.Kernels.Kernel.run_tiled sched ~steps:1;
+      let before = Rtrt_obs.Metrics.value skips in
+      k.Kernels.Kernel.run_tiled sched ~steps:1;
+      Alcotest.(check bool)
+        "endpoint rescan skipped" true
+        (Rtrt_obs.Metrics.value skips > before);
+      (* A data permutation rebuilds the index arrays: the memo must
+         not survive it. *)
+      let k' =
+        k.Kernels.Kernel.apply_data_perm
+          (Reorder.Perm.id k.Kernels.Kernel.n_nodes)
+      in
+      let mid = Rtrt_obs.Metrics.value skips in
+      let sched' = random_sched rng k' in
+      k'.Kernels.Kernel.run_tiled sched' ~steps:1;
+      k'.Kernels.Kernel.run_tiled sched' ~steps:1;
+      Alcotest.(check bool)
+        "fresh state scans then skips" true
+        (Rtrt_obs.Metrics.value skips > mid))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "specialize"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "identity block" `Quick test_shape_identity;
+          Alcotest.test_case "single-run rows" `Quick test_shape_single_run_rows;
+          Alcotest.test_case "adversarial alternating" `Quick
+            test_shape_adversarial_alternating;
+          Alcotest.test_case "ragged tiles" `Quick test_shape_ragged;
+          Alcotest.test_case "pin invalidated by remap" `Quick
+            test_shape_pin_invalidated;
+        ] );
+      ( "tier-a",
+        Alcotest.test_case "gs shaped bitwise" `Quick test_gs_shaped_bitwise
+        :: Alcotest.test_case "shaped = pooled executors" `Quick
+             test_shaped_matches_par
+        :: qsuite [ prop_shaped_bitwise ] );
+      ( "tier-b",
+        [
+          Alcotest.test_case "codegen bitwise (pair kernels)" `Quick
+            test_codegen_bitwise;
+          Alcotest.test_case "codegen bitwise (gauss-seidel)" `Quick
+            test_codegen_gs_bitwise;
+          Alcotest.test_case "source dump" `Quick test_codegen_source_dump;
+          Alcotest.test_case "no-toolchain fallback" `Quick
+            test_no_toolchain_fallback;
+        ] );
+      ( "memos",
+        [
+          Alcotest.test_case "check_fits memo" `Quick test_check_fits_memo;
+          Alcotest.test_case "coverage memo from construction" `Quick
+            test_coverage_memo_from_construction;
+          Alcotest.test_case "endpoint scan memo" `Quick test_endpoint_scan_memo;
+        ] );
+    ]
