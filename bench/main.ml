@@ -351,6 +351,34 @@ let autotune_table () =
 let autotune_only =
   Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_AUTOTUNE_ONLY" ~default:false ()
 
+(* ------------------------------------------------------------------ *)
+(* Churn table: incremental plan repair vs cold re-inspection after
+   rewiring 1/2/5/10% of interactions, with bit-identity checks and
+   the steps-to-amortize break-even (writes BENCH_CHURN.json for the
+   CI perf trajectory). *)
+
+let bench_churn_json_path =
+  Option.value
+    (Sys.getenv_opt "RTRT_BENCH_CHURN_JSON")
+    ~default:"BENCH_CHURN.json"
+
+(* Unlike the speedup table, the churn table does not need a pool to
+   be meaningful (repair is domain-count independent), so RTRT_DOMAINS
+   is honoured as-is: the serial leg is the reproducible one the CI
+   baseline gates on, the pooled leg checks the pooled growth paths. *)
+let churn_domains = Rtrt_par.Pool.domains_from_env ~default:1 ()
+
+let churn_table ~full () =
+  let report =
+    Harness.Churnbench.measure ~full ~scale ~domains:churn_domains ()
+  in
+  Fmt.pr "%a" Harness.Churnbench.pp_report report;
+  Harness.Churnbench.write_json ~path:bench_churn_json_path report;
+  Fmt.pr "wrote %s@." bench_churn_json_path
+
+let churn_only =
+  Rtrt_obs.Config.env_bool ~name:"RTRT_BENCH_CHURN_ONLY" ~default:false ()
+
 let () =
   Rtrt_obs.Config.init ();
   Fmt.pr "rtrt bench harness; dataset scale %d (RTRT_SCALE overrides)@." scale;
@@ -386,6 +414,13 @@ let () =
     (* Fast mode for the CI autotune job: only the tuner table + JSON. *)
     section "Plan autotuning (cost-model search over the plan space)";
     autotune_table ();
+    exit 0);
+
+  if churn_only then (
+    (* Fast mode for the CI churn job: only the repair-vs-cold table +
+       JSON, without the irreg extra cell. *)
+    section "Graph churn (incremental repair vs cold re-inspection)";
+    churn_table ~full:false ();
     exit 0);
 
   section "Section 2.4: datasets";
@@ -475,6 +510,9 @@ let () =
 
   section "Plan autotuning (cost-model search over the plan space)";
   autotune_table ();
+
+  section "Graph churn (incremental repair vs cold re-inspection)";
+  churn_table ~full:true ();
 
   section "Wall-clock executor benchmarks (Figures 6/7 cross-check)";
   List.iter

@@ -14,8 +14,9 @@
      rtrt ablations           design-choice ablations A1-A9
      rtrt raw                 absolute counts for one configuration
      rtrt autotune            cost-model plan search for one configuration
+     rtrt churn               repair-vs-cold re-inspection under graph churn
      rtrt bench               wall-clock tables
-                              (--only hotpath|inspector|par|autotune)
+                              (--only hotpath|inspector|par|autotune|churn)
      rtrt bench-diff          regression gate between two BENCH_*.json files
      rtrt json                one figure's rows as JSON (jq-ready)
      rtrt trace-report        span-tree summary of a JSONL trace
@@ -488,10 +489,27 @@ let run_bench only out domains scale =
     Fmt.pr "%a" Harness.Autotune.pp_report report;
     Harness.Autotune.write_json ~path:out report;
     Fmt.pr "wrote %s@." out
+  | "churn" ->
+    let out = path "BENCH_CHURN.json" in
+    let report = Harness.Churnbench.measure ~scale ~domains () in
+    Fmt.pr "%a" Harness.Churnbench.pp_report report;
+    Harness.Churnbench.write_json ~path:out report;
+    Fmt.pr "wrote %s@." out
   | o ->
     Fmt.invalid_arg
-      "unknown bench table %s (expected hotpath, inspector, par, or autotune)"
+      "unknown bench table %s (expected hotpath, inspector, par, autotune, \
+       or churn)"
       o
+
+let run_churn ?cache_dir domains scale steps =
+  ignore cache_dir;
+  let report =
+    Harness.Churnbench.measure ~rounds:(max 2 steps) ~scale ~domains ()
+  in
+  Fmt.pr
+    "Repair vs cold re-inspection under graph churn (degree-preserving \
+     rewires):@.";
+  Fmt.pr "%a" Harness.Churnbench.pp_report report
 
 let run_bench_diff old_path new_path tolerance ratios_only all =
   match
@@ -670,6 +688,15 @@ let autotune_cmd =
 let ablations_cmd =
   cmd_of ~name:"ablations" ~doc:"Design-choice ablations" run_ablations
 
+let churn_cmd =
+  cmd_of ~name:"churn"
+    ~doc:
+      "Repair composed plans under graph churn instead of re-inspecting: \
+       rewire 1/2/5/10% of interactions (degree-preserving), repair the \
+       frozen plan incrementally, and compare against a true cold \
+       re-inspection (--steps sets the chained churn rounds per cell)."
+    run_churn
+
 let gs_cmd = cmd_of ~name:"gs" ~doc:"Gauss-Seidel sparse tiling (E-GS)" run_gs
 
 let export_cmd =
@@ -769,6 +796,7 @@ let bench_cmd =
              [
                ("hotpath", "hotpath"); ("inspector", "inspector");
                ("par", "par"); ("autotune", "autotune");
+               ("churn", "churn");
              ])
           "hotpath"
       & info [ "only" ] ~docv:"TABLE"
@@ -781,7 +809,10 @@ let bench_cmd =
              domain-pool tiled execution with the makespan model's \
              prediction (honours --domains / RTRT_DOMAINS). $(b,autotune): \
              cost-model plan search per (bench, dataset, machine) cell with \
-             the winner's and the best hand-named plan's wall clocks.")
+             the winner's and the best hand-named plan's wall clocks. \
+             $(b,churn): incremental plan repair vs cold re-inspection \
+             after rewiring 1/2/5/10% of interactions, with bit-identity \
+             checks and steps-to-amortize.")
   in
   let out =
     Arg.(
@@ -881,6 +912,7 @@ let () =
           [
             datasets_cmd; figure6_cmd; figure7_cmd; figure8_cmd; figure9_cmd;
             figure16_cmd; figure17_cmd; symbolic_cmd; raw_cmd; autotune_cmd;
-            ablations_cmd; codegen_cmd; gs_cmd; guide_cmd; export_cmd;
+            ablations_cmd; churn_cmd; codegen_cmd; gs_cmd; guide_cmd;
+            export_cmd;
             bench_cmd; bench_diff_cmd; json_cmd; trace_report_cmd; all_cmd;
           ]))

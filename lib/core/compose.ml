@@ -9,12 +9,15 @@
       [Remap_each] / [Remap_once] strategies and symmetric-dependence
       elision (Section 6);
     - {!Legality}: run-time verification that the generated reordering
-      functions respect every dependence. *)
+      functions respect every dependence;
+    - {!Repair}: incremental re-inspection under graph churn — repair
+      a composed plan instead of recomputing it. *)
 
 module Transform = Transform
 module Plan = Plan
 module Symbolic = Symbolic
 module Inspector = Inspector
+module Repair = Repair
 module Legality = Legality
 module Codegen = Codegen
 module Specialize = Specialize

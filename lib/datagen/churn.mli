@@ -1,0 +1,43 @@
+(** Graph churn: re-neighboring an existing dataset the way MD codes
+    rebuild their neighbor lists every few hundred steps.
+
+    [rewire] mutates a fraction of the interaction list by
+    degree-preserving double-edge swaps — pick two interactions (a,b)
+    and (c,d), rewire them to (a,d) and (c,b) — so the node degree
+    distribution (and hence the locality statistics the datasets were
+    synthesized to match) is exactly preserved while the dependence
+    structure changes. Deterministic under the figure {!Rng}: the same
+    seed always produces the same churned dataset and damage set.
+
+    The damage set is what {!Compose.Repair} consumes: the rewired
+    interactions with their old and new endpoints, plus the sorted set
+    of nodes whose incident-interaction multiset changed (only those
+    nodes can change tile under frozen seed tiles). *)
+
+type damage = {
+  rewired : (int * (int * int) * (int * int)) array;
+      (** [(j, (old_left, old_right), (new_left, new_right))] for every
+          interaction whose endpoints differ from before the churn, in
+          ascending [j] order. Interactions rewired twice back to their
+          original endpoints are not damage. *)
+  touched_nodes : int array;
+      (** ascending node ids whose incident-interaction multiset
+          changed — the only nodes whose grown tile can change *)
+  requested_edges : int;  (** [round (fraction *. m)] *)
+  swaps : int;  (** successful double-edge swaps performed *)
+}
+
+val damaged_edges : damage -> int
+val damage_fraction : damage -> m:int -> float
+
+(** [rewire ~rng ~fraction d] returns the churned dataset (fresh
+    arrays; [d] is not mutated) and the damage set. [fraction] is the
+    target fraction of interactions to rewire, in [0, 1]; the actual
+    count can fall short on degenerate graphs (swap candidates that
+    would create self-loops or change nothing are rejected, with a
+    bounded retry budget). Coordinates are dropped: churned neighbor
+    lists no longer derive from the generator's geometry. Raises
+    [Invalid_argument] for a [fraction] outside [0, 1]. *)
+val rewire : rng:Rng.t -> fraction:float -> Dataset.t -> Dataset.t * damage
+
+val pp_damage : damage Fmt.t

@@ -6,3 +6,4 @@ module Rng = Rng
 module Dataset = Dataset
 module Pointcloud = Pointcloud
 module Generators = Generators
+module Churn = Churn

@@ -1,0 +1,69 @@
+(** Repair-vs-cold re-inspection under graph churn (the
+    {!Compose.Repair} trade). For each (benchmark, plan, churn level)
+    cell: churn the dataset, repair the frozen plan incrementally, and
+    compare against a true cold re-inspection — inspector seconds,
+    executor steady-state seconds on both resulting plans, the
+    steps-to-amortize break-even, and the bit-identity of repair
+    against frozen regrowth. Shared by [rtrt churn] /
+    [rtrt bench --only churn] and the bench binary's
+    [RTRT_BENCH_CHURN_ONLY] fast mode; the JSON feeds
+    BENCH_CHURN.json. *)
+
+type row = {
+  cb_bench : string;
+  cb_dataset : string;
+  cb_plan : string;
+  cb_churn_pct : float;  (** churn level, percent of interactions *)
+  cb_rounds : int;
+      (** chained churn rounds: timings are best-of-rounds (each round
+          rewires the same fraction, and the min resists GC/throttling
+          spikes), damage counts are medians *)
+  cb_damaged_edges : int;  (** median damaged interactions per round *)
+  cb_damaged_nodes : int;
+  cb_tiles_moved : int;  (** median schedule memberships changed *)
+  cb_fell_back : bool;  (** any round took the cold fallback *)
+  cb_bit_identical : bool;
+      (** every round's repair was bit-identical (schedule and
+          executor output) to frozen regrowth *)
+  cb_repair_seconds : float;  (** best-of-rounds repair wall seconds *)
+  cb_cold_inspect_seconds : float;
+      (** best-of-rounds true cold [Compose.Inspector.run] wall
+          seconds *)
+  cb_repair_speedup : float;  (** cold / repair *)
+  cb_repaired_step_seconds : float;
+      (** steady-state executor seconds per step on the repaired plan *)
+  cb_cold_step_seconds : float;  (** same on the cold re-inspected plan *)
+  cb_steps_to_amortize : float;
+      (** executor steps after which the cold path's better plan has
+          paid back its dearer inspector:
+          (cold_inspect - repair) / (repaired_step - cold_step);
+          [-1] when the repaired plan's executor is not slower, i.e.
+          the cold path never catches up *)
+}
+
+type report = {
+  rep_scale : int;
+  rep_domains : int;
+  rep_rounds : int;
+  rows : row list;
+}
+
+(** Run the churn suite: moldyn/mol1 and cg/foil (plus irreg/foil when
+    [full]) under CL+FST and GL+FST, churned at [levels] (fractions;
+    default 1/2/5/10%) for [rounds] chained rounds per cell.
+    Deterministic datasets and churn (figure RNG); pooled growth and
+    inspection when [domains > 1]. Sets the
+    [churnbench.min_repair_speedup] and [churnbench.bit_identical]
+    gauges. *)
+val measure :
+  ?full:bool ->
+  ?rounds:int ->
+  ?levels:float list ->
+  scale:int ->
+  domains:int ->
+  unit ->
+  report
+
+val json_of_report : report -> Rtrt_obs.Json.t
+val write_json : path:string -> report -> unit
+val pp_report : report Fmt.t

@@ -9,5 +9,6 @@ module Guidance = Guidance
 module Hotpath = Hotpath
 module Inspctime = Inspctime
 module Parbench = Parbench
+module Churnbench = Churnbench
 module Autotune = Autotune
 module Benchdiff = Benchdiff

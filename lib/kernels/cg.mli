@@ -1,0 +1,12 @@
+(** A CG-style dependent-reduction kernel (SpMV + dot-product
+    reduction, after Yang et al.) as a {!Kernel.t}: 6 node arrays
+    (48 B/node) plus per-interaction weights. Each step's dot product
+    is folded serially in schedule order after the tile walk and feeds
+    the next step's scalar, so the reduction crosses tile boundaries;
+    tiled executors require the plain 3-loop chain (time-step tiling
+    raises [Invalid_argument]). *)
+
+(** Build the kernel over a dataset's interaction list, with
+    deterministic initial conditions derived from node/interaction
+    ids. *)
+val of_dataset : Datagen.Dataset.t -> Kernel.t

@@ -6,6 +6,7 @@ module Kernel = Kernel
 module Moldyn = Moldyn
 module Nbf = Nbf
 module Irreg = Irreg
+module Cg = Cg
 module Gauss_seidel = Gauss_seidel
 
 (** Benchmark constructors by name. *)
@@ -13,6 +14,7 @@ let by_name = function
   | "moldyn" -> Some Moldyn.of_dataset
   | "nbf" -> Some Nbf.of_dataset
   | "irreg" -> Some Irreg.of_dataset
+  | "cg" -> Some Cg.of_dataset
   | _ -> None
 
-let all_names = [ "irreg"; "nbf"; "moldyn" ]
+let all_names = [ "irreg"; "nbf"; "moldyn"; "cg" ]

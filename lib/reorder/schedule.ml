@@ -198,6 +198,92 @@ let permute_tiles s ~order =
   row_ptr.(n_rows) <- !pos;
   { s with row_ptr; items; fits_ok = None; coverage_ok = None }
 
+(* Move individual iterations between rows of the same loop without
+   rebuilding the whole CSR from tile functions: the plan-repair path
+   under graph churn, where only the iterations whose dependence
+   neighborhoods changed can change tile. One linear pass allocates the
+   new [items]/[row_ptr]; untouched rows are blitted, touched rows are
+   rebuilt by a sorted merge of (old members minus leavers) with the
+   joiners, so every row stays ascending exactly as [of_tile_fns]
+   leaves it. Unlike [of_tile_fns] there is no per-item tile-id
+   validation or counting sort over full tile functions — cost is
+   O(total items) worth of blits plus O(row) merges for touched rows
+   only, and the validation memos carry over: a splice moves members
+   between rows of one loop, so per-loop totals (check_fits) and
+   exactly-once coverage (check_coverage) are preserved. *)
+let splice s ~moves =
+  if Array.length moves = 0 then s
+  else begin
+    let nl = s.n_loops in
+    let n_rows = s.n_tiles * nl in
+    (* Per-row leaver/joiner lists, validated. *)
+    let leavers = Array.make n_rows [] in
+    let joiners = Array.make n_rows [] in
+    let seen = Hashtbl.create (Array.length moves) in
+    Array.iter
+      (fun (loop, it, t_old, t_new) ->
+        if loop < 0 || loop >= nl then
+          invalid "Schedule.splice: loop %d" loop;
+        if t_old < 0 || t_old >= s.n_tiles || t_new < 0 || t_new >= s.n_tiles
+        then invalid "Schedule.splice: tile %d -> %d out of range" t_old t_new;
+        if t_old = t_new then
+          invalid "Schedule.splice: iteration %d does not move" it;
+        if Hashtbl.mem seen (loop, it) then
+          invalid "Schedule.splice: duplicate move for loop %d iteration %d"
+            loop it;
+        Hashtbl.add seen (loop, it) ();
+        leavers.((t_old * nl) + loop) <- it :: leavers.((t_old * nl) + loop);
+        joiners.((t_new * nl) + loop) <- it :: joiners.((t_new * nl) + loop))
+      moves;
+    let row_ptr = Array.make (n_rows + 1) 0 in
+    for r = 0 to n_rows - 1 do
+      let old_len = s.row_ptr.(r + 1) - s.row_ptr.(r) in
+      let len =
+        old_len - List.length leavers.(r) + List.length joiners.(r)
+      in
+      if len < 0 then invalid "Schedule.splice: row %d underflow" r;
+      row_ptr.(r + 1) <- row_ptr.(r) + len
+    done;
+    let items = Array.make row_ptr.(n_rows) 0 in
+    let sorted l = Array.of_list (List.sort_uniq compare l) in
+    for r = 0 to n_rows - 1 do
+      let lo = s.row_ptr.(r) and hi = s.row_ptr.(r + 1) in
+      match (leavers.(r), joiners.(r)) with
+      | [], [] -> Array.blit s.items lo (items : int array) row_ptr.(r) (hi - lo)
+      | ls, js ->
+        let ls = sorted ls and js = sorted js in
+        let nls = Array.length ls and njs = Array.length js in
+        (* Merge (old row minus leavers) with joiners; both ascending. *)
+        let li = ref 0 and ji = ref 0 and out = ref row_ptr.(r) in
+        for i = lo to hi - 1 do
+          let it = s.items.(i) in
+          if !li < nls && ls.(!li) = it then incr li
+          else begin
+            while !ji < njs && js.(!ji) < it do
+              items.(!out) <- js.(!ji);
+              incr out;
+              incr ji
+            done;
+            items.(!out) <- it;
+            incr out
+          end
+        done;
+        while !ji < njs do
+          items.(!out) <- js.(!ji);
+          incr out;
+          incr ji
+        done;
+        if !li <> nls then
+          invalid "Schedule.splice: leaver absent from row %d" r;
+        if !out <> row_ptr.(r + 1) then
+          invalid "Schedule.splice: row %d length mismatch" r
+    done;
+    (* A splice permutes members between rows of one loop: per-loop
+       totals and exactly-once coverage are invariant, so the proofs
+       carry over. *)
+    { s with row_ptr; items }
+  end
+
 let memo_hit memo sizes =
   match memo with Some m -> m = sizes | None -> false
 

@@ -66,6 +66,18 @@ val remap_loop : t -> loop:int -> Perm.t -> t
     ids. One blit per tile thanks to block contiguity. *)
 val permute_tiles : t -> order:int array -> t
 
+(** Move iterations between rows of one loop:
+    [(loop, iteration, old_tile, new_tile)] per move. The plan-repair
+    splice under graph churn — one linear pass that blits untouched
+    rows and rebuilds touched rows by sorted merge, so rows stay
+    ascending exactly as [of_tile_fns] leaves them — the result is
+    [equal] to a full rebuild from the updated tile functions. Per-loop totals and exactly-once coverage are invariant
+    under a splice, so the {!check_fits}/{!check_coverage} memos carry
+    over. Raises [Invalid_argument] on out-of-range tiles, duplicate
+    moves, or a leaver that is not in its claimed row; an empty move
+    array returns the schedule unchanged. *)
+val splice : t -> moves:(int * int * int * int) array -> t
+
 (** Each iteration of each loop appears exactly once. O(iterations)
     the first time; subsequent calls with the same sizes on the same
     schedule value return via the memo in O(loops) and bump the

@@ -23,7 +23,25 @@ val grow_backward : conn:Access.t -> next:tile_fn -> tile_fn
     transposed connectivity, so bit-identical to
     [grow_backward ~conn:(Access.transpose conn) ~next] without
     materializing the transpose (the paper's symmetric-dependence
-    elision, generalized to asymmetric chains). *)
+    elision, generalized to asymmetric chains).
+
+    Precondition (the symmetric-dependence halving): [conn] here is
+    the {e predecessor} connectivity — the chain's own
+    [conn.(l)], mapping each already-assigned iteration of loop [l+1]
+    to its predecessors in the loop being assigned — and it must carry
+    the {e complete} dependence edge multiset between the two loops.
+    That holds exactly when the forward and backward dependences
+    between the loop pair are constrained by the same index arrays
+    (a [Kernels.Kernel.symmetric_backward] pair, e.g. moldyn's
+    force-scatter/velocity-gather both keyed by left/right), or when
+    the chain is asymmetric but [conn.(l)] was built as the full
+    transpose of the successor relation. If backward edges existed
+    that are {e not} the transpose of [conn]'s rows, the scatter would
+    never see them and the resulting tile function could violate
+    them. {!Compose.Repair} relies on this precondition: under churn
+    it re-runs growth per damaged iteration over the updated
+    predecessor rows alone, which is only sound because those rows
+    are the whole dependence set. *)
 val grow_backward_scatter : conn:Access.t -> next:tile_fn -> tile_fn
 
 (** Forward growth: [conn] maps each iteration to its *predecessors*;

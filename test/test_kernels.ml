@@ -11,6 +11,7 @@ let kernels () =
     ("irreg", Kernels.Irreg.of_dataset (small_dataset ()));
     ("nbf", Kernels.Nbf.of_dataset (small_dataset ()));
     ("moldyn", Kernels.Moldyn.of_dataset (mol_dataset ()));
+    ("cg", Kernels.Cg.of_dataset (small_dataset ()));
   ]
 
 let check_close name s1 s2 =
@@ -130,7 +131,9 @@ let test_trace_counts_match () =
     (kernels ())
 
 let test_bytes_per_node () =
-  let checks = [ ("irreg", 16); ("nbf", 48); ("moldyn", 72) ] in
+  let checks =
+    [ ("irreg", 16); ("nbf", 48); ("moldyn", 72); ("cg", 48) ]
+  in
   List.iter
     (fun (name, k) ->
       let expected = List.assoc name checks in
